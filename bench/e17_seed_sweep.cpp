@@ -1,0 +1,70 @@
+// E17 (robustness): the reproduction's headline claims across independent
+// random worlds. A single calibrated seed could overfit; this sweep rebuilds
+// the whole Internet from different master seeds and re-measures the Fig 1
+// and Fig 3 headlines.
+#include <cstdio>
+#include <string>
+
+#include "bgpcmp/cdn/anycast_cdn.h"
+#include "bgpcmp/core/report.h"
+#include "bgpcmp/core/scenario.h"
+#include "bgpcmp/core/study_anycast.h"
+#include "bgpcmp/core/study_pop.h"
+#include "bgpcmp/stats/summary.h"
+#include "bgpcmp/stats/table.h"
+
+using namespace bgpcmp;
+
+int main(int argc, char** argv) {
+  const double days = argc > 1 ? std::stod(argv[1]) : 1.0;
+  std::fputs(core::banner("E17: headline robustness across master seeds").c_str(),
+             stdout);
+
+  const std::uint64_t seeds[] = {1, 7, 42, 2026, 31337};
+  stats::Table table{{"seed", "fig1 improvable >=5ms", "fig1 within +/-10ms",
+                      "fig3 within 10ms", "fig3 >=25ms"}};
+  stats::Summary improvable;
+  stats::Summary within10;
+  stats::Summary any10;
+  stats::Summary any25;
+  for (const auto seed : seeds) {
+    auto scenario = core::Scenario::make(core::ScenarioConfig::with_master_seed(seed));
+    core::PopStudyConfig pcfg;
+    pcfg.days = days;
+    const auto pop = core::run_pop_study(*scenario, pcfg);
+    const auto cdf = pop.fig1_cdf();
+    const double frac5 = pop.improvable_traffic_fraction(5.0);
+    const double band10 = cdf.fraction_at_most(10.0) - cdf.fraction_at_most(-10.0);
+
+    // The Fig 3 population on a Microsoft-like provider in the same world.
+    auto ms_cfg = core::ScenarioConfig::microsoft_like();
+    ms_cfg.internet = scenario->config.internet;  // same Internet, 2015 CDN
+    auto ms = core::Scenario::make(ms_cfg);
+    cdn::AnycastCdn cdn{&ms->internet, &ms->provider};
+    core::AnycastStudyConfig acfg;
+    acfg.beacon_rounds = 2;
+    acfg.eval_windows = 2;
+    const auto anycast = core::run_anycast_study(*ms, cdn, acfg);
+
+    table.add_row({std::to_string(seed), stats::fmt(100.0 * frac5, 2) + "%",
+                   stats::fmt(100.0 * band10, 1) + "%",
+                   stats::fmt(100.0 * anycast.frac_within_10ms, 1) + "%",
+                   stats::fmt(100.0 * anycast.fig3_world.fraction_above(25.0), 1) +
+                       "%"});
+    improvable.add(100.0 * frac5);
+    within10.add(100.0 * band10);
+    any10.add(100.0 * anycast.frac_within_10ms);
+    any25.add(100.0 * anycast.fig3_world.fraction_above(25.0));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::fputs("\nAcross seeds:\n", stdout);
+  std::printf("fig1 improvable >=5 ms: %s (paper: 2-4%%)\n",
+              improvable.str().c_str());
+  std::printf("fig1 within +/-10 ms:   %s\n", within10.str().c_str());
+  std::printf("fig3 within 10 ms:      %s (paper: ~70%%)\n", any10.str().c_str());
+  std::printf("fig3 >=25 ms:           %s (paper: ~20%%)\n", any25.str().c_str());
+  std::fputs("\nReading: the qualitative claims are properties of the model, "
+             "not of one lucky seed.\n",
+             stdout);
+  return 0;
+}

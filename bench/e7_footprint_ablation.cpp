@@ -1,0 +1,39 @@
+// E7 (§3.1.3): reduced-peering-footprint emulation.
+//
+// Sweeps the provider's peering fraction from 100% down to 10%, shifting the
+// shed traffic onto the surviving interconnections (whose congestion rises
+// accordingly) — the study the paper says cannot be run in production.
+#include <cstdio>
+#include <string>
+
+#include "bgpcmp/core/footprint.h"
+#include "bgpcmp/core/report.h"
+#include "bgpcmp/stats/table.h"
+
+using namespace bgpcmp;
+
+int main(int argc, char** argv) {
+  core::FootprintConfig cfg;
+  cfg.study.days = argc > 1 ? std::stod(argv[1]) : 2.0;
+
+  std::fputs(core::banner("E7: reduced peering footprint ablation").c_str(), stdout);
+  const double fractions[] = {1.0, 0.75, 0.5, 0.25, 0.1};
+  const auto result =
+      core::run_footprint_ablation(core::ScenarioConfig{}, cfg, fractions);
+
+  stats::Table table{{"peering kept", "peer edges", "mean BGP RTT (ms)",
+                      "p95 BGP RTT (ms)", "improvable >=5ms", "transit share"}};
+  for (const auto& p : result.points) {
+    table.add_row({stats::fmt(100.0 * p.peering_fraction, 0) + "%",
+                   std::to_string(p.provider_peer_edges),
+                   stats::fmt(p.mean_bgp_rtt_ms, 2), stats::fmt(p.p95_bgp_rtt_ms, 2),
+                   stats::fmt(100.0 * p.improvable_frac_5ms, 2) + "%",
+                   stats::fmt(100.0 * p.transit_preferred_fraction, 1) + "%"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::fputs("\nReading: latency should degrade only mildly until the surviving\n"
+             "links' induced congestion bites, while traffic shifts onto transit\n"
+             "— quantifying how much latency headroom the peering footprint buys.\n",
+             stdout);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// M1: google-benchmark microbenchmarks of the library's hot paths — the
+// engineering companion to the reproduction benches.
+#include <benchmark/benchmark.h>
+
+#include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/bgp/rib.h"
+#include "bgpcmp/core/scenario.h"
+#include "bgpcmp/latency/path_model.h"
+#include "bgpcmp/stats/cdf.h"
+#include "bgpcmp/stats/quantile.h"
+
+namespace {
+
+using namespace bgpcmp;
+
+const core::Scenario& shared_scenario() {
+  static const auto scenario = core::Scenario::make();
+  return *scenario;
+}
+
+void BM_BuildInternet(benchmark::State& state) {
+  topo::InternetConfig cfg;
+  cfg.seed = 7;
+  for (auto _ : state) {
+    auto net = topo::build_internet(cfg);
+    benchmark::DoNotOptimize(net.graph.link_count());
+  }
+}
+BENCHMARK(BM_BuildInternet)->Unit(benchmark::kMillisecond);
+
+void BM_RoutePropagation(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto origins = sc.internet.eyeballs;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto table =
+        bgp::compute_routes(sc.internet.graph, origins[i++ % origins.size()]);
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_RoutePropagation)->Unit(benchmark::kMicrosecond);
+
+void BM_CandidateRoutes(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto table =
+      bgp::compute_routes(sc.internet.graph, sc.internet.eyeballs.front());
+  for (auto _ : state) {
+    auto candidates = bgp::candidate_routes_at(sc.internet.graph, table,
+                                               sc.provider.as_index());
+    benchmark::DoNotOptimize(candidates.size());
+  }
+}
+BENCHMARK(BM_CandidateRoutes)->Unit(benchmark::kMicrosecond);
+
+void BM_GeoPathRealization(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto& client = sc.clients.at(0);
+  const auto table = bgp::compute_routes(sc.internet.graph, client.origin_as);
+  const auto path = table.path(sc.provider.as_index());
+  for (auto _ : state) {
+    auto geo = lat::build_geo_path(sc.internet.graph, sc.internet.city_db(), path,
+                                   sc.provider.pops()[0].city, client.city);
+    benchmark::DoNotOptimize(geo.segments.size());
+  }
+}
+BENCHMARK(BM_GeoPathRealization)->Unit(benchmark::kNanosecond);
+
+void BM_RttEvaluation(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto& client = sc.clients.at(0);
+  const auto table = bgp::compute_routes(sc.internet.graph, client.origin_as);
+  const auto path = table.path(sc.provider.as_index());
+  const auto geo = lat::build_geo_path(sc.internet.graph, sc.internet.city_db(), path,
+                                       sc.provider.pops()[0].city, client.city);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    const auto rtt = sc.latency.rtt(geo, SimTime{t += 60}, client.access,
+                                    client.origin_as, client.city);
+    benchmark::DoNotOptimize(rtt.total());
+  }
+}
+BENCHMARK(BM_RttEvaluation)->Unit(benchmark::kNanosecond);
+
+void BM_WeightedQuantile(benchmark::State& state) {
+  Rng rng{123};
+  std::vector<stats::Weighted> obs;
+  obs.reserve(static_cast<std::size_t>(state.range(0)));
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    obs.push_back(stats::Weighted{rng.normal(50, 10), rng.uniform(0.1, 5.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::weighted_quantile(obs, 0.5));
+  }
+}
+BENCHMARK(BM_WeightedQuantile)->Range(64, 65536)->Unit(benchmark::kMicrosecond);
+
+void BM_CdfSeries(benchmark::State& state) {
+  Rng rng{321};
+  stats::WeightedCdf cdf;
+  for (int i = 0; i < 100000; ++i) cdf.add(rng.normal(0, 5), rng.uniform(0.1, 2.0));
+  for (auto _ : state) {
+    auto series = cdf.cdf_series(-10, 10, 21);
+    benchmark::DoNotOptimize(series.size());
+  }
+}
+BENCHMARK(BM_CdfSeries)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

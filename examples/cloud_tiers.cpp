@@ -1,0 +1,86 @@
+// Study-3-style tier comparison: stand up a two-tier cloud, traceroute both
+// tiers from a few vantage points around the world, and print the paths the
+// way the Speedchecker campaign saw them.
+#include <cstdio>
+
+#include "bgpcmp/core/scenario.h"
+#include "bgpcmp/measure/probes.h"
+#include "bgpcmp/wan/tiers.h"
+
+using namespace bgpcmp;
+
+namespace {
+
+void show_vantage(const core::Scenario& sc, const wan::CloudTiers& tiers,
+                  traffic::PrefixId id, SimTime t, Rng& rng) {
+  const auto& db = sc.internet.city_db();
+  const auto& client = sc.clients.at(id);
+  const auto prem = tiers.premium(client);
+  const auto stan = tiers.standard(client);
+  if (!prem.valid() || !stan.valid()) return;
+  const measure::Prober prober{&sc.latency};
+
+  std::printf("vantage %s (%s), AS %s\n", db.at(client.city).name.data(),
+              db.at(client.city).country.data(),
+              sc.internet.graph.node(client.origin_as).name.c_str());
+  const auto p_ping = prober.ping(prem.access_path, t, client.access,
+                                  client.origin_as, client.city, 5, rng);
+  const auto s_ping = prober.ping(stan.access_path, t, client.access,
+                                  client.origin_as, client.city, 5, rng);
+  std::printf("  premium : %7.1f ms  (enters at %s, %4.0f km away; WAN leg "
+              "%5.1f ms)\n",
+              p_ping.min_rtt.value() + prem.wan_rtt.value(),
+              db.at(sc.provider.pop(prem.entry_pop).city).name.data(),
+              tiers.ingress_distance(prem, client).value(), prem.wan_rtt.value());
+  std::printf("  standard: %7.1f ms  (enters at %s, %4.0f km away; %d "
+              "intermediate AS%s)\n",
+              s_ping.min_rtt.value(),
+              db.at(sc.provider.pop(stan.entry_pop).city).name.data(),
+              tiers.ingress_distance(stan, client).value(),
+              stan.intermediate_ases,
+              stan.intermediate_ases == 1 ? "" : "es");
+  std::printf("  standard traceroute:\n");
+  for (const auto& hop : prober.traceroute(stan.access_path, t, client.access,
+                                           client.origin_as, client.city, rng)) {
+    std::printf("    %-18s @ %-14s %7.1f ms\n",
+                sc.internet.graph.node(hop.as).name.c_str(),
+                db.at(hop.city).name.data(), hop.rtt.value());
+  }
+  if (prem.entry_pop != tiers.dc_pop()) {
+    std::printf("  premium WAN route: ");
+    for (const auto city : tiers.backbone().route(
+             sc.provider.pop(prem.entry_pop).city, tiers.dc_city())) {
+      std::printf("%s > ", db.at(city).name.data());
+    }
+    std::printf("DC\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto scenario = core::Scenario::make(core::ScenarioConfig::google_like());
+  wan::CloudTiers tiers{&scenario->internet, &scenario->provider};
+  const auto& db = scenario->internet.city_db();
+  std::printf("Cloud '%s': %zu edge PoPs, DC in %s, WAN with %zu links\n\n",
+              scenario->provider.config().name.c_str(),
+              scenario->provider.pops().size(), db.at(tiers.dc_city()).name.data(),
+              tiers.backbone().link_count());
+
+  Rng rng{11};
+  const SimTime t = SimTime::hours(15);
+  // One vantage per interesting country.
+  for (const char* country :
+       {"United States", "Germany", "Brazil", "India", "Australia", "Japan"}) {
+    for (traffic::PrefixId id = 0; id < scenario->clients.size(); ++id) {
+      if (db.at(scenario->clients.at(id).city).country != country) continue;
+      show_vantage(*scenario, tiers, id, t, rng);
+      break;
+    }
+  }
+  std::puts("The India vantage shows the paper's case study: the private WAN "
+            "carries traffic east across the Pacific while the public "
+            "Internet's Tier-1 takes the direct route.");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Study-1-style egress engineering at one PoP: watch BGP's preferred route
+// and its alternates through a day of 15-minute windows for the busiest
+// client prefixes of a chosen PoP, Edge-Fabric style.
+//
+// Usage: edge_fabric_pop [city-name]   (default: the provider's first PoP)
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/cdn/edge_fabric.h"
+#include "bgpcmp/core/scenario.h"
+#include "bgpcmp/stats/quantile.h"
+
+using namespace bgpcmp;
+
+int main(int argc, char** argv) {
+  auto scenario = core::Scenario::make();
+  const auto& g = scenario->internet.graph;
+  const topo::CityDb& db = scenario->internet.city_db();
+
+  // Pick the PoP.
+  cdn::PopId pop_id = 0;
+  if (argc > 1) {
+    const auto city = db.find(argv[1]);
+    if (!city || !scenario->provider.pop_in(*city)) {
+      std::fprintf(stderr, "no PoP in '%s'; PoP metros are:\n", argv[1]);
+      for (const auto& p : scenario->provider.pops()) {
+        std::fprintf(stderr, "  %s\n", db.at(p.city).name.data());
+      }
+      return 1;
+    }
+    pop_id = *scenario->provider.pop_in(*city);
+  }
+  const auto& pop = scenario->provider.pop(pop_id);
+  std::printf("Edge-Fabric view of the %s PoP (%zu sessions)\n\n",
+              db.at(pop.city).name.data(), pop.links.size());
+
+  // The busiest prefixes served from this PoP.
+  std::vector<std::pair<double, traffic::PrefixId>> served;
+  for (traffic::PrefixId id = 0; id < scenario->clients.size(); ++id) {
+    const auto& client = scenario->clients.at(id);
+    if (scenario->provider.serving_pop(g, db, client.origin_as, client.city) !=
+        pop_id) {
+      continue;
+    }
+    served.emplace_back(scenario->demand.popularity(id), id);
+  }
+  std::sort(served.rbegin(), served.rend());
+  std::printf("prefixes served here: %zu; showing the top 5 by volume\n\n",
+              served.size());
+
+  const auto windows = fifteen_minute_grid(1.0);
+  for (std::size_t k = 0; k < std::min<std::size_t>(5, served.size()); ++k) {
+    const auto id = served[k].second;
+    const auto& client = scenario->clients.at(id);
+    const auto table = bgp::compute_routes(g, client.origin_as);
+    auto options = cdn::edge_fabric::rank_by_policy(
+        g, scenario->provider.egress_options(g, table, pop_id));
+    std::printf("%s  (client in %s, %zu routes)\n", client.prefix.str().c_str(),
+                db.at(client.city).name.data(), options.size());
+    if (options.size() > 3) options.resize(3);
+
+    // Per-route medians over the day + how often the controller overrides.
+    std::map<std::size_t, int> wins;
+    std::vector<std::vector<double>> day(options.size());
+    for (const auto& w : windows) {
+      std::size_t best = 0;
+      double best_ms = 1e18;
+      for (std::size_t r = 0; r < options.size(); ++r) {
+        const auto path = cdn::edge_fabric::egress_path(
+            g, db, scenario->provider.as_index(), pop, options[r], client.city);
+        if (!path.valid()) continue;
+        const double ms = scenario->latency
+                              .rtt(path, w.midpoint(), client.access,
+                                   client.origin_as, client.city)
+                              .total()
+                              .value();
+        day[r].push_back(ms);
+        if (ms < best_ms) {
+          best_ms = ms;
+          best = r;
+        }
+      }
+      ++wins[best];
+    }
+    for (std::size_t r = 0; r < options.size(); ++r) {
+      if (day[r].empty()) continue;
+      const auto& o = options[r];
+      std::printf("  %c route %zu via %-14s %-16s median %7.2f ms, best in "
+                  "%3d/%zu windows\n",
+                  r == 0 ? '*' : ' ', r, g.node(o.route.neighbor).name.c_str(),
+                  topo::link_kind_name(o.kind).data(),
+                  stats::median(day[r]), wins[r], windows.size());
+    }
+    std::printf("\n");
+  }
+  std::puts("(*) BGP-preferred route. An Edge-Fabric-style controller would "
+            "shift traffic whenever another row wins a window.");
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run every test, regenerate every
+# figure. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "== $(basename "$b")"
+  "$b" "${BENCH_ARG:-}"
+done

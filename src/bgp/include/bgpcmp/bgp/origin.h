@@ -1,0 +1,65 @@
+// Origin specification: who announces a prefix, over which sessions, with
+// which per-session modifications.
+//
+// This is also the grooming surface (§3.2.2): operators "groom" anycast by
+// prepending to particular peers at particular locations, scoping propagation
+// with communities, or withdrawing an announcement from a session. All three
+// are expressible here, so the grooming study (E8) manipulates exactly what a
+// real operator would.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgpcmp/topology/as_graph.h"
+
+namespace bgpcmp::bgp {
+
+using topo::AsGraph;
+using topo::AsIndex;
+using topo::EdgeId;
+using topo::LinkId;
+
+struct OriginSpec {
+  AsIndex origin = topo::kNoAs;
+
+  /// If set, the prefix is announced only over these links (e.g. a unicast
+  /// front-end prefix announced only at its PoP). Empty optional = announce
+  /// on all sessions.
+  std::optional<std::vector<LinkId>> scope;
+
+  /// Grooming: extra AS-path prepends applied to announcements on an edge.
+  std::map<EdgeId, int> prepend;
+
+  /// Grooming: sessions on which the prefix is withheld entirely.
+  std::set<EdgeId> suppress;
+
+  /// Announce on every session (the common case).
+  static OriginSpec everywhere(AsIndex origin) {
+    OriginSpec s;
+    s.origin = origin;
+    return s;
+  }
+
+  /// Announce only over the given links.
+  static OriginSpec scoped(AsIndex origin, std::vector<LinkId> links) {
+    OriginSpec s;
+    s.origin = origin;
+    s.scope = std::move(links);
+    return s;
+  }
+
+  /// True if the origin announces the prefix over edge `e` at all.
+  [[nodiscard]] bool announces_on(const AsGraph& graph, EdgeId e) const;
+
+  /// Prepend count applied on edge `e` (0 if none).
+  [[nodiscard]] int prepend_on(EdgeId e) const;
+
+  /// The links of edge `e` usable as entry points into the origin for this
+  /// prefix (all of the edge's links, or the scoped subset).
+  [[nodiscard]] std::vector<LinkId> entry_links(const AsGraph& graph, EdgeId e) const;
+};
+
+}  // namespace bgpcmp::bgp

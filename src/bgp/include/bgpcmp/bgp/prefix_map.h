@@ -1,0 +1,98 @@
+// Longest-prefix-match table (the FIB data structure).
+//
+// Maps IPv4 prefixes to values with router semantics: a lookup returns the
+// value of the most-specific covering prefix. Used to resolve client
+// addresses to their /24 populations and by the CLI's `lookup` command; a
+// binary trie keyed on prefix bits, O(32) per operation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bgpcmp/netbase/ipaddr.h"
+
+namespace bgpcmp::bgp {
+
+template <typename T>
+class PrefixMap {
+ public:
+  PrefixMap() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite the value at `prefix`. Returns true if a value was
+  /// already present (and has been replaced).
+  bool insert(const Prefix& prefix, T value) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      auto& child = child_for(node, prefix, depth);
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    const bool replaced = node->value.has_value();
+    node->value = std::move(value);
+    if (!replaced) ++size_;
+    return replaced;
+  }
+
+  /// Value stored at exactly `prefix`, if any.
+  [[nodiscard]] const T* exact(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const auto& child = child_for(node, prefix, depth);
+      if (!child) return nullptr;
+      node = child.get();
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix-match: the value of the most-specific prefix covering
+  /// `addr`, or nullptr if nothing covers it.
+  [[nodiscard]] const T* lookup(Ipv4Address addr) const {
+    const Node* node = root_.get();
+    const T* best = node->value ? &*node->value : nullptr;
+    for (int depth = 0; depth < 32; ++depth) {
+      const bool bit = (addr.bits() >> (31 - depth)) & 1u;
+      const auto& child = bit ? node->one : node->zero;
+      if (!child) break;
+      node = child.get();
+      if (node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Remove the value at exactly `prefix`. Returns true if one was removed.
+  bool erase(const Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      auto& child = child_for(node, prefix, depth);
+      if (!child) return false;
+      node = child.get();
+    }
+    if (!node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  template <typename NodeT>
+  static auto& child_for(NodeT* node, const Prefix& prefix, std::uint8_t depth) {
+    const bool bit = (prefix.network().bits() >> (31 - depth)) & 1u;
+    return bit ? node->one : node->zero;
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bgpcmp::bgp

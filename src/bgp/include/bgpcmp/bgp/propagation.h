@@ -1,0 +1,23 @@
+// Network-wide BGP route propagation under Gao-Rexford policy.
+//
+// Three-stage fixpoint computation of the routes every AS selects toward one
+// origin: (1) customer routes climb provider edges from the origin's customer
+// cone; (2) peer routes extend one peer hop off customer routes; (3) provider
+// routes descend customer edges from any routed AS. Within a preference
+// class, shorter paths win; ties break on lowest next-hop ASN, mirroring
+// BGP's deterministic tie-breaking. The result is guaranteed valley-free.
+#pragma once
+
+#include "bgpcmp/bgp/origin.h"
+#include "bgpcmp/bgp/route.h"
+
+namespace bgpcmp::bgp {
+
+/// Compute the routing table toward `origin`. O(passes * edges); topologies
+/// in this library converge in a handful of passes.
+[[nodiscard]] RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin);
+
+/// Convenience: origin announced on all sessions.
+[[nodiscard]] RouteTable compute_routes(const AsGraph& graph, AsIndex origin);
+
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,42 @@
+// Adj-RIB-in reconstruction: the full set of routes a given AS *hears* from
+// its neighbors toward an origin.
+//
+// The PoP study needs more than each AS's best route: at a content-provider
+// PoP, BGP chooses among the routes announced by every connected peer and
+// transit, and the measurement system sprays traffic over the top-k of them
+// (§3.1). A neighbor exports its selected route to the viewer iff the viewer
+// is its customer, or the route is a customer/own route (standard export
+// policy); we reconstruct exactly that candidate set from the route table.
+#pragma once
+
+#include <vector>
+
+#include "bgpcmp/bgp/origin.h"
+#include "bgpcmp/bgp/route.h"
+
+namespace bgpcmp::bgp {
+
+/// One route offered to the viewer by a neighbor.
+struct CandidateRoute {
+  AsIndex neighbor = kNoAs;  ///< next-hop AS
+  EdgeId edge = kNoEdge;     ///< viewer-neighbor edge
+  topo::NeighborRole neighbor_role = topo::NeighborRole::Peer;  ///< neighbor's role vs viewer
+  RouteClass neighbor_class = RouteClass::None;  ///< class of the neighbor's own route
+  std::uint16_t length = 0;  ///< BGP path length as heard by the viewer
+  std::vector<AsIndex> as_path;  ///< [neighbor, ..., origin]
+};
+
+/// All routes the viewer hears toward the table's origin, one per exporting
+/// neighbor. Includes the direct route if the viewer neighbors the origin.
+/// `origin_spec` must be the spec the table was computed with (it governs
+/// which sessions the origin announced on).
+[[nodiscard]] std::vector<CandidateRoute> candidate_routes_at(
+    const AsGraph& graph, const RouteTable& table, const OriginSpec& origin_spec,
+    AsIndex viewer);
+
+/// Overload for an unscoped origin.
+[[nodiscard]] std::vector<CandidateRoute> candidate_routes_at(const AsGraph& graph,
+                                                              const RouteTable& table,
+                                                              AsIndex viewer);
+
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,34 @@
+// Memoized route computation.
+//
+// Studies evaluate routes toward hundreds of client origins, many sharing an
+// origin AS; the cache computes each table once. Tables are stable because
+// the graph is immutable after construction.
+#pragma once
+
+#include <map>
+
+#include "bgpcmp/bgp/propagation.h"
+
+namespace bgpcmp::bgp {
+
+class RouteCache {
+ public:
+  explicit RouteCache(const AsGraph* graph) : graph_(graph) {}
+
+  /// The routing table toward `origin` (computed on first use).
+  const RouteTable& toward(AsIndex origin) {
+    auto it = tables_.find(origin);
+    if (it == tables_.end()) {
+      it = tables_.emplace(origin, compute_routes(*graph_, origin)).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return tables_.size(); }
+
+ private:
+  const AsGraph* graph_;
+  std::map<AsIndex, RouteTable> tables_;
+};
+
+}  // namespace bgpcmp::bgp

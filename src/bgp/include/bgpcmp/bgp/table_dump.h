@@ -1,0 +1,27 @@
+// Human-readable dumps of routing state, in the spirit of `show ip bgp`.
+// Used by the bgpcmp CLI and handy when debugging generated topologies.
+#pragma once
+
+#include <string>
+
+#include "bgpcmp/bgp/rib.h"
+#include "bgpcmp/bgp/route.h"
+
+namespace bgpcmp::bgp {
+
+/// One line per AS: its selected route toward the table's origin
+/// (class, length, next hop, full AS path). `limit` truncates the dump
+/// (0 = all ASes).
+[[nodiscard]] std::string dump_table(const AsGraph& graph, const RouteTable& table,
+                                     std::size_t limit = 0);
+
+/// The route one AS selected, as a single line.
+[[nodiscard]] std::string dump_route(const AsGraph& graph, const RouteTable& table,
+                                     AsIndex as);
+
+/// `show ip bgp`-style view of everything a viewer hears toward the origin:
+/// one line per candidate, best first ('>' marker).
+[[nodiscard]] std::string dump_rib_in(const AsGraph& graph, const RouteTable& table,
+                                      AsIndex viewer);
+
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,21 @@
+// Routing invariant checkers used by the property-test suites.
+#pragma once
+
+#include <span>
+
+#include "bgpcmp/bgp/route.h"
+
+namespace bgpcmp::bgp {
+
+/// True if the AS-level path [src..origin] is valley-free: viewed in the
+/// direction of route propagation, the path climbs customer->provider edges,
+/// crosses at most one peer edge, then descends provider->customer edges —
+/// equivalently, in forwarding order, no AS provides gratis transit.
+[[nodiscard]] bool is_valley_free(const AsGraph& graph, std::span<const AsIndex> path);
+
+/// True if every reachable AS's selected route obeys export rules with
+/// respect to its next hop (no route learned that the neighbor would not have
+/// exported) and chains to the origin without loops.
+[[nodiscard]] bool table_is_consistent(const AsGraph& graph, const RouteTable& table);
+
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,34 @@
+#include "bgpcmp/bgp/origin.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::bgp {
+
+bool OriginSpec::announces_on(const AsGraph& graph, EdgeId e) const {
+  const auto& edge = graph.edge(e);
+  assert(edge.a == origin || edge.b == origin);
+  (void)edge;
+  if (suppress.count(e) > 0) return false;
+  if (!scope) return true;
+  return std::any_of(scope->begin(), scope->end(), [&](LinkId l) {
+    return graph.link(l).edge == e;
+  });
+}
+
+int OriginSpec::prepend_on(EdgeId e) const {
+  const auto it = prepend.find(e);
+  return it == prepend.end() ? 0 : it->second;
+}
+
+std::vector<LinkId> OriginSpec::entry_links(const AsGraph& graph, EdgeId e) const {
+  std::vector<LinkId> out;
+  for (const LinkId l : graph.edge(e).links) {
+    if (!scope || std::find(scope->begin(), scope->end(), l) != scope->end()) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,167 @@
+#include "bgpcmp/bgp/propagation.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace bgpcmp::bgp {
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+/// Best-so-far route of one preference class at one AS.
+struct ClassState {
+  std::uint32_t len = kInf;
+  AsIndex next_hop = kNoAs;
+  EdgeId via_edge = kNoEdge;
+
+  [[nodiscard]] bool valid() const { return len != kInf; }
+};
+
+/// True if (len, next-hop ASN) is strictly better than `cur` — BGP's
+/// shortest-path-then-lowest-neighbor tie-breaking within a LocalPref class.
+bool better(const AsGraph& g, std::uint32_t len, AsIndex nh, const ClassState& cur) {
+  if (len < cur.len) return true;
+  if (len > cur.len) return false;
+  return g.node(nh).asn < g.node(cur.next_hop).asn;
+}
+
+struct Tables {
+  std::vector<ClassState> cust;
+  std::vector<ClassState> peer;
+  std::vector<ClassState> prov;
+};
+
+/// Length of the route `as` actually selects (class preference first), or
+/// kInf if unrouted. `origin` always selects itself with length 0.
+std::uint32_t best_len(const Tables& t, AsIndex as, AsIndex origin) {
+  if (as == origin) return 0;
+  if (t.cust[as].valid()) return t.cust[as].len;
+  if (t.peer[as].valid()) return t.peer[as].len;
+  if (t.prov[as].valid()) return t.prov[as].len;
+  return kInf;
+}
+
+}  // namespace
+
+RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin) {
+  assert(origin.origin != kNoAs && origin.origin < graph.as_count());
+  const std::size_t n = graph.as_count();
+  Tables t;
+  t.cust.resize(n);
+  t.peer.resize(n);
+  t.prov.resize(n);
+
+  const AsIndex o = origin.origin;
+
+  // Stage 1: customer routes. An AS has one iff the origin is in its customer
+  // cone; propagate up provider edges to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+      const auto& edge = graph.edge(e);
+      if (edge.rel != topo::Relationship::ProviderCustomer) continue;
+      const AsIndex provider = edge.a;
+      const AsIndex customer = edge.b;
+      if (provider == o) continue;  // origin doesn't learn its own prefix
+      std::uint32_t len_c;
+      int extra = 0;
+      if (customer == o) {
+        if (!origin.announces_on(graph, e)) continue;
+        len_c = 0;
+        extra = origin.prepend_on(e);
+      } else {
+        if (!t.cust[customer].valid()) continue;
+        len_c = t.cust[customer].len;
+      }
+      const std::uint32_t cand = len_c + 1 + static_cast<std::uint32_t>(extra);
+      if (better(graph, cand, customer, t.cust[provider])) {
+        t.cust[provider] = ClassState{cand, customer, e};
+        changed = true;
+      }
+    }
+  }
+
+  // Stage 2: peer routes. Valley-freeness allows exactly one peer hop, and
+  // only off a customer route (or the origin itself), so one pass suffices.
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const auto& edge = graph.edge(e);
+    if (edge.rel != topo::Relationship::PeerPeer) continue;
+    for (const auto& [from, to] :
+         {std::pair{edge.a, edge.b}, std::pair{edge.b, edge.a}}) {
+      if (to == o) continue;
+      std::uint32_t len_f;
+      int extra = 0;
+      if (from == o) {
+        if (!origin.announces_on(graph, e)) continue;
+        len_f = 0;
+        extra = origin.prepend_on(e);
+      } else {
+        if (!t.cust[from].valid()) continue;  // peers export only customer routes
+        len_f = t.cust[from].len;
+      }
+      const std::uint32_t cand = len_f + 1 + static_cast<std::uint32_t>(extra);
+      if (better(graph, cand, from, t.peer[to])) {
+        t.peer[to] = ClassState{cand, from, e};
+      }
+    }
+  }
+
+  // Stage 3: provider routes. A provider exports its *selected* route (class
+  // preference first, so possibly not its shortest) to customers; descend
+  // customer edges to a fixpoint.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+      const auto& edge = graph.edge(e);
+      if (edge.rel != topo::Relationship::ProviderCustomer) continue;
+      const AsIndex provider = edge.a;
+      const AsIndex customer = edge.b;
+      if (customer == o) continue;
+      std::uint32_t len_p;
+      int extra = 0;
+      if (provider == o) {
+        if (!origin.announces_on(graph, e)) continue;
+        len_p = 0;
+        extra = origin.prepend_on(e);
+      } else {
+        len_p = best_len(t, provider, o);
+        if (len_p == kInf) continue;
+      }
+      const std::uint32_t cand = len_p + 1 + static_cast<std::uint32_t>(extra);
+      if (better(graph, cand, provider, t.prov[customer])) {
+        t.prov[customer] = ClassState{cand, provider, e};
+        changed = true;
+      }
+    }
+  }
+
+  // Selection: LocalPref class order, already tie-broken within class.
+  std::vector<BestRoute> best(n);
+  for (AsIndex i = 0; i < n; ++i) {
+    if (i == o) {
+      best[i] = BestRoute{RouteClass::Origin, 0, kNoAs, kNoEdge};
+    } else if (t.cust[i].valid()) {
+      best[i] = BestRoute{RouteClass::Customer,
+                          static_cast<std::uint16_t>(t.cust[i].len),
+                          t.cust[i].next_hop, t.cust[i].via_edge};
+    } else if (t.peer[i].valid()) {
+      best[i] = BestRoute{RouteClass::Peer, static_cast<std::uint16_t>(t.peer[i].len),
+                          t.peer[i].next_hop, t.peer[i].via_edge};
+    } else if (t.prov[i].valid()) {
+      best[i] = BestRoute{RouteClass::Provider,
+                          static_cast<std::uint16_t>(t.prov[i].len),
+                          t.prov[i].next_hop, t.prov[i].via_edge};
+    }
+  }
+  return RouteTable{&graph, o, std::move(best)};
+}
+
+RouteTable compute_routes(const AsGraph& graph, AsIndex origin) {
+  return compute_routes(graph, OriginSpec::everywhere(origin));
+}
+
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,64 @@
+#include "bgpcmp/bgp/rib.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::bgp {
+
+std::vector<CandidateRoute> candidate_routes_at(const AsGraph& graph,
+                                                const RouteTable& table,
+                                                const OriginSpec& origin_spec,
+                                                AsIndex viewer) {
+  assert(origin_spec.origin == table.origin());
+  std::vector<CandidateRoute> out;
+  for (const topo::Neighbor& nb : graph.neighbors(viewer)) {
+    CandidateRoute cand;
+    cand.neighbor = nb.as;
+    cand.edge = nb.edge;
+    cand.neighbor_role = nb.role;
+
+    if (nb.as == table.origin()) {
+      if (!origin_spec.announces_on(graph, nb.edge)) continue;
+      cand.neighbor_class = RouteClass::Origin;
+      cand.length =
+          static_cast<std::uint16_t>(1 + origin_spec.prepend_on(nb.edge));
+      cand.as_path = {nb.as};
+      out.push_back(std::move(cand));
+      continue;
+    }
+
+    const BestRoute& nbest = table.at(nb.as);
+    if (!nbest.reachable()) continue;
+    // Split horizon: the neighbor's route must not run through the viewer.
+    if (nbest.next_hop == viewer) continue;
+
+    // Export policy: the neighbor announces its selected route to the viewer
+    // iff the viewer is its customer, or the route is customer-learned.
+    const topo::NeighborRole viewer_role_at_neighbor =
+        graph.role_of_other(nb.edge, nb.as);
+    const bool exports = viewer_role_at_neighbor == topo::NeighborRole::Customer ||
+                         nbest.cls == RouteClass::Customer;
+    if (!exports) continue;
+
+    auto path = table.path(nb.as);
+    if (std::find(path.begin(), path.end(), viewer) != path.end()) continue;
+
+    cand.neighbor_class = nbest.cls;
+    cand.length = static_cast<std::uint16_t>(nbest.length + 1);
+    cand.as_path = std::move(path);
+    out.push_back(std::move(cand));
+  }
+  std::sort(out.begin(), out.end(), [&](const CandidateRoute& a, const CandidateRoute& b) {
+    return graph.node(a.neighbor).asn < graph.node(b.neighbor).asn;
+  });
+  return out;
+}
+
+std::vector<CandidateRoute> candidate_routes_at(const AsGraph& graph,
+                                                const RouteTable& table,
+                                                AsIndex viewer) {
+  return candidate_routes_at(graph, table, OriginSpec::everywhere(table.origin()),
+                             viewer);
+}
+
+}  // namespace bgpcmp::bgp

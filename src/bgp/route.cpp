@@ -1,0 +1,47 @@
+#include "bgpcmp/bgp/route.h"
+
+#include <cassert>
+
+namespace bgpcmp::bgp {
+
+std::string_view route_class_name(RouteClass c) {
+  switch (c) {
+    case RouteClass::None: return "none";
+    case RouteClass::Origin: return "origin";
+    case RouteClass::Customer: return "customer";
+    case RouteClass::Peer: return "peer";
+    case RouteClass::Provider: return "provider";
+  }
+  return "unknown";
+}
+
+std::vector<AsIndex> RouteTable::path(AsIndex from) const {
+  std::vector<AsIndex> out;
+  if (!reachable(from)) return out;
+  AsIndex cur = from;
+  // A forwarding loop would indicate a propagation bug; bound the walk.
+  for (std::size_t steps = 0; steps <= routes_.size(); ++steps) {
+    out.push_back(cur);
+    if (cur == origin_) return out;
+    cur = routes_[cur].next_hop;
+    assert(cur != kNoAs);
+  }
+  assert(false && "forwarding loop in route table");
+  return {};
+}
+
+std::vector<EdgeId> RouteTable::path_edges(AsIndex from) const {
+  std::vector<EdgeId> out;
+  if (!reachable(from)) return out;
+  AsIndex cur = from;
+  for (std::size_t steps = 0; steps <= routes_.size(); ++steps) {
+    if (cur == origin_) return out;
+    out.push_back(routes_[cur].via_edge);
+    cur = routes_[cur].next_hop;
+    assert(cur != kNoAs);
+  }
+  assert(false && "forwarding loop in route table");
+  return {};
+}
+
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,79 @@
+#include "bgpcmp/bgp/table_dump.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bgpcmp::bgp {
+
+namespace {
+
+std::string path_string(const AsGraph& graph, const std::vector<AsIndex>& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += graph.node(path[i]).name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string dump_route(const AsGraph& graph, const RouteTable& table, AsIndex as) {
+  char buf[160];
+  const BestRoute& r = table.at(as);
+  if (!r.reachable()) {
+    std::snprintf(buf, sizeof(buf), "%-18s unreachable", graph.node(as).name.c_str());
+    return buf;
+  }
+  if (r.cls == RouteClass::Origin) {
+    std::snprintf(buf, sizeof(buf), "%-18s origin", graph.node(as).name.c_str());
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-18s %-8s len %-3u via %-18s path: ",
+                graph.node(as).name.c_str(),
+                std::string(route_class_name(r.cls)).c_str(), r.length,
+                graph.node(r.next_hop).name.c_str());
+  return std::string{buf} + path_string(graph, table.path(as));
+}
+
+std::string dump_table(const AsGraph& graph, const RouteTable& table,
+                       std::size_t limit) {
+  std::string out = "routes toward " + graph.node(table.origin()).name + " (" +
+                    graph.node(table.origin()).asn.str() + ")\n";
+  std::size_t shown = 0;
+  for (AsIndex i = 0; i < table.size(); ++i) {
+    if (i == table.origin()) continue;
+    out += dump_route(graph, table, i) + "\n";
+    if (limit != 0 && ++shown >= limit) {
+      out += "... (" + std::to_string(table.size() - 1 - shown) + " more)\n";
+      break;
+    }
+  }
+  return out;
+}
+
+std::string dump_rib_in(const AsGraph& graph, const RouteTable& table,
+                        AsIndex viewer) {
+  std::string out = graph.node(viewer).name + " hears, toward " +
+                    graph.node(table.origin()).name + ":\n";
+  auto candidates = candidate_routes_at(graph, table, viewer);
+  // Best first: sort by (class of the *viewer's* perspective isn't modeled
+  // here; order by length then neighbor ASN, marking the shortest).
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const CandidateRoute& a, const CandidateRoute& b) {
+              if (a.length != b.length) return a.length < b.length;
+              return graph.node(a.neighbor).asn < graph.node(b.neighbor).asn;
+            });
+  char buf[160];
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    std::snprintf(buf, sizeof(buf), " %c len %-3u from %-18s path: ",
+                  i == 0 ? '>' : ' ', c.length,
+                  graph.node(c.neighbor).name.c_str());
+    out += std::string{buf} + path_string(graph, c.as_path) + "\n";
+  }
+  if (candidates.empty()) out += "  (nothing)\n";
+  return out;
+}
+
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,68 @@
+#include "bgpcmp/bgp/validate.h"
+
+#include <algorithm>
+
+namespace bgpcmp::bgp {
+
+bool is_valley_free(const AsGraph& graph, std::span<const AsIndex> path) {
+  if (path.size() < 2) return true;
+  // Forwarding-order pattern: Provider* Peer{0,1} Customer*.
+  // phase 0 = climbing, phase 1 = crossed the (single) peer hop,
+  // phase 2 = descending.
+  int phase = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto edge = graph.find_edge(path[i], path[i + 1]);
+    if (!edge) return false;  // non-adjacent hop
+    const topo::NeighborRole role = graph.role_of_other(*edge, path[i]);
+    switch (role) {
+      case topo::NeighborRole::Provider:  // up
+        if (phase != 0) return false;
+        break;
+      case topo::NeighborRole::Peer:  // across
+        if (phase >= 1) return false;
+        phase = 1;
+        break;
+      case topo::NeighborRole::Customer:  // down
+        phase = 2;
+        break;
+    }
+  }
+  return true;
+}
+
+bool table_is_consistent(const AsGraph& graph, const RouteTable& table) {
+  for (AsIndex i = 0; i < table.size(); ++i) {
+    const BestRoute& r = table.at(i);
+    if (!r.reachable() || r.cls == RouteClass::Origin) continue;
+
+    // Route class must match the next hop's role.
+    const topo::NeighborRole nh_role = graph.role_of_other(r.via_edge, i);
+    const RouteClass expected = nh_role == topo::NeighborRole::Customer
+                                    ? RouteClass::Customer
+                                    : nh_role == topo::NeighborRole::Peer
+                                          ? RouteClass::Peer
+                                          : RouteClass::Provider;
+    if (r.cls != expected) return false;
+
+    // The next hop must actually export its route to us.
+    const AsIndex nh = r.next_hop;
+    if (nh != table.origin()) {
+      const BestRoute& nr = table.at(nh);
+      if (!nr.reachable()) return false;
+      const topo::NeighborRole we_are = graph.role_of_other(r.via_edge, nh);
+      const bool exports = we_are == topo::NeighborRole::Customer ||
+                           nr.cls == RouteClass::Customer ||
+                           nr.cls == RouteClass::Origin;
+      if (!exports) return false;
+      if (r.length < nr.length + 1) return false;  // lengths must chain
+    }
+
+    // The full path must exist, end at the origin, and be valley-free.
+    const auto path = table.path(i);
+    if (path.empty() || path.back() != table.origin()) return false;
+    if (!is_valley_free(graph, path)) return false;
+  }
+  return true;
+}
+
+}  // namespace bgpcmp::bgp

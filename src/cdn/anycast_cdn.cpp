@@ -1,0 +1,79 @@
+#include "bgpcmp/cdn/anycast_cdn.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::cdn {
+
+AnycastCdn::AnycastCdn(const Internet* internet, const ContentProvider* provider)
+    : internet_(internet), provider_(provider) {
+  unicast_tables_.resize(provider_->pops().size());
+  unicast_specs_.resize(provider_->pops().size());
+  set_anycast_spec(bgp::OriginSpec::everywhere(provider_->as_index()));
+}
+
+void AnycastCdn::set_anycast_spec(bgp::OriginSpec spec) {
+  assert(spec.origin == provider_->as_index());
+  anycast_spec_ = std::move(spec);
+  anycast_table_ = bgp::compute_routes(internet_->graph, anycast_spec_);
+}
+
+AnycastCdn::AnycastRoute AnycastCdn::anycast_route(
+    const traffic::ClientPrefix& client) const {
+  AnycastRoute out;
+  if (!anycast_table_->reachable(client.origin_as)) return out;
+  const auto as_path = anycast_table_->path(client.origin_as);
+  lat::GeoPathOptions opts;
+  opts.origin_scope = &anycast_spec_;
+  out.path = lat::build_geo_path(internet_->graph, internet_->city_db(), as_path,
+                                 client.city, topo::kNoCity, opts);
+  if (!out.path.valid()) return out;
+  const auto pop = provider_->pop_in(out.path.entry_city);
+  assert(pop && "anycast entry link must land at a PoP");
+  out.pop = *pop;
+  return out;
+}
+
+const bgp::RouteTable& AnycastCdn::unicast_table(PopId pop) const {
+  auto& slot = unicast_tables_.at(pop);
+  if (!slot) {
+    unicast_specs_[pop] = bgp::OriginSpec::scoped(provider_->as_index(),
+                                                  provider_->pop(pop).links);
+    slot = bgp::compute_routes(internet_->graph, *unicast_specs_[pop]);
+  }
+  return *slot;
+}
+
+void AnycastCdn::set_failed_pops(std::set<PopId> failed) {
+  failed_pops_ = std::move(failed);
+}
+
+lat::GeoPath AnycastCdn::unicast_route(const traffic::ClientPrefix& client,
+                                       PopId pop) const {
+  if (failed_pops_.count(pop) > 0) return {};  // dead front-end: no answers
+  const bgp::RouteTable& table = unicast_table(pop);
+  if (!table.reachable(client.origin_as)) return {};
+  const auto as_path = table.path(client.origin_as);
+  lat::GeoPathOptions opts;
+  opts.origin_scope = &*unicast_specs_[pop];
+  return lat::build_geo_path(internet_->graph, internet_->city_db(), as_path,
+                             client.city, provider_->pop(pop).city, opts);
+}
+
+std::vector<PopId> AnycastCdn::nearby_front_ends(const traffic::ClientPrefix& client,
+                                                 std::size_t count) const {
+  const topo::CityDb& db = internet_->city_db();
+  std::vector<PopId> pops;
+  pops.reserve(provider_->pops().size());
+  for (const Pop& p : provider_->pops()) pops.push_back(p.id);
+  std::sort(pops.begin(), pops.end(), [&](PopId a, PopId b) {
+    const double da = db.distance(provider_->pop(a).city, client.city).value();
+    const double dbm = db.distance(provider_->pop(b).city, client.city).value();
+    if (da != dbm) return da < dbm;
+    return a < b;
+  });
+  if (pops.size() > count) pops.resize(count);
+  return pops;
+}
+
+}  // namespace bgpcmp::cdn

@@ -1,0 +1,130 @@
+#include "bgpcmp/cdn/dns_redirect.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "bgpcmp/topology/ixp.h"
+
+namespace bgpcmp::cdn {
+
+std::vector<LdnsCluster> DnsRedirector::build_clusters() const {
+  Rng rng = Rng{config_.seed}.fork("clusters");
+  const auto& graph = cdn_->anycast_table().graph();
+  const topo::CityDb& db = topo::CityDb::world();
+
+  // Public resolver sites: one per region's main exchange metro.
+  const std::vector<CityId> public_sites = topo::choose_ixp_cities(db, 3);
+
+  std::map<topo::AsIndex, LdnsCluster> isp_clusters;
+  std::map<CityId, LdnsCluster> public_clusters;
+
+  // Collect the distinct access ASes first, for mismatch assignment.
+  std::vector<topo::AsIndex> access_ases;
+  for (traffic::PrefixId id = 0; id < clients_->size(); ++id) {
+    const auto as = clients_->at(id).origin_as;
+    if (std::find(access_ases.begin(), access_ases.end(), as) == access_ases.end()) {
+      access_ases.push_back(as);
+    }
+  }
+
+  for (traffic::PrefixId id = 0; id < clients_->size(); ++id) {
+    const auto& client = clients_->at(id);
+    if (rng.chance(config_.ldns_mismatch_fraction)) {
+      // Client uses some other ISP's resolver: it lands in that cluster and
+      // will receive decisions optimized for someone else's geography.
+      const auto other = access_ases[rng.index(access_ases.size())];
+      LdnsCluster& c = isp_clusters[other];
+      c.resolver_as = other;
+      c.resolver_city = graph.node(other).hub;
+      c.members.push_back(id);
+      continue;
+    }
+    if (rng.chance(config_.public_resolver_fraction)) {
+      // Nearest public resolver site aggregates clients across ASes.
+      CityId best = public_sites.front();
+      double best_km = std::numeric_limits<double>::max();
+      for (const CityId s : public_sites) {
+        const double km = db.distance(s, client.city).value();
+        if (km < best_km) {
+          best_km = km;
+          best = s;
+        }
+      }
+      LdnsCluster& c = public_clusters[best];
+      c.resolver_city = best;
+      c.public_resolver = true;
+      c.members.push_back(id);
+    } else {
+      LdnsCluster& c = isp_clusters[client.origin_as];
+      c.resolver_as = client.origin_as;
+      c.resolver_city = graph.node(client.origin_as).hub;
+      c.members.push_back(id);
+    }
+  }
+
+  std::vector<LdnsCluster> out;
+  out.reserve(isp_clusters.size() + public_clusters.size());
+  for (auto& [as, c] : isp_clusters) out.push_back(std::move(c));
+  for (auto& [city, c] : public_clusters) out.push_back(std::move(c));
+  return out;
+}
+
+RedirectDecision DnsRedirector::decide(const LdnsCluster& cluster, SimTime now,
+                                       Rng& rng) const {
+  assert(!cluster.members.empty());
+  const SimTime when = now - SimTime::hours(config_.staleness_hours);
+
+  // Weight-proportional sample of members to measure.
+  std::vector<traffic::PrefixId> sampled;
+  {
+    std::vector<double> weights;
+    weights.reserve(cluster.members.size());
+    for (const auto id : cluster.members) {
+      weights.push_back(clients_->at(id).user_weight);
+    }
+    const int n = std::min<int>(config_.sampled_members,
+                                static_cast<int>(cluster.members.size()));
+    for (int i = 0; i < n; ++i) {
+      sampled.push_back(cluster.members[rng.weighted_index(weights)]);
+    }
+  }
+
+  // Aggregate stale measurements across the sample.
+  double anycast_sum = 0.0;
+  int anycast_n = 0;
+  std::map<PopId, std::pair<double, int>> fe_sums;
+  for (const auto id : sampled) {
+    BeaconResult r;
+    if (!beacons_->measure(id, when, rng, r)) continue;
+    anycast_sum += r.anycast.value();
+    ++anycast_n;
+    for (const auto& [pop, ms] : r.unicast) {
+      fe_sums[pop].first += ms.value();
+      fe_sums[pop].second += 1;
+    }
+  }
+  if (anycast_n == 0) return RedirectDecision{};  // no data: stay on anycast
+
+  const double anycast_mean = anycast_sum / anycast_n;
+  RedirectDecision decision;
+  double best_fe = std::numeric_limits<double>::max();
+  for (const auto& [pop, sum_n] : fe_sums) {
+    // A front-end seen by most (not necessarily all) of the sample can win
+    // the override — real systems act on exactly this kind of thin evidence.
+    if (2 * sum_n.second < anycast_n) continue;
+    const double mean = sum_n.first / sum_n.second;
+    if (mean < best_fe) {
+      best_fe = mean;
+      decision.pop = pop;
+    }
+  }
+  if (decision.pop != kNoPop && best_fe + config_.override_margin_ms < anycast_mean) {
+    decision.use_unicast = true;
+  }
+  return decision;
+}
+
+}  // namespace bgpcmp::cdn

@@ -1,0 +1,31 @@
+#include "bgpcmp/cdn/edge_fabric.h"
+
+#include <algorithm>
+
+#include "bgpcmp/bgp/policy.h"
+
+namespace bgpcmp::cdn::edge_fabric {
+
+std::vector<EgressOption> rank_by_policy(const topo::AsGraph& graph,
+                                         std::vector<EgressOption> options) {
+  std::sort(options.begin(), options.end(),
+            [&](const EgressOption& a, const EgressOption& b) {
+              return bgp::egress_preferred(graph, a.route, a.kind, b.route, b.kind);
+            });
+  return options;
+}
+
+lat::GeoPath egress_path(const topo::AsGraph& graph, const topo::CityDb& cities,
+                         AsIndex provider_as, const Pop& pop,
+                         const EgressOption& option, CityId client_city) {
+  std::vector<AsIndex> as_path;
+  as_path.reserve(option.route.as_path.size() + 1);
+  as_path.push_back(provider_as);
+  as_path.insert(as_path.end(), option.route.as_path.begin(),
+                 option.route.as_path.end());
+  lat::GeoPathOptions opts;
+  opts.forced_first_link = option.link;
+  return lat::build_geo_path(graph, cities, as_path, pop.city, client_city, opts);
+}
+
+}  // namespace bgpcmp::cdn::edge_fabric

@@ -1,0 +1,108 @@
+#include "bgpcmp/cdn/edge_fabric_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::cdn {
+
+EdgeFabricController::EdgeFabricController(const topo::AsGraph* graph,
+                                           const traffic::DemandModel* demand,
+                                           std::vector<PrefixPlan> plans,
+                                           EdgeFabricConfig config)
+    : graph_(graph), demand_(demand), plans_(std::move(plans)), config_(config) {
+  // Calibrate demand-to-capacity: pick bytes_per_gbps so that the
+  // offered-byte-weighted mean utilization of preferred links is
+  // nominal_pni_load at each link's own daily peak.
+  std::map<topo::LinkId, double> peak_offered;
+  for (double h = 0.0; h < 24.0; h += 3.0) {
+    std::map<topo::LinkId, double> offered;
+    for (const auto& plan : plans_) {
+      if (plan.options.empty()) continue;
+      offered[plan.options[0].link] +=
+          demand_->volume(plan.prefix, SimTime::hours(h)).value();
+    }
+    for (const auto& [link, bytes] : offered) {
+      peak_offered[link] = std::max(peak_offered[link], bytes);
+    }
+  }
+  double weighted_ratio = 0.0;  // sum offered^2 / capacity
+  double total_offered = 0.0;
+  for (const auto& [link, bytes] : peak_offered) {
+    weighted_ratio += bytes * bytes / graph_->link(link).capacity.value();
+    total_offered += bytes;
+  }
+  bytes_per_gbps_ =
+      total_offered > 0.0
+          ? weighted_ratio / (config_.nominal_pni_load * total_offered)
+          : 1.0;
+}
+
+ControlDecision EdgeFabricController::run_cycle(SimTime t) const {
+  ControlDecision decision;
+  decision.assignments.reserve(plans_.size());
+
+  // 1. Project demand onto BGP-preferred routes.
+  std::vector<double> volume(plans_.size(), 0.0);
+  std::map<topo::LinkId, double> load;
+  double total_bytes = 0.0;
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    const auto& plan = plans_[i];
+    EgressAssignment a;
+    a.prefix = plan.prefix;
+    a.pop = plan.pop;
+    a.route_index = 0;
+    decision.assignments.push_back(a);
+    if (plan.options.empty()) continue;
+    volume[i] = demand_->volume(plan.prefix, t).value();
+    total_bytes += volume[i];
+    load[plan.options[0].link] += volume[i];
+  }
+
+  const auto limit_bytes = [&](topo::LinkId link) {
+    return config_.utilization_limit * graph_->link(link).capacity.value() *
+           bytes_per_gbps_;
+  };
+  for (const auto& [link, bytes] : load) {
+    if (bytes > limit_bytes(link)) ++decision.overloaded_links_before;
+  }
+
+  // 2. Relieve each overloaded interface: detour its highest-volume prefixes
+  //    to the first alternate with headroom until the interface fits.
+  double detoured_bytes = 0.0;
+  for (auto& [link, bytes] : load) {
+    if (bytes <= limit_bytes(link)) continue;
+    // Prefixes currently on this link, heaviest first.
+    std::vector<std::size_t> on_link;
+    for (std::size_t i = 0; i < plans_.size(); ++i) {
+      if (!plans_[i].options.empty() && plans_[i].options[0].link == link &&
+          decision.assignments[i].route_index == 0) {
+        on_link.push_back(i);
+      }
+    }
+    std::sort(on_link.begin(), on_link.end(),
+              [&](std::size_t a, std::size_t b) { return volume[a] > volume[b]; });
+    for (const std::size_t i : on_link) {
+      if (bytes <= limit_bytes(link)) break;
+      const auto& plan = plans_[i];
+      for (std::size_t r = 1; r < plan.options.size(); ++r) {
+        const topo::LinkId alt = plan.options[r].link;
+        if (load[alt] + volume[i] > limit_bytes(alt)) continue;
+        load[alt] += volume[i];
+        bytes -= volume[i];
+        decision.assignments[i].route_index = r;
+        decision.assignments[i].detoured = true;
+        detoured_bytes += volume[i];
+        break;
+      }
+    }
+  }
+
+  for (const auto& [link, bytes] : load) {
+    if (bytes > limit_bytes(link)) ++decision.overloaded_links_after;
+  }
+  decision.detoured_traffic_fraction =
+      total_bytes > 0.0 ? detoured_bytes / total_bytes : 0.0;
+  return decision;
+}
+
+}  // namespace bgpcmp::cdn

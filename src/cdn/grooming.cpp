@@ -1,0 +1,138 @@
+#include "bgpcmp/cdn/grooming.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace bgpcmp::cdn {
+
+namespace {
+
+struct SweepResult {
+  double weighted_gap_sum = 0.0;
+  double weight_sum = 0.0;
+  /// Badness attracted per provider session (entry edge of the anycast path).
+  std::map<topo::EdgeId, std::pair<double, double>> per_edge;  ///< gap*w, w
+
+  [[nodiscard]] double mean_gap() const {
+    return weight_sum > 0.0 ? weighted_gap_sum / weight_sum : 0.0;
+  }
+};
+
+}  // namespace
+
+GroomingReport AnycastGroomer::groom() {
+  GroomingReport report;
+  Rng root{config_.seed};
+  OdinBeacons beacons{cdn_, latency_, clients_};
+
+  // Fixed weighted client sample reused across iterations so that iteration
+  // deltas reflect announcement changes, not sample churn.
+  std::vector<traffic::PrefixId> sample;
+  {
+    Rng rng = root.fork("sample");
+    std::vector<double> weights;
+    weights.reserve(clients_->size());
+    for (traffic::PrefixId id = 0; id < clients_->size(); ++id) {
+      weights.push_back(clients_->at(id).user_weight);
+    }
+    for (int i = 0; i < config_.sample_clients; ++i) {
+      sample.push_back(
+          static_cast<traffic::PrefixId>(root.fork("s" + std::to_string(i))
+                                             .weighted_index(weights)));
+    }
+    (void)rng;
+  }
+
+  // Every sweep re-uses the same measurement-noise stream, so iteration
+  // deltas are paired comparisons reflecting only the announcement change.
+  auto sweep = [&](int /*iteration*/) {
+    SweepResult result;
+    Rng rng = root.fork("sweep");
+    for (const auto id : sample) {
+      BeaconResult r;
+      if (!beacons.measure(id, config_.measure_time, rng, r)) continue;
+      const double gap = r.anycast.value() - r.best_unicast().value();
+      const double w = clients_->at(id).user_weight;
+      result.weighted_gap_sum += std::max(0.0, gap) * w;
+      result.weight_sum += w;
+      // Attribute the badness to the session the anycast traffic entered on.
+      const auto route = cdn_->anycast_route(clients_->at(id));
+      if (route.valid() && gap > 0.0) {
+        const topo::EdgeId entry_edge =
+            cdn_->anycast_table().graph().link(route.path.entry_link).edge;
+        auto& [g, w2] = result.per_edge[entry_edge];
+        g += gap * w;
+        w2 += w;
+      }
+    }
+    return result;
+  };
+
+  SweepResult current = sweep(0);
+  report.mean_gap_by_iteration.push_back(current.mean_gap());
+
+  bgp::OriginSpec spec = cdn_->anycast_spec();
+  std::set<topo::EdgeId> blacklist;
+  std::set<topo::EdgeId> prepend_failed;
+  for (int iter = 1; iter <= config_.max_iterations; ++iter) {
+    // Pick the session attracting the worst weighted misrouting.
+    topo::EdgeId worst = topo::kNoEdge;
+    double worst_gap = config_.badness_threshold_ms;
+    for (const auto& [edge, gw] : current.per_edge) {
+      if (blacklist.count(edge) > 0) continue;
+      const double mean = gw.second > 0.0 ? gw.first / gw.second : 0.0;
+      if (mean > worst_gap) {
+        worst_gap = mean;
+        worst = edge;
+      }
+    }
+    if (worst == topo::kNoEdge) break;  // nothing left worth grooming
+
+    // First try prepending; if a prepend on this session was already tried
+    // (or is in place) and the session still attracts misrouted traffic —
+    // LocalPref shrugs prepends off — escalate to withdrawing from it.
+    const bool escalate =
+        spec.prepend.count(worst) > 0 || prepend_failed.count(worst) > 0;
+    GroomingStep step{worst, 0, worst_gap, /*withdrawn=*/false};
+    if (escalate) {
+      spec.suppress.insert(worst);
+      step.withdrawn = true;
+    } else {
+      spec.prepend[worst] += config_.prepend_step;
+      step.total_prepend = spec.prepend[worst];
+    }
+    cdn_->set_anycast_spec(spec);
+
+    const SweepResult after = sweep(iter);
+    // Roll back if the change made things worse — or, for a withdrawal, if
+    // it cut clients off entirely (their beacons vanish from the sweep).
+    const bool lost_coverage =
+        escalate && after.weight_sum < 0.99 * current.weight_sum;
+    if (after.mean_gap() > current.mean_gap() + 0.25 || lost_coverage) {
+      if (escalate) {
+        spec.suppress.erase(worst);
+      } else {
+        spec.prepend[worst] -= config_.prepend_step;
+        if (spec.prepend[worst] <= 0) spec.prepend.erase(worst);
+        step.total_prepend = spec.prepend.count(worst) ? spec.prepend[worst] : 0;
+      }
+      cdn_->set_anycast_spec(spec);
+      if (escalate) {
+        blacklist.insert(worst);  // withdrawal failed too: leave it alone
+      } else {
+        prepend_failed.insert(worst);  // next visit escalates to withdrawal
+      }
+      step.reverted = true;
+      report.steps.push_back(step);
+      report.mean_gap_by_iteration.push_back(current.mean_gap());
+      continue;
+    }
+    current = after;
+    report.steps.push_back(step);
+    report.mean_gap_by_iteration.push_back(current.mean_gap());
+  }
+  return report;
+}
+
+}  // namespace bgpcmp::cdn

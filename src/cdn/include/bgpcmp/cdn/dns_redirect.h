@@ -1,0 +1,73 @@
+// DNS-based redirection at LDNS granularity (§3.2.1).
+//
+// A DNS redirection system cannot see the client's address — only its
+// resolver's — so one decision covers every client behind an LDNS. We model
+// eyeball-operated resolvers (one per access AS, at its hub metro) and public
+// resolvers (shared across ASes, located at major exchange metros), make the
+// anycast-vs-unicast choice from *stale* Odin measurements of a sample of the
+// cluster's clients, and apply it cluster-wide. Both well-known failure modes
+// — aggregation error and staleness — therefore arise mechanically.
+#pragma once
+
+#include <vector>
+
+#include "bgpcmp/cdn/odin.h"
+
+namespace bgpcmp::cdn {
+
+struct LdnsCluster {
+  std::vector<traffic::PrefixId> members;
+  topo::AsIndex resolver_as = topo::kNoAs;
+  CityId resolver_city = topo::kNoCity;
+  bool public_resolver = false;
+};
+
+struct DnsRedirectConfig {
+  std::uint64_t seed = 31;
+  /// Fraction of client prefixes using a public resolver instead of their
+  /// ISP's (EDNS Client Subnet adoption is ~0, so these aggregate badly).
+  double public_resolver_fraction = 0.25;
+  /// Fraction of client prefixes whose resolver belongs to a *different*
+  /// ISP (enterprise forwarders, roaming, misconfigured resolvers) — the
+  /// client-to-LDNS mapping errors of [5, 14].
+  double ldns_mismatch_fraction = 0.12;
+  /// Predictions come from measurements this old.
+  double staleness_hours = 40.0;
+  /// Cluster members sampled (weight-proportionally) to form the prediction.
+  int sampled_members = 3;
+  /// A front-end must beat anycast by this margin (ms) in the stale
+  /// measurements before the system overrides anycast.
+  double override_margin_ms = 0.0;
+};
+
+/// The redirection decision for a cluster: serve via anycast, or resolve to
+/// one front-end's unicast address.
+struct RedirectDecision {
+  bool use_unicast = false;
+  PopId pop = kNoPop;
+};
+
+class DnsRedirector {
+ public:
+  DnsRedirector(const AnycastCdn* cdn, const OdinBeacons* beacons,
+                const traffic::ClientBase* clients, DnsRedirectConfig config = {})
+      : cdn_(cdn), beacons_(beacons), clients_(clients), config_(config) {}
+
+  /// Partition the client base into LDNS clusters.
+  [[nodiscard]] std::vector<LdnsCluster> build_clusters() const;
+
+  /// Decide for one cluster at time `now`, using measurements taken at
+  /// `now - staleness`.
+  [[nodiscard]] RedirectDecision decide(const LdnsCluster& cluster, SimTime now,
+                                        Rng& rng) const;
+
+  [[nodiscard]] const DnsRedirectConfig& config() const { return config_; }
+
+ private:
+  const AnycastCdn* cdn_;
+  const OdinBeacons* beacons_;
+  const traffic::ClientBase* clients_;
+  DnsRedirectConfig config_;
+};
+
+}  // namespace bgpcmp::cdn

@@ -1,0 +1,30 @@
+// Edge-Fabric-style egress engineering at a PoP (§2.3.1 / §3.1).
+//
+// At each PoP the provider's BGP policy ranks the available egress routes
+// (private peer > public peer > transit, then shorter AS path). The
+// measurement system sprays sampled sessions across the top-k routes; an
+// omniscient performance-aware controller would always pick the
+// best-measured one. The study compares that controller against the
+// BGP-preferred route.
+#pragma once
+
+#include "bgpcmp/cdn/provider.h"
+#include "bgpcmp/latency/path_model.h"
+#include "bgpcmp/topology/city.h"
+
+namespace bgpcmp::cdn::edge_fabric {
+
+/// Sort egress options by the provider's (performance-agnostic) BGP policy;
+/// element 0 is BGP's preferred route.
+[[nodiscard]] std::vector<EgressOption> rank_by_policy(const topo::AsGraph& graph,
+                                                       std::vector<EgressOption> options);
+
+/// Geographically realize serving a client at `client_city` from `pop` via
+/// `option`: the response leaves through the option's link and follows the
+/// neighbor's AS path to the client's network.
+[[nodiscard]] lat::GeoPath egress_path(const topo::AsGraph& graph,
+                                       const topo::CityDb& cities, AsIndex provider_as,
+                                       const Pop& pop, const EgressOption& option,
+                                       CityId client_city);
+
+}  // namespace bgpcmp::cdn::edge_fabric

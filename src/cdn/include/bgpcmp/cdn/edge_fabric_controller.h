@@ -1,0 +1,81 @@
+// The actual Edge Fabric control loop (Schlinker et al., SIGCOMM '17),
+// which the paper's §3.1 study instruments: every cycle, project per-session
+// egress demand onto the BGP-preferred routes, detect interfaces heading
+// past their capacity limit, and detour just enough prefixes (least-loved
+// first) onto their next-preferred routes.
+//
+// This controller is *capacity*-aware, not latency-aware — the paper's point
+// is precisely that the latency left on the table by being performance-
+// oblivious is small. The E11 bench compares three egress policies on the
+// same demand: static BGP, this controller, and an omniscient
+// latency-minimizing oracle.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "bgpcmp/cdn/edge_fabric.h"
+#include "bgpcmp/latency/delay.h"
+#include "bgpcmp/traffic/clients.h"
+#include "bgpcmp/traffic/demand.h"
+
+namespace bgpcmp::cdn {
+
+struct EdgeFabricConfig {
+  /// Detour when projected utilization exceeds this fraction of capacity
+  /// (Edge Fabric targets keeping interfaces below ~95%).
+  double utilization_limit = 0.95;
+  /// Demand-to-capacity scale: bytes per window mapping onto link bandwidth.
+  /// Chosen so that the provider's nominal traffic loads its PNIs to roughly
+  /// `nominal_pni_load` at the global demand peak.
+  double nominal_pni_load = 0.75;
+};
+
+/// One prefix's egress assignment in a window.
+struct EgressAssignment {
+  traffic::PrefixId prefix = 0;
+  PopId pop = kNoPop;
+  std::size_t route_index = 0;  ///< index into the policy-ranked option list
+  bool detoured = false;        ///< moved off BGP's preferred route
+};
+
+/// Controller outcome for one window.
+struct ControlDecision {
+  std::vector<EgressAssignment> assignments;
+  std::size_t overloaded_links_before = 0;  ///< under static BGP placement
+  std::size_t overloaded_links_after = 0;   ///< after detouring
+  double detoured_traffic_fraction = 0.0;   ///< byte share moved off preferred
+};
+
+class EdgeFabricController {
+ public:
+  /// `plans` must pair each prefix with its policy-ranked egress options at
+  /// its serving PoP (as produced by provider.egress_options +
+  /// edge_fabric::rank_by_policy). All referenced objects must outlive the
+  /// controller.
+  struct PrefixPlan {
+    traffic::PrefixId prefix = 0;
+    PopId pop = kNoPop;
+    std::vector<EgressOption> options;  ///< ranked; [0] = BGP preferred
+  };
+
+  EdgeFabricController(const topo::AsGraph* graph, const traffic::DemandModel* demand,
+                       std::vector<PrefixPlan> plans, EdgeFabricConfig config = {});
+
+  /// Run one control cycle for the window around `t`.
+  [[nodiscard]] ControlDecision run_cycle(SimTime t) const;
+
+  /// The capacity scale derived from nominal_pni_load (bytes/window per Gbps).
+  [[nodiscard]] double bytes_per_gbps() const { return bytes_per_gbps_; }
+
+  [[nodiscard]] const std::vector<PrefixPlan>& plans() const { return plans_; }
+
+ private:
+  const topo::AsGraph* graph_;
+  const traffic::DemandModel* demand_;
+  std::vector<PrefixPlan> plans_;
+  EdgeFabricConfig config_;
+  double bytes_per_gbps_ = 0.0;
+};
+
+}  // namespace bgpcmp::cdn

@@ -1,0 +1,54 @@
+#include "bgpcmp/cdn/odin.h"
+
+#include <cassert>
+#include <limits>
+
+namespace bgpcmp::cdn {
+
+Milliseconds BeaconResult::best_unicast() const {
+  assert(!unicast.empty());
+  Milliseconds best{std::numeric_limits<double>::max()};
+  for (const auto& [pop, ms] : unicast) best = std::min(best, ms);
+  return best;
+}
+
+PopId BeaconResult::best_unicast_pop() const {
+  assert(!unicast.empty());
+  PopId best = kNoPop;
+  Milliseconds best_ms{std::numeric_limits<double>::max()};
+  for (const auto& [pop, ms] : unicast) {
+    if (ms < best_ms) {
+      best_ms = ms;
+      best = pop;
+    }
+  }
+  return best;
+}
+
+bool OdinBeacons::measure(traffic::PrefixId client_id, SimTime t, Rng& rng,
+                          BeaconResult& result) const {
+  const traffic::ClientPrefix& client = clients_->at(client_id);
+  result.client = client_id;
+  result.unicast.clear();
+
+  const auto anycast = cdn_->anycast_route(client);
+  if (!anycast.valid()) return false;
+  result.catchment = anycast.pop;
+  const auto base_any =
+      latency_->rtt(anycast.path, t, client.access, client.origin_as, client.city);
+  result.anycast =
+      sampler_.sample_min_rtt(base_any.total(), config_.probes_per_target, rng);
+
+  for (const PopId pop :
+       cdn_->nearby_front_ends(client, config_.unicast_candidates)) {
+    const auto path = cdn_->unicast_route(client, pop);
+    if (!path.valid()) continue;
+    const auto base =
+        latency_->rtt(path, t, client.access, client.origin_as, client.city);
+    result.unicast.emplace_back(
+        pop, sampler_.sample_min_rtt(base.total(), config_.probes_per_target, rng));
+  }
+  return !result.unicast.empty();
+}
+
+}  // namespace bgpcmp::cdn

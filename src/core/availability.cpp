@@ -1,0 +1,136 @@
+#include "bgpcmp/core/availability.h"
+
+#include <algorithm>
+#include <map>
+
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::core {
+
+AvailabilityResult run_availability_study(const Scenario& scenario,
+                                          cdn::AnycastCdn& cdn,
+                                          const AvailabilityConfig& config) {
+  AvailabilityResult result;
+  const auto& graph = scenario.internet.graph;
+  const bgp::OriginSpec original_spec = cdn.anycast_spec();
+
+  // Pre-failure state: catchments and DNS decisions.
+  std::vector<cdn::PopId> catchment(scenario.clients.size(), cdn::kNoPop);
+  std::map<cdn::PopId, double> catchment_weight;
+  double total_weight = 0.0;
+  for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+    const auto& client = scenario.clients.at(id);
+    total_weight += client.user_weight;
+    const auto route = cdn.anycast_route(client);
+    if (!route.valid()) continue;
+    catchment[id] = route.pop;
+    catchment_weight[route.pop] += client.user_weight;
+  }
+  result.failed_pop = catchment_weight.begin()->first;
+  for (const auto& [pop, w] : catchment_weight) {
+    if (w > catchment_weight[result.failed_pop]) result.failed_pop = pop;
+  }
+
+  cdn::OdinBeacons beacons{&cdn, &scenario.latency, &scenario.clients};
+  cdn::DnsRedirector redirector{&cdn, &beacons, &scenario.clients, config.dns};
+  const auto clusters = redirector.build_clusters();
+  Rng rng = Rng{config.seed}.fork("decide");
+  std::vector<cdn::RedirectDecision> pre_decision(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    pre_decision[c] =
+        redirector.decide(clusters[c], config.failure_time - SimTime::hours(1), rng);
+  }
+
+  // Pre-failure anycast latency (for the failover penalty).
+  std::vector<double> pre_ms(scenario.clients.size(), -1.0);
+  for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+    if (catchment[id] != result.failed_pop) continue;
+    const auto& client = scenario.clients.at(id);
+    const auto route = cdn.anycast_route(client);
+    pre_ms[id] = scenario.latency
+                     .rtt(route.path, config.failure_time, client.access,
+                          client.origin_as, client.city)
+                     .total()
+                     .value();
+  }
+
+  // Fail the PoP: its unicast front-end stops answering and every anycast
+  // announcement on its sessions is withdrawn.
+  cdn.set_failed_pops({result.failed_pop});
+  bgp::OriginSpec failed_spec = original_spec;
+  for (const auto l : scenario.provider.pop(result.failed_pop).links) {
+    failed_spec.suppress.insert(graph.link(l).edge);
+  }
+  cdn.set_anycast_spec(failed_spec);
+
+  // Anycast accounting: affected users are down for the convergence window,
+  // then served by the new catchment.
+  double anycast_affected = 0.0;
+  std::vector<double> penalties;
+  for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+    if (catchment[id] != result.failed_pop) continue;
+    const auto& client = scenario.clients.at(id);
+    anycast_affected += client.user_weight;
+    const auto after = cdn.anycast_route(client);
+    if (after.valid() && pre_ms[id] >= 0.0) {
+      const double post = scenario.latency
+                              .rtt(after.path, config.failure_time, client.access,
+                                   client.origin_as, client.city)
+                              .total()
+                              .value();
+      penalties.push_back(post - pre_ms[id]);
+    }
+  }
+
+  // DNS accounting: clients whose cluster was pinned to the failed unicast
+  // front-end stay dark until their cached answer dies and the controller's
+  // next decision takes effect; clients whose cluster stayed on anycast
+  // behave like anycast users.
+  double dns_affected = 0.0;
+  double dns_recovered = 0.0;
+  double anycast_like = 0.0;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const auto& decision = pre_decision[c];
+    for (const auto id : clusters[c].members) {
+      const auto& client = scenario.clients.at(id);
+      if (decision.use_unicast) {
+        if (decision.pop != result.failed_pop) continue;  // pinned elsewhere: fine
+        dns_affected += client.user_weight;
+        // Post-TTL: a fresh decision over the degraded CDN; the failed
+        // front-end no longer answers beacons, so any outcome that is not
+        // the failed pop counts as recovery.
+        Rng re = Rng{config.seed}.fork("re-" + std::to_string(c));
+        const auto fresh = redirector.decide(
+            clusters[c], config.failure_time + config.dns_ttl, re);
+        if (!fresh.use_unicast || fresh.pop != result.failed_pop) {
+          dns_recovered += client.user_weight;
+        }
+      } else if (catchment[id] == result.failed_pop) {
+        anycast_like += client.user_weight;  // same exposure as pure anycast
+      }
+    }
+  }
+
+  if (total_weight > 0.0) {
+    result.anycast_affected_fraction = anycast_affected / total_weight;
+    result.dns_affected_fraction = (dns_affected + anycast_like) / total_weight;
+    const double conv = static_cast<double>(config.bgp_convergence.seconds());
+    const double dark = static_cast<double>(
+        (config.dns_ttl + config.controller_reaction).seconds());
+    result.anycast_outage_user_seconds = anycast_affected * conv / total_weight;
+    result.dns_outage_user_seconds =
+        (dns_affected * dark + anycast_like * conv) / total_weight;
+  }
+  if (!penalties.empty()) {
+    result.anycast_failover_penalty_ms = stats::median(penalties);
+  }
+  if (dns_affected > 0.0) {
+    result.dns_recovered_fraction = dns_recovered / dns_affected;
+  }
+
+  cdn.set_failed_pops({});
+  cdn.set_anycast_spec(original_spec);  // restore the world
+  return result;
+}
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,75 @@
+#include "bgpcmp/core/csv.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+
+#include "bgpcmp/stats/table.h"
+
+namespace bgpcmp::core {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void emit_row(std::ofstream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ',';
+    out << escape(row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+bool write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out{path};
+  if (!out) return false;
+  emit_row(out, header);
+  for (const auto& row : rows) {
+    assert(row.size() == header.size());
+    emit_row(out, row);
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_series_csv(const std::string& path, const std::string& x_label,
+                      const std::vector<std::string>& names,
+                      const std::vector<const stats::WeightedCdf*>& cdfs, double lo,
+                      double hi, std::size_t points, bool ccdf) {
+  assert(names.size() == cdfs.size());
+  std::vector<std::string> header{x_label};
+  header.insert(header.end(), names.begin(), names.end());
+  std::vector<std::vector<stats::SeriesPoint>> series;
+  series.reserve(cdfs.size());
+  for (const auto* cdf : cdfs) {
+    series.push_back(ccdf ? cdf->ccdf_series(lo, hi, points)
+                          : cdf->cdf_series(lo, hi, points));
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<std::string> row{stats::fmt(series[0][i].x, 4)};
+    for (const auto& s : series) row.push_back(stats::fmt(s[i].y, 6));
+    rows.push_back(std::move(row));
+  }
+  return write_csv(path, header, rows);
+}
+
+std::optional<std::string> csv_export_dir() {
+  const char* dir = std::getenv("BGPCMP_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string{dir};
+}
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,99 @@
+#include "bgpcmp/core/degrade.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::core {
+
+DegradeResult analyze_degrade(const PopStudyResult& study,
+                              const DegradeConfig& config) {
+  DegradeResult out;
+  const std::size_t n_windows = study.windows.size();
+  if (n_windows == 0) return out;
+
+  double total_traffic = 0.0;
+  std::size_t degraded_windows = 0;
+  std::size_t degraded_together = 0;
+  std::size_t improvement_windows = 0;
+  std::size_t total_pair_windows = 0;
+
+  double improvable_mass = 0.0;
+  double persistent_mass = 0.0;
+  std::vector<double> scratch;
+  for (const auto& s : study.series) {
+    ++out.pairs;
+    // Per-route baseline: a low quantile of its own series (uncongested floor).
+    std::vector<float> baseline(s.routes.size());
+    for (std::size_t r = 0; r < s.routes.size(); ++r) {
+      scratch.assign(s.medians[r].begin(), s.medians[r].end());
+      std::sort(scratch.begin(), scratch.end());
+      baseline[r] =
+          static_cast<float>(stats::quantile_sorted(scratch, config.baseline_quantile));
+    }
+
+    double pair_traffic = 0.0;
+    double pair_improvable_mass = 0.0;
+    std::size_t improvable = 0;
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      pair_traffic += s.volume[w];
+      ++total_pair_windows;
+
+      if (s.diff(w) >= config.improve_threshold_ms) {
+        ++improvable;
+        ++improvement_windows;
+        pair_improvable_mass += s.volume[w];
+      }
+
+      const bool bgp_degraded =
+          s.medians[0][w] > baseline[0] + config.degrade_threshold_ms;
+      if (bgp_degraded) {
+        ++degraded_windows;
+        bool all_degraded = true;
+        for (std::size_t r = 1; r < s.routes.size(); ++r) {
+          if (s.medians[r][w] <= baseline[r] + config.degrade_threshold_ms) {
+            all_degraded = false;
+            break;
+          }
+        }
+        if (all_degraded) ++degraded_together;
+      }
+    }
+
+    total_traffic += pair_traffic;
+    const double improvable_frac =
+        static_cast<double>(improvable) / static_cast<double>(n_windows);
+    if (improvable == 0) {
+      out.traffic_no_opportunity += pair_traffic;
+    } else if (improvable_frac >= config.persistent_fraction) {
+      out.traffic_persistent += pair_traffic;
+      persistent_mass += pair_improvable_mass;
+    } else {
+      out.traffic_transient += pair_traffic;
+    }
+    improvable_mass += pair_improvable_mass;
+  }
+
+  if (total_traffic > 0.0) {
+    out.traffic_no_opportunity /= total_traffic;
+    out.traffic_persistent /= total_traffic;
+    out.traffic_transient /= total_traffic;
+  }
+  if (total_pair_windows > 0) {
+    out.degraded_window_fraction = static_cast<double>(degraded_windows) /
+                                   static_cast<double>(total_pair_windows);
+    out.improvement_window_fraction = static_cast<double>(improvement_windows) /
+                                      static_cast<double>(total_pair_windows);
+  }
+  if (improvable_mass > 0.0) {
+    out.improvement_mass_persistent = persistent_mass / improvable_mass;
+  }
+  if (degraded_windows > 0) {
+    out.degrade_together_fraction = static_cast<double>(degraded_together) /
+                                    static_cast<double>(degraded_windows);
+  }
+  return out;
+}
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,59 @@
+// E13 (§4): availability under front-end failure — anycast vs DNS redirection.
+//
+// The paper argues latency is not the whole story: "anycast provides
+// resilience against site outages and avoids availability problems that can
+// be induced by DNS caching". This experiment fails a front-end and accounts
+// the outage each scheme imposes on its users:
+//
+//   * anycast clients re-converge when BGP withdraws the failed site's
+//     announcements (tens of seconds), then land on the next catchment;
+//   * DNS-redirected clients pinned to the failed front-end's unicast address
+//     stay black-holed until their cached answer expires and the redirection
+//     controller re-decides.
+#pragma once
+
+#include "bgpcmp/cdn/dns_redirect.h"
+#include "bgpcmp/core/scenario.h"
+
+namespace bgpcmp::core {
+
+struct AvailabilityConfig {
+  std::uint64_t seed = 6001;
+  SimTime failure_time = SimTime::days(2.0);
+  /// BGP withdrawal + convergence until anycast users are served again.
+  SimTime bgp_convergence = SimTime{45};
+  /// DNS answer TTL (five minutes is the common CDN choice).
+  SimTime dns_ttl = SimTime::minutes(5.0);
+  /// Time for the redirection controller to notice and change its decision.
+  SimTime controller_reaction = SimTime::minutes(2.0);
+  cdn::DnsRedirectConfig dns;
+};
+
+struct AvailabilityResult {
+  cdn::PopId failed_pop = cdn::kNoPop;
+
+  // User-weight shares hit by the failure under each scheme.
+  double anycast_affected_fraction = 0.0;
+  double dns_affected_fraction = 0.0;
+
+  // Outage cost: affected user-weight x seconds unreachable, normalized by
+  // total user weight (i.e. expected unreachable seconds per user).
+  double anycast_outage_user_seconds = 0.0;
+  double dns_outage_user_seconds = 0.0;
+
+  /// Median added latency (ms) for anycast users after re-convergence
+  /// (their new catchment is farther).
+  double anycast_failover_penalty_ms = 0.0;
+
+  /// Affected DNS users whose post-TTL re-decision lands them somewhere
+  /// reachable (should be ~all).
+  double dns_recovered_fraction = 0.0;
+};
+
+/// Fail the busiest-catchment PoP of `cdn` and account the damage. The CDN's
+/// announcement spec is restored before returning.
+[[nodiscard]] AvailabilityResult run_availability_study(
+    const Scenario& scenario, cdn::AnycastCdn& cdn,
+    const AvailabilityConfig& config = {});
+
+}  // namespace bgpcmp::core

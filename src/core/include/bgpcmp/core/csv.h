@@ -1,0 +1,30 @@
+// CSV export for figure data.
+//
+// Every bench prints human-readable tables; setting BGPCMP_CSV_DIR in the
+// environment makes them also drop machine-readable CSVs there, so the
+// figures can be re-plotted with any tool.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgpcmp/stats/cdf.h"
+
+namespace bgpcmp::core {
+
+/// Write rows to `path` as RFC-4180-ish CSV (fields containing commas,
+/// quotes, or newlines are quoted). Returns false on I/O failure.
+bool write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Export one or more CDF/CCDF curves sampled on a shared x grid.
+bool write_series_csv(const std::string& path, const std::string& x_label,
+                      const std::vector<std::string>& names,
+                      const std::vector<const stats::WeightedCdf*>& cdfs, double lo,
+                      double hi, std::size_t points, bool ccdf = false);
+
+/// The export directory from $BGPCMP_CSV_DIR, if set and non-empty.
+[[nodiscard]] std::optional<std::string> csv_export_dir();
+
+}  // namespace bgpcmp::core

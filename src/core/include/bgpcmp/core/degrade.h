@@ -1,0 +1,47 @@
+// E6 (§3.1.1): do all route options degrade together?
+//
+// Decomposes the PoP study's per-route time series: when BGP's preferred
+// route degrades relative to its own baseline, is there an alternate that
+// didn't? And are the windows where an alternate beats BGP transient blips or
+// persistent (the alternate is simply always better)?
+#pragma once
+
+#include <cstddef>
+
+#include "bgpcmp/core/study_pop.h"
+
+namespace bgpcmp::core {
+
+struct DegradeConfig {
+  double improve_threshold_ms = 5.0;  ///< alternate must beat BGP by this much
+  double degrade_threshold_ms = 5.0;  ///< route is degraded this far above baseline
+  double persistent_fraction = 0.6;   ///< improvable in >= this fraction => persistent
+  double baseline_quantile = 0.1;     ///< route baseline = this quantile of its series
+};
+
+struct DegradeResult {
+  std::size_t pairs = 0;
+
+  // Traffic-weighted split of <PoP, prefix> pairs by improvement pattern.
+  double traffic_no_opportunity = 0.0;  ///< alternates never help
+  double traffic_persistent = 0.0;      ///< an alternate is better nearly always
+  double traffic_transient = 0.0;       ///< alternates help only sometimes
+
+  /// Fraction of <pair, window> entries where the BGP route was degraded.
+  double degraded_window_fraction = 0.0;
+  /// Among degraded windows, the fraction where every alternate was degraded
+  /// too — the "no performant alternate exists" share.
+  double degrade_together_fraction = 0.0;
+  /// Fraction of <pair, window> entries where an alternate beats BGP by the
+  /// improvement threshold.
+  double improvement_window_fraction = 0.0;
+  /// Of the traffic-weighted improvable mass, the share contributed by
+  /// persistent pairs — the paper's "most alternate paths which do beat BGP
+  /// are consistently better all the time".
+  double improvement_mass_persistent = 0.0;
+};
+
+[[nodiscard]] DegradeResult analyze_degrade(const PopStudyResult& study,
+                                            const DegradeConfig& config = {});
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,47 @@
+// E7 (§3.1.3 open question): what happens to latency when a content provider
+// drastically reduces its peering footprint?
+//
+// The paper notes such a study must "properly account for the reduced peering
+// capacity and accompanying increased likelihood of congestion as the number
+// of route options is reduced". The emulation sweeps the provider's peering
+// fraction; removed peers' traffic concentrates on the surviving
+// interconnections, whose offered load is scaled up accordingly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgpcmp/core/study_pop.h"
+
+namespace bgpcmp::core {
+
+struct FootprintConfig {
+  PopStudyConfig study;
+  /// Load concentration: surviving provider links carry
+  /// (1 + load_shift * (1 - fraction)) times their nominal load.
+  double load_shift = 1.4;
+};
+
+struct FootprintPoint {
+  double peering_fraction = 1.0;
+  std::size_t provider_peer_edges = 0;  ///< PNI + public peering edges kept
+  /// Traffic-weighted mean / p95 of the BGP-preferred route's window medians.
+  double mean_bgp_rtt_ms = 0.0;
+  double p95_bgp_rtt_ms = 0.0;
+  /// Fraction of traffic an omniscient controller improves by >= 5 ms.
+  double improvable_frac_5ms = 0.0;
+  /// Fraction of traffic whose BGP-preferred egress is a transit route.
+  double transit_preferred_fraction = 0.0;
+};
+
+struct FootprintResult {
+  std::vector<FootprintPoint> points;
+};
+
+/// Build one scenario per peering fraction (scaling the provider's PNI and
+/// IXP peering probabilities) and run the PoP study on each.
+[[nodiscard]] FootprintResult run_footprint_ablation(
+    const ScenarioConfig& base, const FootprintConfig& config,
+    std::span<const double> fractions);
+
+}  // namespace bgpcmp::core

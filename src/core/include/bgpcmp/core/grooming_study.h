@@ -1,0 +1,57 @@
+// E8 (§3.2.2): nature vs nurture for anycast quality.
+//
+// Measures the anycast-vs-best-unicast gap of an *ungroomed* CDN, runs the
+// operator grooming loop, and re-measures — across PoP densities — to
+// separate what the footprint buys ("nature") from what announcement
+// grooming buys ("nurture").
+#pragma once
+
+#include <vector>
+
+#include "bgpcmp/cdn/grooming.h"
+#include "bgpcmp/core/scenario.h"
+
+namespace bgpcmp::core {
+
+struct GroomingStudyConfig {
+  std::uint64_t seed = 4001;
+  cdn::GroomingConfig grooming;
+  /// Clients sampled (weight-proportionally) for gap measurement.
+  int sample_clients = 500;
+  SimTime measure_time = SimTime::hours(12.0);
+  cdn::OdinConfig odin;
+};
+
+/// Gap distribution snapshot of one CDN state.
+struct AnycastQuality {
+  double mean_gap_ms = 0.0;        ///< weighted mean (anycast - best unicast)
+  double median_gap_ms = 0.0;
+  double frac_within_10ms = 0.0;   ///< requests within 10 ms of best unicast
+  double frac_tail_50ms = 0.0;     ///< requests >= 50 ms worse than best
+};
+
+struct GroomingDensityRow {
+  std::size_t pop_count = 0;
+  AnycastQuality ungroomed;
+  AnycastQuality groomed;
+  int grooming_steps = 0;
+  /// Mean gap trajectory, index 0 = ungroomed.
+  std::vector<double> gap_by_iteration;
+};
+
+struct GroomingStudyResult {
+  std::vector<GroomingDensityRow> rows;
+};
+
+/// Sweep PoP density; for each count, build a fresh scenario with that many
+/// PoPs, quantify anycast quality before and after grooming.
+[[nodiscard]] GroomingStudyResult run_grooming_study(
+    const ScenarioConfig& base, const GroomingStudyConfig& config,
+    std::span<const std::size_t> pop_counts);
+
+/// Measure the quality snapshot of an existing CDN state.
+[[nodiscard]] AnycastQuality measure_anycast_quality(const Scenario& scenario,
+                                                     const cdn::AnycastCdn& cdn,
+                                                     const GroomingStudyConfig& config);
+
+}  // namespace bgpcmp::core

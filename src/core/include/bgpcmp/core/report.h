@@ -1,0 +1,26 @@
+// Shared printers for bench binaries: every figure prints through these, so
+// outputs are consistent and diff-able.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgpcmp/stats/cdf.h"
+
+namespace bgpcmp::core {
+
+/// Render one or more CDFs sampled on a shared grid, like a figure's curves.
+[[nodiscard]] std::string render_cdfs(const std::string& x_label,
+                                      const std::vector<std::string>& names,
+                                      const std::vector<const stats::WeightedCdf*>& cdfs,
+                                      double lo, double hi, std::size_t points,
+                                      bool ccdf = false);
+
+/// "key: value" line with aligned columns, for headline numbers.
+[[nodiscard]] std::string headline(const std::string& key, double value,
+                                   const std::string& unit = "", int precision = 3);
+
+/// Section banner.
+[[nodiscard]] std::string banner(const std::string& title);
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,64 @@
+// The standard experiment scenario: one synthetic Internet with a content
+// provider attached, a client population, demand, and a congestion field.
+// Every study, bench, and example builds on this fixture, so results across
+// experiments describe the same world.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bgpcmp/cdn/provider.h"
+#include "bgpcmp/latency/congestion.h"
+#include "bgpcmp/latency/delay.h"
+#include "bgpcmp/topology/topology_gen.h"
+#include "bgpcmp/traffic/clients.h"
+#include "bgpcmp/traffic/demand.h"
+
+namespace bgpcmp::core {
+
+struct ScenarioConfig {
+  topo::InternetConfig internet;
+  cdn::ProviderConfig provider;
+  traffic::ClientBaseConfig clients;
+  traffic::DemandConfig demand;
+  lat::CongestionConfig congestion;
+  lat::LatencyConfig latency;
+
+  /// Derive all component seeds from one master seed (for seed sweeps /
+  /// property tests).
+  [[nodiscard]] static ScenarioConfig with_master_seed(std::uint64_t seed);
+
+  // Provider presets matching the three studies' settings (§2.3). The
+  // default config equals facebook_like().
+
+  /// Study 1: PNI-rich edge provider with dozens of PoPs (Facebook-like).
+  [[nodiscard]] static ScenarioConfig facebook_like();
+  /// Study 2: 2015-era anycast CDN — a few dozen front-ends, sparser peering
+  /// (Microsoft-like), so anycast catchment errors are more common.
+  [[nodiscard]] static ScenarioConfig microsoft_like();
+  /// Study 3: hyperscale cloud with a large WAN edge (Google-like).
+  [[nodiscard]] static ScenarioConfig google_like();
+};
+
+/// Owns the full simulated world; heap-allocated so internal pointers stay
+/// stable. Non-copyable.
+class Scenario {
+ public:
+  static std::unique_ptr<Scenario> make(const ScenarioConfig& config = {});
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  topo::Internet internet;
+  cdn::ContentProvider provider;
+  traffic::ClientBase clients;
+  traffic::DemandModel demand;
+  lat::CongestionField congestion;
+  lat::LatencyModel latency;
+  ScenarioConfig config;
+
+ private:
+  Scenario(ScenarioConfig cfg);
+};
+
+}  // namespace bgpcmp::core

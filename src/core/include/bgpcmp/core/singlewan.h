@@ -1,0 +1,54 @@
+// E9 (§3.3.2): do Internet paths perform best when they spend most of their
+// journey on a single large network?
+//
+// Annotates each vantage's Standard-tier path with the fraction of its
+// distance carried by its largest single AS, relates that to latency
+// inflation over the geodesic floor, tests the late-exit hypothesis by
+// re-realizing the same AS paths with Tier-1 cold-potato routing, and prints
+// the India case study.
+#pragma once
+
+#include <vector>
+
+#include "bgpcmp/core/scenario.h"
+#include "bgpcmp/wan/tiers.h"
+#include "bgpcmp/wan/transit_wan.h"
+
+namespace bgpcmp::core {
+
+struct SingleWanConfig {
+  std::uint64_t seed = 5001;
+  int sample_clients = 800;
+  SimTime measure_time = SimTime::hours(12.0);
+  std::size_t bins = 5;  ///< over single-network fraction [0, 1]
+};
+
+struct SingleWanBin {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t count = 0;
+  double median_inflation = 0.0;  ///< RTT / geodesic-floor RTT
+};
+
+struct SingleWanResult {
+  std::vector<SingleWanBin> bins;
+  /// Pearson correlation of single-network fraction vs latency inflation
+  /// (negative supports the hypothesis: more single-WAN => less inflation).
+  double correlation = 0.0;
+  /// Median Standard-tier RTT reduction if Tier-1s carried the traffic
+  /// late-exit instead of hot-potato (ms; positive = late exit helps).
+  double late_exit_median_improvement_ms = 0.0;
+
+  // India case study medians (ms).
+  double india_premium_ms = 0.0;
+  double india_standard_ms = 0.0;
+  double world_premium_ms = 0.0;
+  double world_standard_ms = 0.0;
+  std::size_t india_samples = 0;
+};
+
+[[nodiscard]] SingleWanResult run_single_wan_study(const Scenario& scenario,
+                                                   const wan::CloudTiers& tiers,
+                                                   const SingleWanConfig& config = {});
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,63 @@
+// E15 (§3.2.2 open questions): CDN site planning.
+//
+// "When designing or expanding a CDN, how should a provider decide where to
+// locate PoPs ...? How well can the impact of adding a site be predicted?
+// How quickly does benefit diminish when adding PoPs?"
+//
+// Two parts:
+//   * a PoP-density sweep — anycast quality vs footprint size (the
+//     diminishing-returns curve);
+//   * a site-addition ablation — for each candidate metro, the *predicted*
+//     latency benefit (pure geometry: clients now closer to a front-end) vs
+//     the *actual* benefit once BGP catchments re-form around the new site.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgpcmp/core/scenario.h"
+
+namespace bgpcmp::core {
+
+struct SitePlanningConfig {
+  std::uint64_t seed = 7001;
+  SimTime measure_time = SimTime::hours(12.0);
+  /// Candidate metros considered for the addition study (top user-weight
+  /// cities without a PoP).
+  std::size_t candidate_count = 6;
+};
+
+struct DensityPoint {
+  std::size_t pop_count = 0;
+  /// User-weighted median/p90 of (anycast - best unicast), no sampling noise.
+  double median_gap_ms = 0.0;
+  double p90_gap_ms = 0.0;
+  /// User-weighted median catchment distance.
+  double median_catchment_km = 0.0;
+};
+
+struct SiteAdditionRow {
+  topo::CityId candidate = topo::kNoCity;
+  /// Geometry-only prediction: mean reduction of the distance-floor RTT for
+  /// clients that become closer to a front-end (user-weighted, over all
+  /// clients).
+  double predicted_improvement_ms = 0.0;
+  /// Measured: mean anycast RTT before minus after (user-weighted).
+  double actual_improvement_ms = 0.0;
+  /// User-weight share whose catchment moved to the new site.
+  double catchment_shift = 0.0;
+};
+
+struct SitePlanningResult {
+  std::vector<DensityPoint> density;
+  std::vector<SiteAdditionRow> additions;
+  /// Pearson correlation of predicted vs actual across candidates (the
+  /// paper's "how well can the impact be predicted").
+  double prediction_correlation = 0.0;
+};
+
+[[nodiscard]] SitePlanningResult run_site_planning(
+    const ScenarioConfig& base, const SitePlanningConfig& config,
+    std::span<const std::size_t> density_pop_counts);
+
+}  // namespace bgpcmp::core

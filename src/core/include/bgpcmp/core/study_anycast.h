@@ -1,0 +1,53 @@
+// Study 2 (§3.2): BGP anycast vs DNS redirection for a CDN.
+//
+// Reproduces the Microsoft/Bing analysis: paired beacon measurements give the
+// per-request gap between anycast and the best unicast front-end (Fig 3);
+// an LDNS-granularity redirection system then chooses anycast-or-unicast per
+// resolver cluster from stale measurements, and its realized improvement over
+// anycast is evaluated per weighted /24 (Fig 4).
+#pragma once
+
+#include "bgpcmp/cdn/anycast_cdn.h"
+#include "bgpcmp/cdn/dns_redirect.h"
+#include "bgpcmp/core/scenario.h"
+#include "bgpcmp/stats/cdf.h"
+
+namespace bgpcmp::core {
+
+struct AnycastStudyConfig {
+  std::uint64_t seed = 2001;
+  /// Beacon rounds per client for the Fig 3 request population.
+  int beacon_rounds = 4;
+  /// Time of the redirection decision; evaluation follows it.
+  SimTime decision_time = SimTime::days(2.0);
+  /// Windows over which each client's improvement median/p75 is taken.
+  int eval_windows = 12;
+  SimTime eval_window_spacing = SimTime::hours(4.0);
+  cdn::OdinConfig odin;
+  cdn::DnsRedirectConfig dns;
+};
+
+struct AnycastStudyResult {
+  // Fig 3: CCDF source data — per-request (anycast - best unicast) ms,
+  // request-weighted, split by client region.
+  stats::WeightedCdf fig3_world;
+  stats::WeightedCdf fig3_europe;
+  stats::WeightedCdf fig3_us;
+
+  // Fig 4: per weighted /24, median and 75th-pct improvement over anycast
+  // from following the (possibly wrong) DNS redirection decision.
+  stats::WeightedCdf fig4_median;
+  stats::WeightedCdf fig4_p75;
+
+  // Headlines quoted in §3.2.
+  double frac_within_10ms = 0.0;        ///< requests with gap <= 10 ms
+  double frac_unicast_100ms_faster = 0.0;  ///< requests with gap >= 100 ms
+  double fig4_improved_fraction = 0.0;  ///< /24s with median improvement > eps
+  double fig4_worse_fraction = 0.0;     ///< /24s where redirection hurt
+};
+
+[[nodiscard]] AnycastStudyResult run_anycast_study(const Scenario& scenario,
+                                                   const cdn::AnycastCdn& cdn,
+                                                   const AnycastStudyConfig& config = {});
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,54 @@
+// Study 3 (§3.3): private WAN (Premium Tier) vs public Internet (Standard
+// Tier) to a US-Central data center, measured from a rotating global vantage
+// fleet — Fig 5's per-country map plus the ingress-distance headline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgpcmp/core/scenario.h"
+#include "bgpcmp/measure/campaign.h"
+#include "bgpcmp/wan/tiers.h"
+
+namespace bgpcmp::core {
+
+struct WanStudyConfig {
+  measure::VantageFleetConfig fleet;
+  measure::CampaignConfig campaign;
+  std::uint64_t seed = 3001;
+  /// "Enters the cloud network near the vantage point" radius (paper: 400 km).
+  double ingress_near_km = 400.0;
+  /// Minimum filtered samples for a country to be reported.
+  std::size_t min_country_samples = 20;
+};
+
+/// One country of the Fig 5 map.
+struct CountryRow {
+  std::string country;
+  topo::Region region = topo::Region::Europe;
+  /// Median (Standard - Premium) RTT; positive = the private WAN is faster.
+  double median_diff_ms = 0.0;
+  std::size_t samples = 0;
+};
+
+struct WanStudyResult {
+  std::vector<CountryRow> countries;  ///< sorted by descending diff
+
+  // E12 headline, over all samples (before the vantage filter): fraction of
+  // measurements entering the cloud within `ingress_near_km` of the vantage.
+  double premium_ingress_near_fraction = 0.0;
+  double standard_ingress_near_fraction = 0.0;
+
+  std::size_t total_samples = 0;
+  std::size_t filtered_samples = 0;  ///< direct-Premium + indirect-Standard
+
+  /// Median diff for one country ("India" is §3.3.2's case study); 0 with
+  /// found=false if the country has no row.
+  [[nodiscard]] double country_diff(std::string_view country, bool& found) const;
+};
+
+[[nodiscard]] WanStudyResult run_wan_study(const Scenario& scenario,
+                                           const wan::CloudTiers& tiers,
+                                           const WanStudyConfig& config = {});
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,46 @@
+// E10 (§4): beyond median performance.
+//
+// The paper's closing argument: BGP's losses are small in the median but the
+// 2-4% tail is hundreds of billions of sessions, and throughput looked
+// similar across tiers. This analysis quantifies the improvable-traffic tail
+// at multiple thresholds, scales it to the paper's session volume, and
+// computes a TCP-model goodput ratio between the cloud tiers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgpcmp/core/study_pop.h"
+#include "bgpcmp/measure/campaign.h"
+
+namespace bgpcmp::core {
+
+struct TailConfig {
+  /// The Facebook dataset holds "hundreds of trillions" of sessions over ten
+  /// days; this scale converts traffic fractions to affected sessions.
+  double total_sessions = 2.0e14;
+  std::vector<double> thresholds_ms{1.0, 5.0, 10.0, 20.0};
+};
+
+struct TailThresholdRow {
+  double threshold_ms = 0.0;
+  double traffic_fraction = 0.0;
+  double estimated_sessions = 0.0;
+};
+
+struct TailResult {
+  std::vector<TailThresholdRow> rows;
+  /// Upper-tail quantiles of the Fig 1 improvement distribution.
+  double p95_improvement_ms = 0.0;
+  double p99_improvement_ms = 0.0;
+  /// Median goodput ratio Premium/Standard for modeled 10 MB HTTP GETs (the
+  /// TCP transfer model in measure/http.h) — the §4 footnote's
+  /// "10 MB downloads ... saw little difference".
+  double goodput_ratio_median = 1.0;
+};
+
+[[nodiscard]] TailResult analyze_tail(const PopStudyResult& study,
+                                      std::span<const measure::TierSample> wan_samples,
+                                      const TailConfig& config = {});
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,37 @@
+#include "bgpcmp/core/report.h"
+
+#include <cassert>
+
+#include "bgpcmp/stats/table.h"
+
+namespace bgpcmp::core {
+
+std::string render_cdfs(const std::string& x_label,
+                        const std::vector<std::string>& names,
+                        const std::vector<const stats::WeightedCdf*>& cdfs, double lo,
+                        double hi, std::size_t points, bool ccdf) {
+  assert(names.size() == cdfs.size());
+  std::vector<std::vector<stats::SeriesPoint>> series;
+  series.reserve(cdfs.size());
+  for (const auto* cdf : cdfs) {
+    series.push_back(ccdf ? cdf->ccdf_series(lo, hi, points)
+                          : cdf->cdf_series(lo, hi, points));
+  }
+  return stats::render_series(x_label, names, series);
+}
+
+std::string headline(const std::string& key, double value, const std::string& unit,
+                     int precision) {
+  std::string out = key;
+  if (out.size() < 52) out.append(52 - out.size(), ' ');
+  out += " = " + stats::fmt(value, precision);
+  if (!unit.empty()) out += " " + unit;
+  return out + "\n";
+}
+
+std::string banner(const std::string& title) {
+  std::string rule(title.size() + 4, '=');
+  return rule + "\n| " + title + " |\n" + rule + "\n";
+}
+
+}  // namespace bgpcmp::core

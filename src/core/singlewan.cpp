@@ -1,0 +1,122 @@
+#include "bgpcmp/core/singlewan.h"
+
+#include <algorithm>
+
+#include "bgpcmp/netbase/geo.h"
+#include "bgpcmp/stats/correlation.h"
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::core {
+
+SingleWanResult run_single_wan_study(const Scenario& scenario,
+                                     const wan::CloudTiers& tiers,
+                                     const SingleWanConfig& config) {
+  SingleWanResult result;
+  const auto& graph = scenario.internet.graph;
+  const topo::CityDb& db = scenario.internet.city_db();
+  Rng rng = Rng{config.seed}.fork("sample");
+
+  std::vector<double> weights;
+  weights.reserve(scenario.clients.size());
+  for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+    weights.push_back(scenario.clients.at(id).user_weight);
+  }
+
+  // Late exit by the networks carrying traffic toward the cloud: Tier-1s and
+  // the regional transits that hand off to them.
+  auto t1_cold = wan::exit_override_for_class(graph, topo::AsClass::Tier1,
+                                              lat::ExitStrategy::ColdPotato);
+  for (const auto& [as, strat] : wan::exit_override_for_class(
+           graph, topo::AsClass::Transit, lat::ExitStrategy::ColdPotato)) {
+    t1_cold.emplace(as, strat);
+  }
+
+  std::vector<double> fractions;
+  std::vector<double> inflations;
+  std::vector<double> late_exit_deltas;
+  std::vector<double> india_prem;
+  std::vector<double> india_stan;
+  std::vector<double> world_prem;
+  std::vector<double> world_stan;
+
+  for (int i = 0; i < config.sample_clients; ++i) {
+    const auto id = static_cast<traffic::PrefixId>(rng.weighted_index(weights));
+    const auto& client = scenario.clients.at(id);
+    const auto standard = tiers.standard(client);
+    const auto premium = tiers.premium(client);
+    if (!standard.valid() || !premium.valid()) continue;
+    const SimTime t = config.measure_time;
+
+    const double stan_ms = tiers.rtt(standard, scenario.latency, t, client).value();
+    const double prem_ms = tiers.rtt(premium, scenario.latency, t, client).value();
+
+    // Geodesic floor: straight-fiber RTT to the DC plus the client last mile.
+    const double floor_ms =
+        rtt_floor(db.distance(client.city, tiers.dc_city())).value() +
+        client.access.base_rtt_ms;
+    if (floor_ms <= 0.0) continue;
+    fractions.push_back(wan::largest_single_network_fraction(standard.access_path));
+    inflations.push_back(stan_ms / floor_ms);
+
+    // Late-exit ablation: re-realize the same standard-tier AS path with
+    // Tier-1s doing cold potato toward the DC.
+    {
+      const auto as_path = tiers.standard_table().path(client.origin_as);
+      lat::GeoPathOptions opts;
+      opts.origin_scope = &tiers.standard_spec();
+      opts.exit_override = t1_cold;
+      const auto cold_path = lat::build_geo_path(graph, db, as_path, client.city,
+                                                 tiers.dc_city(), opts);
+      if (cold_path.valid()) {
+        const double cold_ms = scenario.latency
+                                   .rtt(cold_path, t, client.access,
+                                        client.origin_as, client.city)
+                                   .total()
+                                   .value();
+        late_exit_deltas.push_back(stan_ms - cold_ms);
+      }
+    }
+
+    world_prem.push_back(prem_ms);
+    world_stan.push_back(stan_ms);
+    if (db.at(client.city).country == "India") {
+      india_prem.push_back(prem_ms);
+      india_stan.push_back(stan_ms);
+    }
+  }
+
+  // Bin median inflation by single-network fraction.
+  for (std::size_t b = 0; b < config.bins; ++b) {
+    SingleWanBin bin;
+    bin.lo = static_cast<double>(b) / static_cast<double>(config.bins);
+    bin.hi = static_cast<double>(b + 1) / static_cast<double>(config.bins);
+    std::vector<double> members;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      const bool last = b + 1 == config.bins;
+      if (fractions[i] >= bin.lo && (fractions[i] < bin.hi || last)) {
+        members.push_back(inflations[i]);
+      }
+    }
+    bin.count = members.size();
+    if (!members.empty()) bin.median_inflation = stats::median(members);
+    result.bins.push_back(bin);
+  }
+
+  result.correlation = stats::pearson(fractions, inflations);
+
+  if (!late_exit_deltas.empty()) {
+    result.late_exit_median_improvement_ms = stats::median(late_exit_deltas);
+  }
+  if (!world_prem.empty()) {
+    result.world_premium_ms = stats::median(world_prem);
+    result.world_standard_ms = stats::median(world_stan);
+  }
+  if (!india_prem.empty()) {
+    result.india_premium_ms = stats::median(india_prem);
+    result.india_standard_ms = stats::median(india_stan);
+    result.india_samples = india_prem.size();
+  }
+  return result;
+}
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,174 @@
+#include "bgpcmp/core/site_planning.h"
+
+#include <algorithm>
+
+#include "bgpcmp/cdn/anycast_cdn.h"
+#include "bgpcmp/netbase/geo.h"
+#include "bgpcmp/stats/correlation.h"
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::core {
+
+namespace {
+
+/// Deterministic (noise-free) anycast RTT per client; -1 if unreachable.
+std::vector<double> anycast_rtts(const Scenario& scenario, const cdn::AnycastCdn& cdn,
+                                 SimTime t) {
+  std::vector<double> out(scenario.clients.size(), -1.0);
+  for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+    const auto& client = scenario.clients.at(id);
+    const auto route = cdn.anycast_route(client);
+    if (!route.valid()) continue;
+    out[id] = scenario.latency
+                  .rtt(route.path, t, client.access, client.origin_as, client.city)
+                  .total()
+                  .value();
+  }
+  return out;
+}
+
+double weighted_mean_diff(const Scenario& scenario, const std::vector<double>& before,
+                          const std::vector<double>& after) {
+  double sum = 0.0;
+  double weight = 0.0;
+  for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+    if (before[id] < 0.0 || after[id] < 0.0) continue;
+    const double w = scenario.clients.at(id).user_weight;
+    sum += (before[id] - after[id]) * w;
+    weight += w;
+  }
+  return weight > 0.0 ? sum / weight : 0.0;
+}
+
+}  // namespace
+
+SitePlanningResult run_site_planning(const ScenarioConfig& base,
+                                     const SitePlanningConfig& config,
+                                     std::span<const std::size_t> density_pop_counts) {
+  SitePlanningResult result;
+
+  // ---- Density sweep -----------------------------------------------------
+  for (const std::size_t pops : density_pop_counts) {
+    ScenarioConfig cfg = base;
+    cfg.provider.pop_count = pops;
+    auto scenario = Scenario::make(cfg);
+    cdn::AnycastCdn cdn{&scenario->internet, &scenario->provider};
+    const auto& db = scenario->internet.city_db();
+
+    std::vector<stats::Weighted> gaps;
+    std::vector<stats::Weighted> distances;
+    for (traffic::PrefixId id = 0; id < scenario->clients.size(); ++id) {
+      const auto& client = scenario->clients.at(id);
+      const auto route = cdn.anycast_route(client);
+      if (!route.valid()) continue;
+      const double any = scenario->latency
+                             .rtt(route.path, config.measure_time, client.access,
+                                  client.origin_as, client.city)
+                             .total()
+                             .value();
+      double best = any;
+      for (const auto pop : cdn.nearby_front_ends(client, 6)) {
+        const auto path = cdn.unicast_route(client, pop);
+        if (!path.valid()) continue;
+        best = std::min(best, scenario->latency
+                                  .rtt(path, config.measure_time, client.access,
+                                       client.origin_as, client.city)
+                                  .total()
+                                  .value());
+      }
+      gaps.push_back(stats::Weighted{any - best, client.user_weight});
+      distances.push_back(stats::Weighted{
+          db.distance(scenario->provider.pop(route.pop).city, client.city).value(),
+          client.user_weight});
+    }
+    DensityPoint point;
+    point.pop_count = pops;
+    if (!gaps.empty()) {
+      point.median_gap_ms = stats::weighted_quantile(gaps, 0.5);
+      point.p90_gap_ms = stats::weighted_quantile(gaps, 0.9);
+      point.median_catchment_km = stats::weighted_quantile(distances, 0.5);
+    }
+    result.density.push_back(point);
+  }
+
+  // ---- Site-addition ablation ---------------------------------------------
+  auto base_scenario = Scenario::make(base);
+  cdn::AnycastCdn base_cdn{&base_scenario->internet, &base_scenario->provider};
+  const auto& db = base_scenario->internet.city_db();
+  const auto before = anycast_rtts(*base_scenario, base_cdn, config.measure_time);
+
+  // Candidates: heaviest metros without a PoP.
+  std::vector<topo::CityId> candidates;
+  {
+    std::vector<topo::CityId> all;
+    for (topo::CityId c = 0; c < db.size(); ++c) {
+      if (!base_scenario->provider.pop_in(c)) all.push_back(c);
+    }
+    std::sort(all.begin(), all.end(), [&](topo::CityId a, topo::CityId b) {
+      if (db.at(a).user_weight != db.at(b).user_weight) {
+        return db.at(a).user_weight > db.at(b).user_weight;
+      }
+      return a < b;
+    });
+    all.resize(std::min(all.size(), config.candidate_count));
+    candidates = std::move(all);
+  }
+
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  for (const topo::CityId candidate : candidates) {
+    SiteAdditionRow row;
+    row.candidate = candidate;
+
+    // Prediction: pure geometry — clients now nearer to a front-end gain the
+    // distance-floor difference.
+    double pred_sum = 0.0;
+    double pred_weight = 0.0;
+    for (traffic::PrefixId id = 0; id < base_scenario->clients.size(); ++id) {
+      const auto& client = base_scenario->clients.at(id);
+      const auto nearest =
+          base_scenario->provider.nearest_pop(db, client.city);
+      const double old_km =
+          db.distance(base_scenario->provider.pop(nearest).city, client.city).value();
+      const double new_km = db.distance(candidate, client.city).value();
+      if (new_km < old_km) {
+        pred_sum += (rtt_floor(Kilometers{old_km}) - rtt_floor(Kilometers{new_km}))
+                        .value() *
+                    client.user_weight;
+      }
+      pred_weight += client.user_weight;
+    }
+    row.predicted_improvement_ms = pred_weight > 0.0 ? pred_sum / pred_weight : 0.0;
+
+    // Actual: rebuild the provider with the candidate appended; everything
+    // else (Internet, per-AS peering decisions) stays put.
+    ScenarioConfig cfg = base;
+    cfg.provider.extra_pop_cities.push_back(db.at(candidate).name);
+    auto scenario = Scenario::make(cfg);
+    cdn::AnycastCdn cdn{&scenario->internet, &scenario->provider};
+    const auto after = anycast_rtts(*scenario, cdn, config.measure_time);
+    row.actual_improvement_ms = weighted_mean_diff(*scenario, before, after);
+
+    const auto new_pop = scenario->provider.pop_in(candidate);
+    double shifted = 0.0;
+    double total = 0.0;
+    for (traffic::PrefixId id = 0; id < scenario->clients.size(); ++id) {
+      const auto& client = scenario->clients.at(id);
+      total += client.user_weight;
+      const auto route = cdn.anycast_route(client);
+      if (route.valid() && new_pop && route.pop == *new_pop) {
+        shifted += client.user_weight;
+      }
+    }
+    row.catchment_shift = total > 0.0 ? shifted / total : 0.0;
+
+    predicted.push_back(row.predicted_improvement_ms);
+    actual.push_back(row.actual_improvement_ms);
+    result.additions.push_back(row);
+  }
+
+  result.prediction_correlation = stats::pearson(predicted, actual);
+  return result;
+}
+
+}  // namespace bgpcmp::core

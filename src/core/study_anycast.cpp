@@ -1,0 +1,106 @@
+#include "bgpcmp/core/study_anycast.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bgpcmp/cdn/odin.h"
+#include "bgpcmp/latency/rtt_sampler.h"
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::core {
+
+AnycastStudyResult run_anycast_study(const Scenario& scenario,
+                                     const cdn::AnycastCdn& cdn,
+                                     const AnycastStudyConfig& config) {
+  AnycastStudyResult result;
+  const topo::CityDb& db = scenario.internet.city_db();
+  cdn::OdinBeacons beacons{&cdn, &scenario.latency, &scenario.clients, config.odin};
+  Rng root{config.seed};
+
+  // ---- Fig 3: per-request anycast vs best unicast -----------------------
+  {
+    Rng rng = root.fork("fig3");
+    for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+      const auto& client = scenario.clients.at(id);
+      const double request_weight = scenario.demand.popularity(id);
+      for (int round = 0; round < config.beacon_rounds; ++round) {
+        const SimTime t = SimTime::hours(6.0 * (round + 1));
+        cdn::BeaconResult beacon;
+        if (!beacons.measure(id, t, rng, beacon)) continue;
+        const double gap = beacon.anycast.value() - beacon.best_unicast().value();
+        result.fig3_world.add(gap, request_weight);
+        const auto& city = db.at(client.city);
+        if (city.region == topo::Region::Europe) {
+          result.fig3_europe.add(gap, request_weight);
+        }
+        if (city.country == "United States") {
+          result.fig3_us.add(gap, request_weight);
+        }
+      }
+    }
+    result.frac_within_10ms = result.fig3_world.fraction_at_most(10.0);
+    result.frac_unicast_100ms_faster = result.fig3_world.fraction_above(100.0);
+  }
+
+  // ---- Fig 4: LDNS-granularity DNS redirection vs anycast ----------------
+  {
+    cdn::DnsRedirector redirector{&cdn, &beacons, &scenario.clients, config.dns};
+    const auto clusters = redirector.build_clusters();
+    const lat::RttSampler sampler;
+    Rng rng = root.fork("fig4");
+
+    double improved_weight = 0.0;
+    double worse_weight = 0.0;
+    double total_weight = 0.0;
+    constexpr double kEps = 1.0;  // ms; deadband around "no change"
+
+    for (const auto& cluster : clusters) {
+      const auto decision = redirector.decide(cluster, config.decision_time, rng);
+      for (const auto member : cluster.members) {
+        const auto& client = scenario.clients.at(member);
+        std::vector<double> improvements;
+        improvements.reserve(static_cast<std::size_t>(config.eval_windows));
+        for (int w = 0; w < config.eval_windows; ++w) {
+          const SimTime t = config.decision_time +
+                            SimTime{config.eval_window_spacing.seconds() * (w + 1)};
+          if (!decision.use_unicast) {
+            improvements.push_back(0.0);  // redirected to anycast: no change
+            continue;
+          }
+          const auto anycast = cdn.anycast_route(client);
+          const auto unicast = cdn.unicast_route(client, decision.pop);
+          if (!anycast.valid() || !unicast.valid()) continue;
+          const auto any_ms =
+              sampler.sample_ping(scenario.latency
+                                      .rtt(anycast.path, t, client.access,
+                                           client.origin_as, client.city)
+                                      .total(),
+                                  rng);
+          const auto uni_ms =
+              sampler.sample_ping(scenario.latency
+                                      .rtt(unicast, t, client.access,
+                                           client.origin_as, client.city)
+                                      .total(),
+                                  rng);
+          improvements.push_back(any_ms.value() - uni_ms.value());
+        }
+        if (improvements.empty()) continue;
+        const double med = stats::quantile(improvements, 0.5);
+        const double p75 = stats::quantile(improvements, 0.75);
+        result.fig4_median.add(med, client.user_weight);
+        result.fig4_p75.add(p75, client.user_weight);
+        total_weight += client.user_weight;
+        if (med > kEps) improved_weight += client.user_weight;
+        if (med < -kEps) worse_weight += client.user_weight;
+      }
+    }
+    if (total_weight > 0.0) {
+      result.fig4_improved_fraction = improved_weight / total_weight;
+      result.fig4_worse_fraction = worse_weight / total_weight;
+    }
+  }
+  return result;
+}
+
+}  // namespace bgpcmp::core

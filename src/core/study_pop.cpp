@@ -1,0 +1,217 @@
+#include "bgpcmp/core/study_pop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+
+#include "bgpcmp/bgp/route_cache.h"
+#include "bgpcmp/cdn/edge_fabric.h"
+#include "bgpcmp/latency/rtt_sampler.h"
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::core {
+
+namespace {
+
+/// The ranked egress routes and their realized paths for one <PoP, prefix>.
+struct PairPlan {
+  cdn::PopId pop = cdn::kNoPop;
+  traffic::PrefixId prefix = 0;
+  std::vector<EgressRouteInfo> routes;
+  std::vector<lat::GeoPath> paths;
+};
+
+float median_of(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return static_cast<float>(stats::quantile_sorted(samples, 0.5));
+}
+
+}  // namespace
+
+float PopPrefixSeries::diff(std::size_t w) const {
+  float best_alt = medians[1][w];
+  for (std::size_t r = 2; r < medians.size(); ++r) {
+    best_alt = std::min(best_alt, medians[r][w]);
+  }
+  return medians[0][w] - best_alt;
+}
+
+PopStudyResult run_pop_study(const Scenario& scenario, const PopStudyConfig& config) {
+  const auto& graph = scenario.internet.graph;
+  const topo::CityDb& db = scenario.internet.city_db();
+  PopStudyResult result;
+
+  // Evaluated windows (strided 15-minute grid).
+  const auto grid = fifteen_minute_grid(config.days);
+  for (std::size_t i = 0; i < grid.size();
+       i += static_cast<std::size_t>(std::max(1, config.window_stride))) {
+    result.windows.push_back(grid[i]);
+  }
+
+  // Route tables per client origin AS (shared across that AS's prefixes).
+  bgp::RouteCache tables{&graph};
+
+  // Plan every <PoP, prefix> pair with at least two egress routes.
+  std::vector<PairPlan> plans;
+  for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+    const auto& client = scenario.clients.at(id);
+    const cdn::PopId pop =
+        scenario.provider.serving_pop(graph, db, client.origin_as, client.city);
+    const auto& table = tables.toward(client.origin_as);
+    auto options = cdn::edge_fabric::rank_by_policy(
+        graph, scenario.provider.egress_options(graph, table, pop));
+    if (options.size() < 2) continue;
+    if (options.size() > static_cast<std::size_t>(config.top_k_routes)) {
+      options.resize(static_cast<std::size_t>(config.top_k_routes));
+    }
+    PairPlan plan;
+    plan.pop = pop;
+    plan.prefix = id;
+    for (const auto& opt : options) {
+      auto path = cdn::edge_fabric::egress_path(graph, db, scenario.provider.as_index(),
+                                                scenario.provider.pop(pop), opt,
+                                                client.city);
+      if (!path.valid()) continue;
+      EgressRouteInfo info;
+      info.neighbor = opt.route.neighbor;
+      info.role = opt.route.neighbor_role;
+      info.kind = opt.kind;
+      info.link = opt.link;
+      info.as_path_len = opt.route.length;
+      plan.routes.push_back(info);
+      plan.paths.push_back(std::move(path));
+    }
+    if (plan.routes.size() >= 2) plans.push_back(std::move(plan));
+  }
+
+  // Measure: spray sessions over each route in every window.
+  const lat::RttSampler sampler;
+  Rng root{config.seed};
+  result.series.reserve(plans.size());
+  std::vector<double> samples0;
+  std::vector<double> samples_alt;
+  for (const auto& plan : plans) {
+    const auto& client = scenario.clients.at(plan.prefix);
+    Rng rng = root.fork("pair-" + std::to_string(plan.prefix) + "-" +
+                        std::to_string(plan.pop));
+    PopPrefixSeries series;
+    series.pop = plan.pop;
+    series.prefix = plan.prefix;
+    series.routes = plan.routes;
+    const std::size_t n_routes = plan.routes.size();
+    const std::size_t n_windows = result.windows.size();
+    series.volume.resize(n_windows);
+    series.medians.assign(n_routes, std::vector<float>(n_windows));
+    series.ci_lower.resize(n_windows);
+    series.ci_upper.resize(n_windows);
+
+    const double popularity = scenario.demand.popularity(plan.prefix);
+    std::vector<std::vector<double>> route_samples(n_routes);
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      const SimTime t = result.windows[w].midpoint();
+      series.volume[w] =
+          static_cast<float>(scenario.demand.volume(plan.prefix, t).value());
+      const int n_sessions =
+          traffic::sample_session_count(config.sessions, popularity, rng);
+      for (std::size_t r = 0; r < n_routes; ++r) {
+        const auto base = scenario.latency
+                              .rtt(plan.paths[r], t, client.access,
+                                   client.origin_as, client.city)
+                              .total();
+        auto& samples = route_samples[r];
+        samples.clear();
+        for (int s = 0; s < n_sessions; ++s) {
+          const int rts = traffic::sample_round_trips(config.sessions, rng);
+          samples.push_back(sampler.sample_min_rtt(base, rts, rng).value());
+        }
+        series.medians[r][w] = median_of(samples);
+      }
+      // CI of (BGP - best alternate) from the sprayed samples.
+      std::size_t best_alt = 1;
+      for (std::size_t r = 2; r < n_routes; ++r) {
+        if (series.medians[r][w] < series.medians[best_alt][w]) best_alt = r;
+      }
+      samples0 = route_samples[0];
+      samples_alt = route_samples[best_alt];
+      const auto ci = stats::bootstrap_median_diff_ci(samples0, samples_alt, rng,
+                                                      config.bootstrap);
+      series.ci_lower[w] = static_cast<float>(ci.lower);
+      series.ci_upper[w] = static_cast<float>(ci.upper);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+stats::WeightedCdf PopStudyResult::fig1_cdf(Fig1Bound bound) const {
+  stats::WeightedCdf cdf;
+  for (const auto& s : series) {
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      double value = s.diff(w);
+      if (bound == Fig1Bound::Lower) value = s.ci_lower[w];
+      if (bound == Fig1Bound::Upper) value = s.ci_upper[w];
+      cdf.add(value, s.volume[w]);
+    }
+  }
+  return cdf;
+}
+
+namespace {
+
+/// Weighted CDF of (best class-A median) - (best class-B median) over
+/// <pair, window> entries where both classes exist.
+template <typename ClassOf>
+stats::WeightedCdf class_diff_cdf(const PopStudyResult& result, ClassOf class_of) {
+  stats::WeightedCdf cdf;
+  for (const auto& s : result.series) {
+    std::vector<std::size_t> class_a;
+    std::vector<std::size_t> class_b;
+    for (std::size_t r = 0; r < s.routes.size(); ++r) {
+      const int c = class_of(s.routes[r]);
+      if (c == 0) class_a.push_back(r);
+      if (c == 1) class_b.push_back(r);
+    }
+    if (class_a.empty() || class_b.empty()) continue;
+    for (std::size_t w = 0; w < result.windows.size(); ++w) {
+      auto best = [&](const std::vector<std::size_t>& idx) {
+        float m = s.medians[idx[0]][w];
+        for (const auto r : idx) m = std::min(m, s.medians[r][w]);
+        return m;
+      };
+      cdf.add(best(class_a) - best(class_b), s.volume[w]);
+    }
+  }
+  return cdf;
+}
+
+}  // namespace
+
+stats::WeightedCdf PopStudyResult::fig2_peer_vs_transit() const {
+  return class_diff_cdf(*this, [](const EgressRouteInfo& r) {
+    return r.role == topo::NeighborRole::Peer ? 0
+           : r.role == topo::NeighborRole::Provider ? 1
+                                                    : -1;
+  });
+}
+
+stats::WeightedCdf PopStudyResult::fig2_private_vs_public() const {
+  return class_diff_cdf(*this, [](const EgressRouteInfo& r) {
+    if (r.role != topo::NeighborRole::Peer) return -1;
+    return r.kind == topo::LinkKind::PrivatePeering ? 0 : 1;
+  });
+}
+
+double PopStudyResult::improvable_traffic_fraction(double threshold_ms) const {
+  double improvable = 0.0;
+  double total = 0.0;
+  for (const auto& s : series) {
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      total += s.volume[w];
+      if (s.diff(w) >= threshold_ms) improvable += s.volume[w];
+    }
+  }
+  return total > 0.0 ? improvable / total : 0.0;
+}
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,80 @@
+#include "bgpcmp/core/study_wan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::core {
+
+WanStudyResult run_wan_study(const Scenario& scenario, const wan::CloudTiers& tiers,
+                             const WanStudyConfig& config) {
+  WanStudyResult result;
+  const topo::CityDb& db = scenario.internet.city_db();
+
+  measure::VantageFleet fleet{&scenario.clients, config.fleet};
+  measure::Campaign campaign{&tiers, &scenario.latency, &fleet, &scenario.clients,
+                             config.campaign};
+  Rng rng = Rng{config.seed}.fork("campaign");
+  const auto samples = campaign.run(rng);
+  result.total_samples = samples.size();
+
+  std::size_t premium_near = 0;
+  std::size_t standard_near = 0;
+  std::map<std::string, std::vector<double>> per_country;
+  for (const auto& s : samples) {
+    if (s.premium_ingress_km <= config.ingress_near_km) ++premium_near;
+    if (s.standard_ingress_km <= config.ingress_near_km) ++standard_near;
+
+    // The paper's vantage filter: Premium enters the cloud directly from the
+    // vantage's AS; Standard crosses at least one intermediate AS.
+    if (!s.premium_direct || s.standard_intermediates < 1) continue;
+    ++result.filtered_samples;
+    const auto& client = scenario.clients.at(s.client);
+    per_country[std::string(db.at(client.city).country)].push_back(
+        s.standard.value() - s.premium.value());
+  }
+  if (!samples.empty()) {
+    result.premium_ingress_near_fraction =
+        static_cast<double>(premium_near) / static_cast<double>(samples.size());
+    result.standard_ingress_near_fraction =
+        static_cast<double>(standard_near) / static_cast<double>(samples.size());
+  }
+
+  for (auto& [country, diffs] : per_country) {
+    if (diffs.size() < config.min_country_samples) continue;
+    CountryRow row;
+    row.country = country;
+    row.median_diff_ms = stats::median(diffs);
+    row.samples = diffs.size();
+    // Region of the country's first metro.
+    for (const auto& city : db.all()) {
+      if (city.country == country) {
+        row.region = city.region;
+        break;
+      }
+    }
+    result.countries.push_back(std::move(row));
+  }
+  std::sort(result.countries.begin(), result.countries.end(),
+            [](const CountryRow& a, const CountryRow& b) {
+              if (a.median_diff_ms != b.median_diff_ms) {
+                return a.median_diff_ms > b.median_diff_ms;
+              }
+              return a.country < b.country;
+            });
+  return result;
+}
+
+double WanStudyResult::country_diff(std::string_view country, bool& found) const {
+  for (const auto& row : countries) {
+    if (row.country == country) {
+      found = true;
+      return row.median_diff_ms;
+    }
+  }
+  found = false;
+  return 0.0;
+}
+
+}  // namespace bgpcmp::core

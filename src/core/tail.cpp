@@ -1,0 +1,43 @@
+#include "bgpcmp/core/tail.h"
+
+#include "bgpcmp/measure/http.h"
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::core {
+
+TailResult analyze_tail(const PopStudyResult& study,
+                        std::span<const measure::TierSample> wan_samples,
+                        const TailConfig& config) {
+  TailResult result;
+  for (const double threshold : config.thresholds_ms) {
+    TailThresholdRow row;
+    row.threshold_ms = threshold;
+    row.traffic_fraction = study.improvable_traffic_fraction(threshold);
+    row.estimated_sessions = row.traffic_fraction * config.total_sessions;
+    result.rows.push_back(row);
+  }
+
+  const auto fig1 = study.fig1_cdf();
+  if (!fig1.empty()) {
+    result.p95_improvement_ms = fig1.quantile(0.95);
+    result.p99_improvement_ms = fig1.quantile(0.99);
+  }
+
+  if (!wan_samples.empty()) {
+    // The paper's footnote: 10 MB HTTP GETs over both tiers. Model each
+    // download with the TCP transfer model and compare goodputs.
+    constexpr double kDownloadBytes = 10.0e6;
+    std::vector<double> ratios;
+    ratios.reserve(wan_samples.size());
+    for (const auto& s : wan_samples) {
+      if (s.premium.value() <= 0.0 || s.standard.value() <= 0.0) continue;
+      const double prem = measure::goodput_mbps(kDownloadBytes, s.premium);
+      const double stan = measure::goodput_mbps(kDownloadBytes, s.standard);
+      if (stan > 0.0) ratios.push_back(prem / stan);
+    }
+    if (!ratios.empty()) result.goodput_ratio_median = stats::median(ratios);
+  }
+  return result;
+}
+
+}  // namespace bgpcmp::core

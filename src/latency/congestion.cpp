@@ -1,0 +1,136 @@
+#include "bgpcmp/latency/congestion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace bgpcmp::lat {
+
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+std::vector<CongestionEvent> generate_events(Rng& rng, double rate_per_day,
+                                             double duration_mean_hours,
+                                             double magnitude_mean,
+                                             double horizon_days) {
+  std::vector<CongestionEvent> events;
+  if (rate_per_day <= 0.0) return events;
+  double t_hours = rng.exponential(24.0 / rate_per_day);
+  const double horizon_hours = horizon_days * 24.0;
+  while (t_hours < horizon_hours) {
+    const double dur = std::max(0.05, rng.exponential(duration_mean_hours));
+    const double mag = magnitude_mean * rng.lognormal(0.0, 0.5);
+    events.push_back(CongestionEvent{SimTime::hours(t_hours),
+                                     SimTime::hours(t_hours + dur), mag});
+    t_hours += dur + rng.exponential(24.0 / rate_per_day);
+  }
+  return events;
+}
+
+double active_magnitude(const std::vector<CongestionEvent>& events, SimTime t) {
+  double total = 0.0;
+  for (const auto& e : events) {
+    if (e.start <= t && t < e.end) total += e.magnitude;
+  }
+  return total;
+}
+
+/// Evening-peak factor in [0,1] for a local hour (peaks ~20:00, trough ~04:00).
+double diurnal_factor(double local_hour) {
+  return 0.5 * (1.0 + std::sin(kTwoPi * (local_hour - 14.0) / 24.0));
+}
+
+}  // namespace
+
+Milliseconds queueing_delay(double utilization, const CongestionConfig& cfg) {
+  const double u = std::clamp(utilization, 0.0, 0.99);
+  const double raw = cfg.queue_scale_ms * std::pow(u, 6) / (1.0 - u);
+  return Milliseconds{std::min(raw, cfg.queue_cap_ms)};
+}
+
+LinkProcess::LinkProcess(double base_util, double diurnal_phase_hours,
+                         double local_hour_offset,
+                         std::vector<CongestionEvent> events)
+    : base_util_(base_util),
+      diurnal_phase_hours_(diurnal_phase_hours),
+      local_hour_offset_(local_hour_offset),
+      events_(std::move(events)) {}
+
+double LinkProcess::utilization(SimTime t, double load_scale,
+                                const CongestionConfig& cfg) const {
+  const double local_hour =
+      std::fmod(t.hour_of_day() + local_hour_offset_ + diurnal_phase_hours_ + 48.0,
+                24.0);
+  const double diurnal = cfg.diurnal_amplitude * diurnal_factor(local_hour);
+  const double u = (base_util_ + diurnal) * load_scale + active_magnitude(events_, t);
+  return std::clamp(u, 0.0, 0.99);
+}
+
+CongestionField::CongestionField(const AsGraph* graph, const CityDb* cities,
+                                 const CongestionConfig& config, std::uint64_t seed)
+    : graph_(graph), cities_(cities), config_(config), seed_(seed) {
+  links_.reserve(graph_->link_count());
+  load_scale_.assign(graph_->link_count(), 1.0);
+  Rng root{seed};
+  for (LinkId l = 0; l < graph_->link_count(); ++l) {
+    Rng rng = root.fork("link-" + std::to_string(l));
+    const double base =
+        rng.uniform(config.base_util_min, config.base_util_max);
+    const double phase = rng.uniform(-1.5, 1.5);
+    const double lon = cities_->at(graph_->link(l).city).location.lon_deg;
+    auto events = generate_events(rng, config.event_rate_per_day,
+                                  config.event_duration_mean_hours,
+                                  config.event_extra_util_mean, config.horizon_days);
+    links_.emplace_back(base, phase, lon / 15.0, std::move(events));
+  }
+}
+
+Milliseconds CongestionField::link_delay(LinkId link, SimTime t) const {
+  return queueing_delay(link_utilization(link, t), config_);
+}
+
+double CongestionField::link_utilization(LinkId link, SimTime t) const {
+  assert(link < links_.size());
+  return links_[link].utilization(t, load_scale_[link], config_);
+}
+
+const CongestionField::AccessProcess& CongestionField::access_process(
+    AsIndex as, CityId city) const {
+  const auto key = std::make_pair(as, city);
+  auto it = access_cache_.find(key);
+  if (it != access_cache_.end()) return it->second;
+  Rng rng = Rng{seed_}.fork("access-" + std::to_string(as) + "-" +
+                            std::to_string(city));
+  AccessProcess proc;
+  proc.events = generate_events(
+      rng, config_.access_event_rate_per_day,
+      config_.access_event_duration_mean_hours,
+      config_.access_event_delay_mean_ms, config_.horizon_days);
+  proc.local_hour_offset = cities_->at(city).location.lon_deg / 15.0;
+  return access_cache_.emplace(key, std::move(proc)).first->second;
+}
+
+Milliseconds CongestionField::access_delay(AsIndex access_as, CityId city,
+                                           SimTime t) const {
+  const AccessProcess& proc = access_process(access_as, city);
+  const double local_hour =
+      std::fmod(t.hour_of_day() + proc.local_hour_offset + 48.0, 24.0);
+  const double diurnal =
+      config_.access_diurnal_peak_ms * diurnal_factor(local_hour);
+  return Milliseconds{diurnal + active_magnitude(proc.events, t)};
+}
+
+void CongestionField::set_load_scale(LinkId link, double scale) {
+  assert(link < load_scale_.size());
+  assert(scale >= 0.0);
+  load_scale_[link] = scale;
+}
+
+double CongestionField::load_scale(LinkId link) const {
+  assert(link < load_scale_.size());
+  return load_scale_[link];
+}
+
+}  // namespace bgpcmp::lat

@@ -1,0 +1,47 @@
+#include "bgpcmp/latency/delay.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::lat {
+
+RttBreakdown LatencyModel::rtt(const GeoPath& path, SimTime t,
+                               const AccessProfile& profile, AsIndex access_as,
+                               CityId access_city) const {
+  assert(path.valid());
+  RttBreakdown out;
+
+  Milliseconds one_way{0.0};
+  for (const auto& seg : path.segments) {
+    one_way += propagation_delay(seg.geo, seg.inflation);
+  }
+  out.propagation = one_way * 2.0;
+
+  out.processing = Milliseconds{config_.per_hop_processing_ms *
+                                static_cast<double>(path.crossed_links.size())};
+
+  Milliseconds queueing{0.0};
+  for (const LinkId l : path.crossed_links) {
+    queueing += congestion_->link_delay(l, t);
+  }
+  out.queueing = queueing;
+
+  out.access = Milliseconds{profile.base_rtt_ms} +
+               congestion_->access_delay(access_as, access_city, t);
+  return out;
+}
+
+GigabitsPerSecond LatencyModel::available_bandwidth(const GeoPath& path, SimTime t,
+                                                    double access_cap_gbps) const {
+  assert(path.valid());
+  double gbps = access_cap_gbps;
+  for (const LinkId l : path.crossed_links) {
+    const auto& link = graph_->link(l);
+    const double headroom =
+        link.capacity.value() * (1.0 - congestion_->link_utilization(l, t));
+    gbps = std::min(gbps, headroom);
+  }
+  return GigabitsPerSecond{std::max(gbps, 0.0)};
+}
+
+}  // namespace bgpcmp::lat

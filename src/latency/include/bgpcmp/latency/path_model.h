@@ -1,0 +1,94 @@
+// Geographic realization of AS-level paths.
+//
+// BGP picks a sequence of ASes; *where* the traffic actually flows depends on
+// which interconnection each AS hands off at. This module turns an AS path
+// into a sequence of intra-AS geographic segments by simulating exit
+// strategies:
+//
+//   * hot potato (the Internet default): each AS exits at the interconnection
+//     nearest to where the packet currently is;
+//   * cold potato / late exit: the AS carries the traffic on its own backbone
+//     and exits near the destination (what a private WAN — or a Tier-1 paid
+//     for premium service — does, §3.3.2).
+//
+// The final link into the destination AS is exposed as the *entry link*; for
+// an anycast origin this is the PoP catchment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgpcmp/bgp/origin.h"
+#include "bgpcmp/netbase/geo.h"
+#include "bgpcmp/topology/as_graph.h"
+#include "bgpcmp/topology/city.h"
+
+namespace bgpcmp::lat {
+
+using topo::AsGraph;
+using topo::AsIndex;
+using topo::CityId;
+using topo::CityDb;
+using topo::LinkId;
+
+enum class ExitStrategy : std::uint8_t {
+  HotPotato,   ///< exit nearest to the packet's current location
+  ColdPotato,  ///< carry on own backbone, exit nearest to the destination
+};
+
+/// Effective cable-vs-geodesic inflation of an intra-AS leg. Ordinary
+/// networks (unlike a purpose-built cloud WAN) stretch further on long-haul
+/// legs: ocean crossings follow cable routes, traffic detours via exchange
+/// hubs, and intra-AS routing is less optimized — so beyond ~3000 km the
+/// base inflation grows by up to +0.15. This is the public-Internet handicap
+/// that makes a private WAN competitive on intercontinental paths (§3.3)
+/// while leaving metro-scale comparisons (§3.1) untouched.
+[[nodiscard]] double long_haul_inflation(double base, Kilometers leg);
+
+/// One intra-AS geographic leg.
+struct GeoSegment {
+  AsIndex as = topo::kNoAs;
+  CityId from = topo::kNoCity;
+  CityId to = topo::kNoCity;
+  Kilometers geo;      ///< great-circle distance of the leg
+  double inflation = 1.0;  ///< cable-vs-geodesic inflation of this AS
+};
+
+/// A geographically realized path.
+struct GeoPath {
+  std::vector<AsIndex> as_path;        ///< forwarding order, src AS .. dest AS
+  std::vector<GeoSegment> segments;    ///< intra-AS legs in order
+  std::vector<LinkId> crossed_links;   ///< inter-AS links, in order
+  CityId entry_city = topo::kNoCity;   ///< where the path enters the final AS
+  LinkId entry_link = topo::kNoLink;
+
+  [[nodiscard]] Kilometers geo_distance() const;
+  [[nodiscard]] Kilometers inflated_distance() const;
+  [[nodiscard]] bool valid() const { return !as_path.empty(); }
+};
+
+struct GeoPathOptions {
+  /// Per-AS exit strategy override; absent ASes use hot potato.
+  std::map<AsIndex, ExitStrategy> exit_override;
+  /// Restricts which links may serve as entry into the path's final AS
+  /// (e.g. a scoped unicast prefix is only reachable at its PoP).
+  const bgp::OriginSpec* origin_scope = nullptr;
+  /// Forces the first inter-AS crossing to use a specific link (Edge-Fabric
+  /// egress assignment at a PoP).
+  std::optional<LinkId> forced_first_link;
+};
+
+/// Realize `as_path` (src..dest, as produced by RouteTable::path) starting at
+/// `src_city` and terminating at `dest_city` inside the final AS. Every hop
+/// must correspond to an edge with at least one usable link; returns an
+/// invalid (empty) GeoPath otherwise. Passing `dest_city == kNoCity` means
+/// "terminate wherever the path enters the final AS" — used for anycast,
+/// where the catchment PoP itself is the destination.
+[[nodiscard]] GeoPath build_geo_path(const AsGraph& graph, const CityDb& cities,
+                                     std::span<const AsIndex> as_path,
+                                     CityId src_city, CityId dest_city,
+                                     const GeoPathOptions& options = {});
+
+}  // namespace bgpcmp::lat

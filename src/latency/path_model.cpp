@@ -1,0 +1,123 @@
+#include "bgpcmp/latency/path_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace bgpcmp::lat {
+
+double long_haul_inflation(double base, Kilometers leg) {
+  const double d = leg.value();
+  if (d <= 3000.0) return base;
+  return base + 0.15 * std::min(1.0, (d - 3000.0) / 7000.0);
+}
+
+Kilometers GeoPath::geo_distance() const {
+  Kilometers total{0.0};
+  for (const auto& s : segments) total += s.geo;
+  return total;
+}
+
+Kilometers GeoPath::inflated_distance() const {
+  Kilometers total{0.0};
+  for (const auto& s : segments) total += s.geo * s.inflation;
+  return total;
+}
+
+namespace {
+
+/// Pick the exit link among candidates: hot potato targets the current city,
+/// cold potato targets the destination. Ties break on lowest link id.
+LinkId choose_link(const AsGraph& graph, const CityDb& cities,
+                   std::span<const LinkId> candidates, CityId reference) {
+  assert(!candidates.empty());
+  LinkId best = topo::kNoLink;
+  double best_km = std::numeric_limits<double>::max();
+  for (const LinkId l : candidates) {
+    const double km = cities.distance(graph.link(l).city, reference).value();
+    if (km < best_km || (km == best_km && l < best)) {
+      best_km = km;
+      best = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+GeoPath build_geo_path(const AsGraph& graph, const CityDb& cities,
+                       std::span<const AsIndex> as_path, CityId src_city,
+                       CityId dest_city, const GeoPathOptions& options) {
+  GeoPath out;
+  if (as_path.empty()) return out;
+  assert(graph.has_presence(as_path.front(), src_city));
+
+  CityId cur_city = src_city;
+  for (std::size_t i = 0; i + 1 < as_path.size(); ++i) {
+    const AsIndex cur_as = as_path[i];
+    const AsIndex next_as = as_path[i + 1];
+    const auto edge = graph.find_edge(cur_as, next_as);
+    if (!edge) return GeoPath{};  // non-adjacent path
+
+    // Candidate links for this crossing.
+    std::vector<LinkId> candidates;
+    const bool into_origin = (i + 2 == as_path.size()) && options.origin_scope &&
+                             options.origin_scope->origin == next_as;
+    if (into_origin) {
+      candidates = options.origin_scope->entry_links(graph, *edge);
+    } else {
+      candidates = graph.edge(*edge).links;
+    }
+    if (candidates.empty()) return GeoPath{};
+
+    LinkId chosen;
+    if (i == 0 && options.forced_first_link) {
+      chosen = *options.forced_first_link;
+      if (std::find(candidates.begin(), candidates.end(), chosen) ==
+          candidates.end()) {
+        return GeoPath{};
+      }
+    } else {
+      ExitStrategy strategy = ExitStrategy::HotPotato;
+      if (const auto it = options.exit_override.find(cur_as);
+          it != options.exit_override.end()) {
+        strategy = it->second;
+      }
+      // Cold potato needs a concrete destination; with an open-ended
+      // (kNoCity) destination every AS exits hot.
+      const CityId reference =
+          (strategy == ExitStrategy::HotPotato || dest_city == topo::kNoCity)
+              ? cur_city
+              : dest_city;
+      chosen = choose_link(graph, cities, candidates, reference);
+    }
+
+    const CityId handoff = graph.link(chosen).city;
+    const Kilometers leg = cities.distance(cur_city, handoff);
+    out.segments.push_back(GeoSegment{
+        cur_as, cur_city, handoff, leg,
+        long_haul_inflation(graph.node(cur_as).backbone_inflation, leg)});
+    out.crossed_links.push_back(chosen);
+    cur_city = handoff;
+  }
+
+  // Final intra-AS leg inside the destination AS. A kNoCity destination means
+  // "terminate where the path enters the final AS" (anycast: the catchment
+  // PoP serves the request, wherever that turned out to be).
+  const AsIndex dest_as = as_path.back();
+  const CityId final_city = dest_city == topo::kNoCity ? cur_city : dest_city;
+  const Kilometers leg = cities.distance(cur_city, final_city);
+  out.segments.push_back(GeoSegment{
+      dest_as, cur_city, final_city, leg,
+      long_haul_inflation(graph.node(dest_as).backbone_inflation, leg)});
+  out.as_path.assign(as_path.begin(), as_path.end());
+  if (!out.crossed_links.empty()) {
+    out.entry_link = out.crossed_links.back();
+    out.entry_city = graph.link(out.entry_link).city;
+  } else {
+    out.entry_city = src_city;  // single-AS path
+  }
+  return out;
+}
+
+}  // namespace bgpcmp::lat

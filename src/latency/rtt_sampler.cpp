@@ -1,0 +1,25 @@
+#include "bgpcmp/latency/rtt_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::lat {
+
+Milliseconds RttSampler::sample_min_rtt(Milliseconds base, int round_trips,
+                                        Rng& rng) const {
+  assert(round_trips >= 1);
+  // Min of n iid Exp(mean m) residuals is Exp(mean m/n).
+  const double residual =
+      rng.exponential(config_.noise_scale_ms / static_cast<double>(round_trips));
+  return base + Milliseconds{residual};
+}
+
+Milliseconds RttSampler::sample_ping(Milliseconds base, Rng& rng) const {
+  return base + Milliseconds{rng.exponential(config_.noise_scale_ms)};
+}
+
+Milliseconds RttSampler::sample_ping_min(Milliseconds base, int count, Rng& rng) const {
+  return sample_min_rtt(base, count, rng);
+}
+
+}  // namespace bgpcmp::lat

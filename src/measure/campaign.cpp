@@ -1,0 +1,61 @@
+#include "bgpcmp/measure/campaign.h"
+
+#include <unordered_map>
+
+namespace bgpcmp::measure {
+
+std::vector<TierSample> Campaign::run(Rng& rng) const {
+  std::vector<TierSample> out;
+  Prober prober{latency_};
+  const int days = static_cast<int>(config_.days);
+  const int rounds = fleet_->config().rounds_per_day;
+  const int pings = fleet_->config().pings_per_measurement;
+
+  // Tier routes are static per client (BGP is recomputed only on
+  // announcement changes); cache them across the whole campaign.
+  std::unordered_map<traffic::PrefixId, std::pair<wan::TierRoute, wan::TierRoute>>
+      route_cache;
+
+  for (int day = 0; day < days; ++day) {
+    const auto vantages = fleet_->daily_selection(day);
+    for (int round = 0; round < rounds; ++round) {
+      const SimTime t = SimTime::days(day) +
+                        SimTime::hours(24.0 * (round + 0.5) / rounds);
+      for (const auto id : vantages) {
+        auto it = route_cache.find(id);
+        if (it == route_cache.end()) {
+          const auto& client = clients_->at(id);
+          it = route_cache
+                   .emplace(id, std::make_pair(tiers_->premium(client),
+                                               tiers_->standard(client)))
+                   .first;
+        }
+        const auto& [prem, stan] = it->second;
+        if (!prem.valid() || !stan.valid()) continue;
+
+        const auto& client = clients_->at(id);
+        const auto ping_prem =
+            prober.ping(prem.access_path, t, client.access, client.origin_as,
+                        client.city, pings, rng);
+        const auto ping_stan =
+            prober.ping(stan.access_path, t, client.access, client.origin_as,
+                        client.city, pings, rng);
+        if (ping_prem.received == 0 || ping_stan.received == 0) continue;
+
+        TierSample s;
+        s.client = id;
+        s.time = t;
+        s.premium = ping_prem.min_rtt + prem.wan_rtt;
+        s.standard = ping_stan.min_rtt;
+        s.premium_direct = prem.direct_entry;
+        s.standard_intermediates = stan.intermediate_ases;
+        s.premium_ingress_km = tiers_->ingress_distance(prem, client).value();
+        s.standard_ingress_km = tiers_->ingress_distance(stan, client).value();
+        out.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpcmp::measure

@@ -1,0 +1,52 @@
+#include "bgpcmp/measure/http.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bgpcmp::measure {
+
+double steady_state_throughput(Milliseconds rtt, const TcpModelConfig& config) {
+  assert(rtt.value() > 0.0);
+  const double rtt_s = rtt.value() / 1000.0;
+  // Mathis et al.: throughput <= (MSS / RTT) * sqrt(3 / (2p)).
+  const double mathis =
+      config.mss_bytes / rtt_s * std::sqrt(1.5 / std::max(config.loss_rate, 1e-9));
+  const double bottleneck = config.bottleneck_mbps * 1e6 / 8.0;  // bytes/sec
+  return std::min(mathis, bottleneck);
+}
+
+Milliseconds fetch_time(double bytes, Milliseconds rtt, const TcpModelConfig& config) {
+  assert(bytes >= 0.0);
+  assert(rtt.value() > 0.0);
+  if (bytes <= 0.0) return rtt * config.handshake_rtts;
+
+  const double rate = steady_state_throughput(rtt, config);  // bytes/sec
+  const double rtt_s = rtt.value() / 1000.0;
+  // Congestion window (bytes) at which the path is "full".
+  const double full_window = rate * rtt_s;
+
+  // Slow start: the window doubles each RTT from IW until it reaches the
+  // full window (or the transfer completes).
+  double window = config.initial_window_segments * config.mss_bytes;
+  double sent = 0.0;
+  double rtts = config.handshake_rtts;
+  while (sent < bytes && window < full_window) {
+    sent += window;
+    window *= 2.0;
+    rtts += 1.0;
+  }
+  if (sent >= bytes) {
+    return Milliseconds{rtts * rtt.value()};
+  }
+  // Steady state for the remainder.
+  const double steady_seconds = (bytes - sent) / rate;
+  return Milliseconds{rtts * rtt.value() + steady_seconds * 1000.0};
+}
+
+double goodput_mbps(double bytes, Milliseconds rtt, const TcpModelConfig& config) {
+  const double seconds = fetch_time(bytes, rtt, config).value() / 1000.0;
+  return seconds > 0.0 ? bytes * 8.0 / 1e6 / seconds : 0.0;
+}
+
+}  // namespace bgpcmp::measure

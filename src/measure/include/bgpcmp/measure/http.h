@@ -1,0 +1,35 @@
+// HTTP GET / TCP transfer-time model.
+//
+// The paper's §4 footnote measured "goodput of 10 MB downloads" over both
+// cloud tiers via Speedchecker HTTP GETs and "saw little difference". This
+// models a TCP transfer well enough for that comparison: connection setup,
+// slow start doubling from an initial window, then a steady state limited by
+// either the loss-constrained congestion window (the Mathis model) or the
+// path's bottleneck capacity.
+#pragma once
+
+#include "bgpcmp/netbase/units.h"
+
+namespace bgpcmp::measure {
+
+struct TcpModelConfig {
+  double mss_bytes = 1460.0;
+  double initial_window_segments = 10.0;  ///< RFC 6928 IW10
+  double handshake_rtts = 1.0;            ///< TCP handshake (TLS not modeled)
+  double loss_rate = 1e-4;                ///< residual loss on a healthy path
+  double bottleneck_mbps = 400.0;         ///< access/bottleneck capacity
+};
+
+/// Time to fetch `bytes` over a path with round-trip time `rtt`.
+[[nodiscard]] Milliseconds fetch_time(double bytes, Milliseconds rtt,
+                                      const TcpModelConfig& config = {});
+
+/// Goodput of that fetch in megabits per second.
+[[nodiscard]] double goodput_mbps(double bytes, Milliseconds rtt,
+                                  const TcpModelConfig& config = {});
+
+/// Steady-state TCP throughput (bytes/sec): min(Mathis loss limit, bottleneck).
+[[nodiscard]] double steady_state_throughput(Milliseconds rtt,
+                                             const TcpModelConfig& config = {});
+
+}  // namespace bgpcmp::measure

@@ -1,0 +1,51 @@
+// Probe primitives: ping and traceroute over realized paths.
+#pragma once
+
+#include <vector>
+
+#include "bgpcmp/latency/delay.h"
+#include "bgpcmp/latency/rtt_sampler.h"
+#include "bgpcmp/netbase/rng.h"
+
+namespace bgpcmp::measure {
+
+struct PingResult {
+  int sent = 0;
+  int received = 0;
+  Milliseconds min_rtt{0.0};  ///< valid iff received > 0
+};
+
+struct TracerouteHop {
+  topo::AsIndex as = topo::kNoAs;
+  topo::CityId city = topo::kNoCity;
+  Milliseconds rtt{0.0};  ///< cumulative RTT to this hop
+};
+
+struct ProbeConfig {
+  double loss_rate = 0.01;  ///< per-ping loss probability
+};
+
+class Prober {
+ public:
+  Prober(const lat::LatencyModel* latency, ProbeConfig config = {})
+      : latency_(latency), config_(config) {}
+
+  /// `count` pings over `path`; min RTT of the ones that survive loss.
+  [[nodiscard]] PingResult ping(const lat::GeoPath& path, SimTime t,
+                                const lat::AccessProfile& profile,
+                                topo::AsIndex access_as, topo::CityId access_city,
+                                int count, Rng& rng) const;
+
+  /// Hop list with cumulative RTTs at each AS boundary — what the §3.3 study
+  /// used to locate where traffic enters the cloud network.
+  [[nodiscard]] std::vector<TracerouteHop> traceroute(
+      const lat::GeoPath& path, SimTime t, const lat::AccessProfile& profile,
+      topo::AsIndex access_as, topo::CityId access_city, Rng& rng) const;
+
+ private:
+  const lat::LatencyModel* latency_;
+  ProbeConfig config_;
+  lat::RttSampler sampler_;
+};
+
+}  // namespace bgpcmp::measure

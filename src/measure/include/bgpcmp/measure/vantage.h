@@ -1,0 +1,43 @@
+// Speedchecker-style vantage-point fleet.
+//
+// The §3.3 study issued probes "from 800 vantage points, which we select
+// daily to rotate across <City, AS> locations over time", on a credit budget.
+// The fleet lives in client prefixes (home routers / PCs) and exposes the
+// same rotating daily selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgpcmp/traffic/clients.h"
+
+namespace bgpcmp::measure {
+
+struct VantageFleetConfig {
+  std::uint64_t seed = 51;
+  int daily_vantage_points = 800;
+  int pings_per_measurement = 5;
+  int rounds_per_day = 10;
+};
+
+class VantageFleet {
+ public:
+  VantageFleet(const traffic::ClientBase* clients, VantageFleetConfig config = {});
+
+  /// The vantage points active on a given day: a deterministic rotating
+  /// window over a weighted shuffle of all <City, AS> locations, so the
+  /// campaign covers the whole population over time.
+  [[nodiscard]] std::vector<traffic::PrefixId> daily_selection(int day) const;
+
+  /// All distinct <City, AS> locations the fleet can reach.
+  [[nodiscard]] std::size_t location_count() const { return rotation_.size(); }
+
+  [[nodiscard]] const VantageFleetConfig& config() const { return config_; }
+
+ private:
+  const traffic::ClientBase* clients_;
+  VantageFleetConfig config_;
+  std::vector<traffic::PrefixId> rotation_;  ///< weighted shuffled order
+};
+
+}  // namespace bgpcmp::measure

@@ -1,0 +1,54 @@
+#include "bgpcmp/measure/probes.h"
+
+#include <algorithm>
+
+#include "bgpcmp/netbase/geo.h"
+
+namespace bgpcmp::measure {
+
+PingResult Prober::ping(const lat::GeoPath& path, SimTime t,
+                        const lat::AccessProfile& profile, topo::AsIndex access_as,
+                        topo::CityId access_city, int count, Rng& rng) const {
+  PingResult out;
+  out.sent = count;
+  const auto base = latency_->rtt(path, t, profile, access_as, access_city).total();
+  Milliseconds best{0.0};
+  for (int i = 0; i < count; ++i) {
+    if (rng.chance(config_.loss_rate)) continue;
+    const auto sample = sampler_.sample_ping(base, rng);
+    if (out.received == 0 || sample < best) best = sample;
+    ++out.received;
+  }
+  out.min_rtt = best;
+  return out;
+}
+
+std::vector<TracerouteHop> Prober::traceroute(const lat::GeoPath& path, SimTime t,
+                                              const lat::AccessProfile& profile,
+                                              topo::AsIndex access_as,
+                                              topo::CityId access_city,
+                                              Rng& rng) const {
+  std::vector<TracerouteHop> hops;
+  // Cumulative deterministic RTT is composed segment by segment; noise is
+  // added per hop response. Queueing/access components are charged where they
+  // occur: access at hop 0, each link's queueing at the crossing.
+  const auto& congestion = latency_->congestion();
+  Milliseconds cum = Milliseconds{profile.base_rtt_ms} +
+                     congestion.access_delay(access_as, access_city, t);
+  for (std::size_t i = 0; i < path.segments.size(); ++i) {
+    const auto& seg = path.segments[i];
+    cum += propagation_delay(seg.geo, seg.inflation) * 2.0;
+    if (i < path.crossed_links.size()) {
+      cum += congestion.link_delay(path.crossed_links[i], t) +
+             Milliseconds{latency_->config().per_hop_processing_ms};
+    }
+    TracerouteHop hop;
+    hop.as = seg.as;
+    hop.city = seg.to;
+    hop.rtt = sampler_.sample_ping(cum, rng);
+    hops.push_back(hop);
+  }
+  return hops;
+}
+
+}  // namespace bgpcmp::measure

@@ -1,0 +1,62 @@
+#include "bgpcmp/measure/vantage.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bgpcmp::measure {
+
+VantageFleet::VantageFleet(const traffic::ClientBase* clients,
+                           VantageFleetConfig config)
+    : clients_(clients), config_(config) {
+  // One vantage location per client prefix (each is a distinct <City, AS>
+  // population); weighted shuffle so high-user locations appear more often
+  // in every rotation window, mirroring APNIC-weighted selection.
+  std::vector<traffic::PrefixId> ids(clients_->size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  Rng rng = Rng{config_.seed}.fork("rotation");
+  std::vector<double> weights;
+  weights.reserve(ids.size());
+  for (const auto id : ids) weights.push_back(clients_->at(id).user_weight);
+  rotation_.reserve(ids.size());
+  std::vector<bool> taken(ids.size(), false);
+  for (std::size_t n = 0; n < ids.size(); ++n) {
+    std::size_t pick = rng.weighted_index(weights);
+    rotation_.push_back(ids[pick]);
+    taken[pick] = true;
+    weights[pick] = 0.0;
+    // weighted_index requires positive total; stop early if exhausted.
+    if (std::all_of(weights.begin(), weights.end(),
+                    [](double w) { return w <= 0.0; })) {
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (!taken[i]) rotation_.push_back(ids[i]);
+      }
+      break;
+    }
+  }
+}
+
+std::vector<traffic::PrefixId> VantageFleet::daily_selection(int day) const {
+  // Each day draws a fresh weighted sample (without replacement): probe
+  // fleets live in consumer devices, so big metros host more of them, while
+  // day-to-day rotation still covers the long tail over a campaign.
+  const std::size_t n = rotation_.size();
+  const auto want = std::min(static_cast<std::size_t>(config_.daily_vantage_points), n);
+  Rng rng = Rng{config_.seed}.fork("day-" + std::to_string(day));
+  std::vector<double> weights;
+  weights.reserve(n);
+  for (const auto id : rotation_) weights.push_back(clients_->at(id).user_weight);
+  std::vector<traffic::PrefixId> out;
+  out.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t pick = rng.weighted_index(weights);
+    if (weights[pick] <= 0.0) {
+      --i;
+      continue;
+    }
+    out.push_back(rotation_[pick]);
+    weights[pick] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace bgpcmp::measure

@@ -1,0 +1,33 @@
+#include "bgpcmp/netbase/geo.h"
+
+#include <cmath>
+
+namespace bgpcmp {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+Kilometers great_circle_distance(GeoPoint a, GeoPoint b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  const double c = 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+  return Kilometers{kEarthRadiusKm * c};
+}
+
+Milliseconds propagation_delay(Kilometers distance, double path_inflation) {
+  return Milliseconds{distance.value() * path_inflation / kFiberKmPerMs};
+}
+
+Milliseconds rtt_floor(Kilometers distance, double path_inflation) {
+  return propagation_delay(distance, path_inflation) * 2.0;
+}
+
+}  // namespace bgpcmp

@@ -1,0 +1,36 @@
+// Strongly typed Autonomous System numbers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace bgpcmp {
+
+/// An Autonomous System number. A distinct type (not a bare integer) so AS
+/// identifiers cannot be confused with indices, prefixes, or counts.
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != 0; }
+
+  constexpr auto operator<=>(const Asn&) const = default;
+
+  [[nodiscard]] std::string str() const { return "AS" + std::to_string(value_); }
+
+ private:
+  std::uint32_t value_ = 0;  ///< 0 is reserved and means "no AS".
+};
+
+}  // namespace bgpcmp
+
+template <>
+struct std::hash<bgpcmp::Asn> {
+  std::size_t operator()(const bgpcmp::Asn& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

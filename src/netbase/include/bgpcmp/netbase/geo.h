@@ -1,0 +1,44 @@
+// Geographic primitives: coordinates, great-circle distance, and the
+// fiber-propagation latency floor.
+//
+// The paper's central empirical claim is that latency on today's Internet is
+// dominated by geography — BGP's alternatives usually traverse nearly the
+// same geographic path, so they perform alike. This module is therefore the
+// bedrock of the whole simulation: every latency in the system bottoms out in
+// haversine distance times the speed of light in fiber.
+#pragma once
+
+#include <compare>
+
+#include "bgpcmp/netbase/units.h"
+
+namespace bgpcmp {
+
+/// A point on the Earth's surface (degrees).
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  constexpr auto operator<=>(const GeoPoint&) const = default;
+};
+
+/// Great-circle distance between two points (haversine formula, mean Earth
+/// radius 6371 km).
+[[nodiscard]] Kilometers great_circle_distance(GeoPoint a, GeoPoint b);
+
+/// One-way propagation delay across `distance` of optical fiber.
+///
+/// Light in fiber travels at ~2/3 c ≈ 200 km/ms one way. Real paths are not
+/// geodesic; `path_inflation` (>= 1) scales the geographic distance to cable
+/// distance. The paper quotes "500 km ... as little as 5 ms RTT", i.e.
+/// ~1 ms RTT per 100 km of geographic distance at inflation ~1.
+[[nodiscard]] Milliseconds propagation_delay(Kilometers distance,
+                                             double path_inflation = 1.0);
+
+/// Round-trip propagation delay (2x one-way).
+[[nodiscard]] Milliseconds rtt_floor(Kilometers distance, double path_inflation = 1.0);
+
+/// Speed of light in fiber, km per millisecond (one way).
+inline constexpr double kFiberKmPerMs = 200.0;
+
+}  // namespace bgpcmp

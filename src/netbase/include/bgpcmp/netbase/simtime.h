@@ -1,0 +1,65 @@
+// Simulation time: instants, windows, and the 15-minute aggregation grid the
+// paper's PoP study uses ("within each 15 minute window, we group the
+// measurements by <PoP, prefix, route>").
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bgpcmp {
+
+/// An instant in simulation time, counted in seconds from the start of the
+/// experiment. Integer seconds are plenty for routing-timescale phenomena.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t seconds) : seconds_(seconds) {}
+
+  static constexpr SimTime hours(double h) {
+    return SimTime{static_cast<std::int64_t>(h * 3600.0)};
+  }
+  static constexpr SimTime days(double d) { return hours(d * 24.0); }
+  static constexpr SimTime minutes(double m) {
+    return SimTime{static_cast<std::int64_t>(m * 60.0)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double hours_f() const { return seconds_ / 3600.0; }
+  /// Hour-of-day in [0, 24), used by the diurnal congestion model.
+  [[nodiscard]] double hour_of_day() const;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{seconds_ + o.seconds_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{seconds_ - o.seconds_}; }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// A half-open time window [begin, end).
+struct TimeWindow {
+  SimTime begin;
+  SimTime end;
+
+  [[nodiscard]] constexpr bool contains(SimTime t) const {
+    return begin <= t && t < end;
+  }
+  [[nodiscard]] constexpr SimTime midpoint() const {
+    return SimTime{(begin.seconds() + end.seconds()) / 2};
+  }
+  constexpr auto operator<=>(const TimeWindow&) const = default;
+};
+
+/// Slice [start, start+duration) into consecutive windows of `width`.
+/// The final window is truncated if duration is not a multiple of width.
+[[nodiscard]] std::vector<TimeWindow> make_windows(SimTime start, SimTime duration,
+                                                   SimTime width);
+
+/// The paper's 15-minute aggregation grid over `days` days.
+[[nodiscard]] std::vector<TimeWindow> fifteen_minute_grid(double days);
+
+}  // namespace bgpcmp

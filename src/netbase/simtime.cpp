@@ -1,0 +1,44 @@
+#include "bgpcmp/netbase/simtime.h"
+
+#include <cassert>
+
+namespace bgpcmp {
+
+double SimTime::hour_of_day() const {
+  const std::int64_t day = 86400;
+  std::int64_t s = seconds_ % day;
+  if (s < 0) s += day;
+  return static_cast<double>(s) / 3600.0;
+}
+
+std::string SimTime::str() const {
+  const std::int64_t day = seconds_ / 86400;
+  const std::int64_t rem = seconds_ % 86400;
+  const std::int64_t h = rem / 3600;
+  const std::int64_t m = (rem % 3600) / 60;
+  const std::int64_t s = rem % 60;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%lld %02lld:%02lld:%02lld",
+                static_cast<long long>(day), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s));
+  return buf;
+}
+
+std::vector<TimeWindow> make_windows(SimTime start, SimTime duration, SimTime width) {
+  assert(width.seconds() > 0);
+  std::vector<TimeWindow> out;
+  const SimTime end = start + duration;
+  for (SimTime t = start; t < end;) {
+    SimTime next = t + width;
+    if (next > end) next = end;
+    out.push_back(TimeWindow{t, next});
+    t = next;
+  }
+  return out;
+}
+
+std::vector<TimeWindow> fifteen_minute_grid(double days) {
+  return make_windows(SimTime{0}, SimTime::days(days), SimTime::minutes(15));
+}
+
+}  // namespace bgpcmp

@@ -1,0 +1,64 @@
+#include "bgpcmp/stats/bootstrap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::stats {
+
+namespace {
+
+double resample_median(std::span<const double> values, Rng& rng,
+                       std::vector<double>& scratch) {
+  scratch.clear();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    scratch.push_back(values[rng.index(values.size())]);
+  }
+  std::sort(scratch.begin(), scratch.end());
+  return quantile_sorted(scratch, 0.5);
+}
+
+ConfidenceInterval interval_from(std::vector<double>& stats, double point,
+                                 double confidence) {
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  return ConfidenceInterval{quantile_sorted(stats, alpha), point,
+                            quantile_sorted(stats, 1.0 - alpha)};
+}
+
+}  // namespace
+
+ConfidenceInterval bootstrap_median_ci(std::span<const double> values, Rng& rng,
+                                       const BootstrapOptions& opts) {
+  assert(!values.empty());
+  assert(opts.resamples > 0);
+  std::vector<double> scratch;
+  scratch.reserve(values.size());
+  std::vector<double> medians;
+  medians.reserve(static_cast<std::size_t>(opts.resamples));
+  for (int i = 0; i < opts.resamples; ++i) {
+    medians.push_back(resample_median(values, rng, scratch));
+  }
+  return interval_from(medians, median(values), opts.confidence);
+}
+
+ConfidenceInterval bootstrap_median_diff_ci(std::span<const double> a,
+                                            std::span<const double> b, Rng& rng,
+                                            const BootstrapOptions& opts) {
+  assert(!a.empty() && !b.empty());
+  assert(opts.resamples > 0);
+  std::vector<double> scratch;
+  scratch.reserve(std::max(a.size(), b.size()));
+  std::vector<double> diffs;
+  diffs.reserve(static_cast<std::size_t>(opts.resamples));
+  for (int i = 0; i < opts.resamples; ++i) {
+    const double ma = resample_median(a, rng, scratch);
+    const double mb = resample_median(b, rng, scratch);
+    diffs.push_back(ma - mb);
+  }
+  return interval_from(diffs, median(a) - median(b), opts.confidence);
+}
+
+}  // namespace bgpcmp::stats

@@ -1,0 +1,93 @@
+#include "bgpcmp/stats/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::stats {
+
+void WeightedCdf::add(double value, double weight) {
+  assert(weight >= 0.0);
+  obs_.push_back(Weighted{value, weight});
+  sorted_ = false;
+}
+
+void WeightedCdf::add_all(std::span<const Weighted> obs) {
+  obs_.insert(obs_.end(), obs.begin(), obs.end());
+  sorted_ = false;
+}
+
+void WeightedCdf::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(obs_.begin(), obs_.end(),
+            [](const Weighted& a, const Weighted& b) { return a.value < b.value; });
+  cum_weight_.resize(obs_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < obs_.size(); ++i) {
+    acc += obs_[i].weight;
+    cum_weight_[i] = acc;
+  }
+  sorted_ = true;
+}
+
+double WeightedCdf::total_weight() const {
+  ensure_sorted();
+  return cum_weight_.empty() ? 0.0 : cum_weight_.back();
+}
+
+double WeightedCdf::fraction_at_most(double x) const {
+  assert(!obs_.empty());
+  ensure_sorted();
+  const double total = cum_weight_.back();
+  if (total <= 0.0) return 0.0;
+  // Last index with value <= x.
+  const auto it = std::upper_bound(
+      obs_.begin(), obs_.end(), x,
+      [](double v, const Weighted& w) { return v < w.value; });
+  if (it == obs_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(it - obs_.begin()) - 1;
+  return cum_weight_[idx] / total;
+}
+
+double WeightedCdf::fraction_above(double x) const {
+  return 1.0 - fraction_at_most(x);
+}
+
+double WeightedCdf::quantile(double q) const {
+  assert(!obs_.empty());
+  ensure_sorted();
+  return weighted_quantile(obs_, q);
+}
+
+std::vector<SeriesPoint> WeightedCdf::cdf_series(double lo, double hi,
+                                                 std::size_t points) const {
+  assert(points >= 2 && hi > lo);
+  std::vector<SeriesPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(points - 1);
+    out.push_back(SeriesPoint{x, fraction_at_most(x)});
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> WeightedCdf::ccdf_series(double lo, double hi,
+                                                  std::size_t points) const {
+  auto out = cdf_series(lo, hi, points);
+  for (auto& p : out) p.y = 1.0 - p.y;
+  return out;
+}
+
+double WeightedCdf::min() const {
+  assert(!obs_.empty());
+  ensure_sorted();
+  return obs_.front().value;
+}
+
+double WeightedCdf::max() const {
+  assert(!obs_.empty());
+  ensure_sorted();
+  return obs_.back().value;
+}
+
+}  // namespace bgpcmp::stats

@@ -1,0 +1,34 @@
+#include "bgpcmp/stats/correlation.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bgpcmp::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace bgpcmp::stats

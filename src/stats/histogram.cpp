@@ -1,0 +1,62 @@
+#include "bgpcmp/stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace bgpcmp::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::add(double value, double weight) {
+  assert(weight >= 0.0);
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const double frac = (value - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::total_weight() const {
+  return underflow_ + overflow_ +
+         std::accumulate(counts_.begin(), counts_.end(), 0.0);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const double peak = *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len =
+        peak > 0.0 ? static_cast<std::size_t>(
+                         std::round(counts_[i] / peak * static_cast<double>(width)))
+                   : 0;
+    std::snprintf(line, sizeof(line), "[%9.2f, %9.2f) %10.1f |", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += line;
+    out.append(bar_len, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace bgpcmp::stats

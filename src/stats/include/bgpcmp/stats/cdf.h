@@ -1,0 +1,58 @@
+// Weighted empirical CDF / CCDF over observations.
+//
+// Figures 1, 2, and 4 are traffic-weighted CDFs; Figure 3 is a CCDF. This
+// class accumulates (value, weight) pairs and answers both directions, plus
+// produces evenly spaced series for the bench printers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::stats {
+
+/// One (x, y) point of a CDF/CCDF series.
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class WeightedCdf {
+ public:
+  WeightedCdf() = default;
+
+  void add(double value, double weight = 1.0);
+  void add_all(std::span<const Weighted> obs);
+
+  [[nodiscard]] bool empty() const { return obs_.empty(); }
+  [[nodiscard]] std::size_t count() const { return obs_.size(); }
+  [[nodiscard]] double total_weight() const;
+
+  /// Weighted fraction of observations with value <= x.
+  [[nodiscard]] double fraction_at_most(double x) const;
+  /// Weighted fraction with value > x (CCDF).
+  [[nodiscard]] double fraction_above(double x) const;
+  /// Inverse CDF.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// CDF series sampled at `points` evenly spaced x values across [lo, hi].
+  [[nodiscard]] std::vector<SeriesPoint> cdf_series(double lo, double hi,
+                                                    std::size_t points) const;
+  /// CCDF series sampled likewise.
+  [[nodiscard]] std::vector<SeriesPoint> ccdf_series(double lo, double hi,
+                                                     std::size_t points) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<Weighted> obs_;
+  mutable std::vector<double> cum_weight_;  // parallel to sorted obs_
+  mutable bool sorted_ = true;
+};
+
+}  // namespace bgpcmp::stats

@@ -1,0 +1,12 @@
+// Correlation measures used by the hypothesis-testing analyses (E9, E15).
+#pragma once
+
+#include <span>
+
+namespace bgpcmp::stats {
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns 0 when either side has zero variance or fewer than two points.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+}  // namespace bgpcmp::stats

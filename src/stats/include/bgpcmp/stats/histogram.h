@@ -1,0 +1,37 @@
+// Fixed-bin histogram with ASCII rendering for bench output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bgpcmp::stats {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) evenly; values outside are counted in underflow /
+  /// overflow buckets. Requires hi > lo and bins > 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_weight(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] double overflow() const { return overflow_; }
+  [[nodiscard]] double total_weight() const;
+
+  /// Multi-line ASCII bar rendering, `width` chars for the largest bin.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace bgpcmp::stats

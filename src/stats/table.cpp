@@ -1,0 +1,84 @@
+#include "bgpcmp/stats/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bgpcmp::stats {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::string& label,
+                            const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string render_series(const std::string& x_label,
+                          const std::vector<std::string>& series_names,
+                          const std::vector<std::vector<SeriesPoint>>& series,
+                          int precision) {
+  assert(series_names.size() == series.size());
+  assert(!series.empty());
+  std::vector<std::string> headers{x_label};
+  headers.insert(headers.end(), series_names.begin(), series_names.end());
+  Table t{std::move(headers)};
+  const std::size_t n = series.front().size();
+  for (const auto& s : series) {
+    assert(s.size() == n);
+    (void)s;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(series.size() + 1);
+    cells.push_back(fmt(series.front()[i].x, 2));
+    for (const auto& s : series) cells.push_back(fmt(s[i].y, precision));
+    t.add_row(std::move(cells));
+  }
+  return t.render();
+}
+
+}  // namespace bgpcmp::stats

@@ -1,0 +1,137 @@
+#include "bgpcmp/topology/as_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::topo {
+
+std::string_view as_class_name(AsClass c) {
+  switch (c) {
+    case AsClass::Tier1: return "tier1";
+    case AsClass::Transit: return "transit";
+    case AsClass::Eyeball: return "eyeball";
+    case AsClass::Stub: return "stub";
+    case AsClass::Content: return "content";
+  }
+  return "unknown";
+}
+
+std::string_view link_kind_name(LinkKind k) {
+  switch (k) {
+    case LinkKind::Transit: return "transit";
+    case LinkKind::PublicPeering: return "public-peering";
+    case LinkKind::PrivatePeering: return "private-peering";
+  }
+  return "unknown";
+}
+
+AsIndex AsGraph::add_as(Asn asn, AsClass cls, std::string name,
+                        std::vector<CityId> presence, CityId hub,
+                        double backbone_inflation) {
+  assert(asn.valid());
+  assert(!presence.empty());
+  AsNode node;
+  node.asn = asn;
+  node.cls = cls;
+  node.name = std::move(name);
+  node.hub = hub == kNoCity ? presence.front() : hub;
+  node.presence = std::move(presence);
+  node.backbone_inflation = backbone_inflation;
+  nodes_.push_back(std::move(node));
+  return static_cast<AsIndex>(nodes_.size() - 1);
+}
+
+EdgeId AsGraph::connect_transit(AsIndex provider, AsIndex customer) {
+  assert(provider < nodes_.size() && customer < nodes_.size());
+  assert(provider != customer);
+  assert(!find_edge(provider, customer));
+  edges_.push_back(AsEdge{provider, customer, Relationship::ProviderCustomer, {}});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  nodes_[provider].edges.push_back(id);
+  nodes_[customer].edges.push_back(id);
+  return id;
+}
+
+EdgeId AsGraph::connect_peering(AsIndex a, AsIndex b) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  assert(a != b);
+  assert(!find_edge(a, b));
+  edges_.push_back(AsEdge{a, b, Relationship::PeerPeer, {}});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  nodes_[a].edges.push_back(id);
+  nodes_[b].edges.push_back(id);
+  return id;
+}
+
+LinkId AsGraph::add_link(EdgeId edge, CityId city, LinkKind kind,
+                         GigabitsPerSecond capacity) {
+  assert(edge < edges_.size());
+  const AsEdge& e = edges_[edge];
+  assert(has_presence(e.a, city) && has_presence(e.b, city));
+  // Transit links only on provider-customer edges; peering links only on
+  // peer-peer edges.
+  assert((kind == LinkKind::Transit) == (e.rel == Relationship::ProviderCustomer));
+  (void)e;
+  links_.push_back(InterconnectLink{edge, city, kind, capacity});
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  edges_[edge].links.push_back(id);
+  return id;
+}
+
+std::vector<Neighbor> AsGraph::neighbors(AsIndex i) const {
+  assert(i < nodes_.size());
+  std::vector<Neighbor> out;
+  out.reserve(nodes_[i].edges.size());
+  for (const EdgeId e : nodes_[i].edges) {
+    out.push_back(Neighbor{other_end(e, i), e, role_of_other(e, i)});
+  }
+  return out;
+}
+
+AsIndex AsGraph::other_end(EdgeId e, AsIndex i) const {
+  const AsEdge& edge = edges_.at(e);
+  assert(edge.a == i || edge.b == i);
+  return edge.a == i ? edge.b : edge.a;
+}
+
+NeighborRole AsGraph::role_of_other(EdgeId e, AsIndex i) const {
+  const AsEdge& edge = edges_.at(e);
+  assert(edge.a == i || edge.b == i);
+  if (edge.rel == Relationship::PeerPeer) return NeighborRole::Peer;
+  // a is the provider: from a's view the other (b) is a customer.
+  return edge.a == i ? NeighborRole::Customer : NeighborRole::Provider;
+}
+
+std::optional<EdgeId> AsGraph::find_edge(AsIndex a, AsIndex b) const {
+  if (a >= nodes_.size() || b >= nodes_.size()) return std::nullopt;
+  const auto& smaller = nodes_[a].edges.size() <= nodes_[b].edges.size()
+                            ? nodes_[a].edges
+                            : nodes_[b].edges;
+  for (const EdgeId e : smaller) {
+    const AsEdge& edge = edges_[e];
+    if ((edge.a == a && edge.b == b) || (edge.a == b && edge.b == a)) return e;
+  }
+  return std::nullopt;
+}
+
+bool AsGraph::has_presence(AsIndex i, CityId city) const {
+  const auto& p = nodes_.at(i).presence;
+  return std::find(p.begin(), p.end(), city) != p.end();
+}
+
+std::optional<AsIndex> AsGraph::find_asn(Asn asn) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].asn == asn) return static_cast<AsIndex>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<AsIndex> AsGraph::of_class(AsClass c) const {
+  std::vector<AsIndex> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].cls == c) out.push_back(static_cast<AsIndex>(i));
+  }
+  return out;
+}
+
+}  // namespace bgpcmp::topo

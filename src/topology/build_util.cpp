@@ -1,0 +1,105 @@
+#include "bgpcmp/topology/build_util.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpcmp::topo {
+
+std::vector<CityId> shared_presence_cities(const AsGraph& graph, const CityDb& cities,
+                                           AsIndex a, AsIndex b) {
+  std::vector<CityId> pa = graph.node(a).presence;
+  std::vector<CityId> pb = graph.node(b).presence;
+  std::sort(pa.begin(), pa.end());
+  std::sort(pb.begin(), pb.end());
+  std::vector<CityId> out;
+  std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
+                        std::back_inserter(out));
+  std::sort(out.begin(), out.end(), [&](CityId x, CityId y) {
+    if (cities.at(x).user_weight != cities.at(y).user_weight) {
+      return cities.at(x).user_weight > cities.at(y).user_weight;
+    }
+    return x < y;
+  });
+  return out;
+}
+
+std::vector<CityId> spread_subset(const CityDb& cities, std::vector<CityId> candidates,
+                                  std::size_t k) {
+  if (candidates.size() <= k) return candidates;
+  std::vector<CityId> chosen;
+  chosen.push_back(candidates.front());
+  while (chosen.size() < k) {
+    CityId best = kNoCity;
+    double best_min = -1.0;
+    for (const CityId c : candidates) {
+      if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) continue;
+      double min_d = 1e18;
+      for (const CityId s : chosen) {
+        min_d = std::min(min_d, cities.distance(c, s).value());
+      }
+      if (min_d > best_min) {
+        best_min = min_d;
+        best = c;
+      }
+    }
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+void ensure_presence(AsGraph& graph, AsIndex as, CityId city) {
+  if (!graph.has_presence(as, city)) graph.node_mut(as).presence.push_back(city);
+}
+
+EdgeId add_transit_edge(AsGraph& graph, const CityDb& cities, AsIndex provider,
+                        AsIndex customer, GigabitsPerSecond capacity,
+                        std::size_t max_links) {
+  if (const auto existing = graph.find_edge(provider, customer)) return *existing;
+  auto link_cities = shared_presence_cities(graph, cities, provider, customer);
+  if (link_cities.empty()) {
+    const CityId hub = graph.node(customer).hub;
+    ensure_presence(graph, provider, hub);
+    link_cities.push_back(hub);
+  }
+  link_cities = spread_subset(cities, std::move(link_cities), max_links);
+  const EdgeId e = graph.connect_transit(provider, customer);
+  for (const CityId c : link_cities) {
+    graph.add_link(e, c, LinkKind::Transit, capacity);
+  }
+  return e;
+}
+
+EdgeId add_peering_edge(AsGraph& graph, const CityDb& cities, AsIndex a, AsIndex b,
+                        LinkKind kind, GigabitsPerSecond capacity,
+                        std::size_t max_links) {
+  assert(kind != LinkKind::Transit);
+  if (const auto existing = graph.find_edge(a, b)) return *existing;
+  auto link_cities = shared_presence_cities(graph, cities, a, b);
+  if (link_cities.empty()) return kNoEdge;
+  link_cities = spread_subset(cities, std::move(link_cities), max_links);
+  const EdgeId e = graph.connect_peering(a, b);
+  for (const CityId c : link_cities) {
+    graph.add_link(e, c, kind, capacity);
+  }
+  return e;
+}
+
+EdgeId add_peering_link_at(AsGraph& graph, AsIndex a, AsIndex b, CityId city,
+                           LinkKind kind, GigabitsPerSecond capacity) {
+  assert(kind != LinkKind::Transit);
+  EdgeId e;
+  if (const auto existing = graph.find_edge(a, b)) {
+    e = *existing;
+    assert(graph.edge(e).rel == Relationship::PeerPeer);
+    // Don't duplicate a link of the same kind at the same city.
+    for (const LinkId l : graph.edge(e).links) {
+      if (graph.link(l).city == city && graph.link(l).kind == kind) return e;
+    }
+  } else {
+    e = graph.connect_peering(a, b);
+  }
+  graph.add_link(e, city, kind, capacity);
+  return e;
+}
+
+}  // namespace bgpcmp::topo

@@ -1,0 +1,147 @@
+// AS-level Internet graph with business relationships and geographically
+// located interconnection links.
+//
+// Nodes are Autonomous Systems; edges carry a Gao-Rexford relationship
+// (provider-customer or peer-peer); each edge is realized by one or more
+// *links*, each pinned to a city — because "where" two ASes interconnect is
+// what determines path geography, hot- vs cold-potato behaviour, and hence
+// every latency in the study.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgpcmp/netbase/asn.h"
+#include "bgpcmp/netbase/units.h"
+#include "bgpcmp/topology/city.h"
+
+namespace bgpcmp::topo {
+
+using AsIndex = std::uint32_t;
+using EdgeId = std::uint32_t;
+using LinkId = std::uint32_t;
+inline constexpr AsIndex kNoAs = 0xffffffff;
+inline constexpr EdgeId kNoEdge = 0xffffffff;
+inline constexpr LinkId kNoLink = 0xffffffff;
+
+/// Business class of an AS; drives presence footprint, intra-AS path quality,
+/// and generation-time connectivity.
+enum class AsClass : std::uint8_t {
+  Tier1,    ///< global transit-free backbone
+  Transit,  ///< regional/national transit provider
+  Eyeball,  ///< access ISP hosting end users
+  Stub,     ///< small enterprise/regional network, single-homed or dual-homed
+  Content,  ///< content/cloud provider (CDN, hyperscaler)
+};
+
+[[nodiscard]] std::string_view as_class_name(AsClass c);
+
+/// Relationship of edge endpoints: either `a` is the provider of `b`, or the
+/// two are settlement-free peers.
+enum class Relationship : std::uint8_t { ProviderCustomer, PeerPeer };
+
+/// How a particular interconnection is realized. The paper's Fig 2 contrasts
+/// peer-vs-transit and private-vs-public-exchange interconnections.
+enum class LinkKind : std::uint8_t {
+  Transit,         ///< customer-provider link
+  PublicPeering,   ///< peering across a public IXP fabric
+  PrivatePeering,  ///< private network interconnect (PNI), dedicated capacity
+};
+
+[[nodiscard]] std::string_view link_kind_name(LinkKind k);
+
+/// One physical interconnection between the two ASes of an edge, in a city.
+struct InterconnectLink {
+  EdgeId edge = kNoEdge;
+  CityId city = kNoCity;
+  LinkKind kind = LinkKind::Transit;
+  GigabitsPerSecond capacity{100.0};
+};
+
+/// An adjacency between two ASes. `rel == ProviderCustomer` means node `a` is
+/// the provider and `b` the customer.
+struct AsEdge {
+  AsIndex a = kNoAs;
+  AsIndex b = kNoAs;
+  Relationship rel = Relationship::PeerPeer;
+  std::vector<LinkId> links;
+};
+
+/// An Autonomous System.
+struct AsNode {
+  Asn asn;
+  AsClass cls = AsClass::Stub;
+  std::string name;
+  std::vector<CityId> presence;  ///< cities where the AS has routers
+  CityId hub = kNoCity;          ///< backbone hub (detours route via here)
+  double backbone_inflation = 1.3;  ///< intra-AS cable-vs-geodesic inflation
+  std::vector<EdgeId> edges;     ///< incident edges
+};
+
+/// Role of a neighbor from one endpoint's point of view.
+enum class NeighborRole : std::uint8_t { Customer, Peer, Provider };
+
+/// A neighbor as seen from a node: which AS, via which edge, playing what role.
+struct Neighbor {
+  AsIndex as = kNoAs;
+  EdgeId edge = kNoEdge;
+  NeighborRole role = NeighborRole::Peer;
+};
+
+class AsGraph {
+ public:
+  /// Add an AS. `presence` must be non-empty; the first city is the hub
+  /// unless `hub` is given.
+  AsIndex add_as(Asn asn, AsClass cls, std::string name, std::vector<CityId> presence,
+                 CityId hub = kNoCity, double backbone_inflation = 1.3);
+
+  /// Create a provider->customer edge (no links yet).
+  EdgeId connect_transit(AsIndex provider, AsIndex customer);
+  /// Create a peer-peer edge (no links yet).
+  EdgeId connect_peering(AsIndex a, AsIndex b);
+  /// Attach a physical link to an edge at a city. Both ASes must be present
+  /// in that city.
+  LinkId add_link(EdgeId edge, CityId city, LinkKind kind, GigabitsPerSecond capacity);
+
+  [[nodiscard]] std::size_t as_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const AsNode& node(AsIndex i) const { return nodes_.at(i); }
+  [[nodiscard]] AsNode& node_mut(AsIndex i) { return nodes_.at(i); }
+  [[nodiscard]] const AsEdge& edge(EdgeId e) const { return edges_.at(e); }
+  [[nodiscard]] const InterconnectLink& link(LinkId l) const { return links_.at(l); }
+  [[nodiscard]] std::span<const AsNode> nodes() const { return nodes_; }
+  [[nodiscard]] std::span<const AsEdge> edges() const { return edges_; }
+  [[nodiscard]] std::span<const InterconnectLink> links() const { return links_; }
+
+  /// Neighbors of `i` with their roles (one entry per edge).
+  [[nodiscard]] std::vector<Neighbor> neighbors(AsIndex i) const;
+
+  /// The other endpoint of `e` relative to `i`.
+  [[nodiscard]] AsIndex other_end(EdgeId e, AsIndex i) const;
+  /// Role the *other* endpoint plays relative to `i` on edge `e`.
+  [[nodiscard]] NeighborRole role_of_other(EdgeId e, AsIndex i) const;
+
+  /// Edge between a and b if one exists.
+  [[nodiscard]] std::optional<EdgeId> find_edge(AsIndex a, AsIndex b) const;
+
+  /// True if the AS has a router in the city.
+  [[nodiscard]] bool has_presence(AsIndex i, CityId city) const;
+
+  /// Lookup by ASN (linear scan; graphs are built once, queried by index).
+  [[nodiscard]] std::optional<AsIndex> find_asn(Asn asn) const;
+
+  /// All AS indices of a given class.
+  [[nodiscard]] std::vector<AsIndex> of_class(AsClass c) const;
+
+ private:
+  std::vector<AsNode> nodes_;
+  std::vector<AsEdge> edges_;
+  std::vector<InterconnectLink> links_;
+};
+
+}  // namespace bgpcmp::topo

@@ -1,0 +1,46 @@
+// Graph-construction utilities shared by the Internet generator and the
+// content-provider/WAN attachment code.
+#pragma once
+
+#include <vector>
+
+#include "bgpcmp/netbase/rng.h"
+#include "bgpcmp/topology/as_graph.h"
+#include "bgpcmp/topology/city.h"
+
+namespace bgpcmp::topo {
+
+/// Cities where both ASes have presence, sorted by descending user weight.
+[[nodiscard]] std::vector<CityId> shared_presence_cities(const AsGraph& graph,
+                                                         const CityDb& cities,
+                                                         AsIndex a, AsIndex b);
+
+/// Greedy farthest-point subset of up to `k` cities (keeps interconnection
+/// footprints geographically spread, which is what makes potato routing
+/// meaningful).
+[[nodiscard]] std::vector<CityId> spread_subset(const CityDb& cities,
+                                                std::vector<CityId> candidates,
+                                                std::size_t k);
+
+/// Ensure `as` has presence in `city` (providers deploy into customer metros).
+void ensure_presence(AsGraph& graph, AsIndex as, CityId city);
+
+/// Connect provider->customer with transit links at up to `max_links` shared
+/// cities, extending the provider into the customer's hub if footprints are
+/// disjoint. No-op if the edge already exists. Returns the edge.
+EdgeId add_transit_edge(AsGraph& graph, const CityDb& cities, AsIndex provider,
+                        AsIndex customer, GigabitsPerSecond capacity,
+                        std::size_t max_links = 2);
+
+/// Peer two ASes with links of `kind` at up to `max_links` shared cities.
+/// Returns kNoEdge (and adds nothing) if they share no city or already peer.
+EdgeId add_peering_edge(AsGraph& graph, const CityDb& cities, AsIndex a, AsIndex b,
+                        LinkKind kind, GigabitsPerSecond capacity,
+                        std::size_t max_links = 3);
+
+/// Peer two ASes with a single link at an explicit city (both must be
+/// present). Returns the edge (creating it if needed) after adding the link.
+EdgeId add_peering_link_at(AsGraph& graph, AsIndex a, AsIndex b, CityId city,
+                           LinkKind kind, GigabitsPerSecond capacity);
+
+}  // namespace bgpcmp::topo

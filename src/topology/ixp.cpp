@@ -1,0 +1,30 @@
+#include "bgpcmp/topology/ixp.h"
+
+#include <algorithm>
+
+namespace bgpcmp::topo {
+
+bool Ixp::is_member(AsIndex as) const {
+  return std::find(members.begin(), members.end(), as) != members.end();
+}
+
+std::vector<CityId> choose_ixp_cities(const CityDb& db, std::size_t per_region) {
+  std::vector<CityId> out;
+  for (const Region r :
+       {Region::NorthAmerica, Region::SouthAmerica, Region::Europe, Region::Asia,
+        Region::Oceania, Region::Africa, Region::MiddleEast}) {
+    auto ids = db.in_region(r);
+    std::sort(ids.begin(), ids.end(), [&](CityId a, CityId b) {
+      const double wa = db.at(a).user_weight;
+      const double wb = db.at(b).user_weight;
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+    if (ids.size() > per_region) ids.resize(per_region);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bgpcmp::topo

@@ -1,0 +1,378 @@
+#include "bgpcmp/topology/topology_gen.h"
+
+#include "bgpcmp/topology/build_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <string>
+
+namespace bgpcmp::topo {
+
+namespace {
+
+constexpr std::uint32_t kTier1AsnBase = 101;
+constexpr std::uint32_t kTransitAsnBase = 1001;
+constexpr std::uint32_t kEyeballAsnBase = 5001;
+constexpr std::uint32_t kStubAsnBase = 20001;
+
+GigabitsPerSecond jittered(double gbps, Rng& rng) {
+  return GigabitsPerSecond{gbps * rng.lognormal(0.0, 0.3)};
+}
+
+void add_transit(AsGraph& g, const CityDb& db, AsIndex provider, AsIndex customer,
+                 double gbps, Rng& rng, std::size_t max_links = 6) {
+  if (g.find_edge(provider, customer)) return;
+  add_transit_edge(g, db, provider, customer, jittered(gbps, rng), max_links);
+}
+
+void add_peering(AsGraph& g, const CityDb& db, AsIndex a, AsIndex b, LinkKind kind,
+                 double gbps, Rng& rng, std::size_t max_links = 4) {
+  if (g.find_edge(a, b)) return;
+  add_peering_edge(g, db, a, b, kind, jittered(gbps, rng), max_links);
+}
+
+/// Sample `mean`-distributed small counts >= 1 (1 + Poisson-ish via
+/// geometric-ish draw; clamped to [1, max]).
+int sample_count(Rng& rng, double mean, int max) {
+  const int extra = static_cast<int>(rng.exponential(std::max(0.0, mean - 1.0)) + 0.5);
+  return std::clamp(1 + extra, 1, max);
+}
+
+std::vector<CityId> cities_of_region(const CityDb& db, Region r) {
+  return db.in_region(r);
+}
+
+/// Weighted sample of one region by total user weight.
+Region sample_region(const CityDb& db, Rng& rng) {
+  static constexpr Region kRegions[] = {
+      Region::NorthAmerica, Region::SouthAmerica, Region::Europe, Region::Asia,
+      Region::Oceania,      Region::Africa,       Region::MiddleEast};
+  double weights[std::size(kRegions)];
+  for (std::size_t i = 0; i < std::size(kRegions); ++i) {
+    double w = 0.0;
+    for (const CityId c : db.in_region(kRegions[i])) w += db.at(c).user_weight;
+    weights[i] = w;
+  }
+  return kRegions[rng.weighted_index(std::span<const double>{weights})];
+}
+
+}  // namespace
+
+const Ixp* Internet::ixp_in(CityId city) const {
+  for (const auto& x : ixps) {
+    if (x.city == city) return &x;
+  }
+  return nullptr;
+}
+
+Internet build_internet(const InternetConfig& config) {
+  const CityDb& db = CityDb::world();
+  Internet net;
+  net.cities = &db;
+
+  Rng root{config.seed};
+  Rng rng_t1 = root.fork("tier1");
+  Rng rng_tr = root.fork("transit");
+  Rng rng_eb = root.fork("eyeball");
+  Rng rng_st = root.fork("stub");
+  Rng rng_link = root.fork("links");
+
+  const std::vector<CityId> ixp_cities = choose_ixp_cities(db, config.ixps_per_region);
+
+  // Global hub metros used for long-haul interconnection between regional
+  // players: the highest-weight IXP city of each region.
+  std::vector<CityId> global_hubs;
+  {
+    std::map<Region, CityId> best;
+    for (const CityId c : ixp_cities) {
+      const Region r = db.at(c).region;
+      if (!best.count(r) || db.at(c).user_weight > db.at(best[r]).user_weight) {
+        best[r] = c;
+      }
+    }
+    for (const auto& [r, c] : best) global_hubs.push_back(c);
+  }
+
+  // ---- Tier-1 backbones -------------------------------------------------
+  for (int i = 0; i < config.tier1_count; ++i) {
+    std::vector<CityId> presence;
+    for (const CityId c : ixp_cities) {
+      if (rng_t1.chance(0.92)) presence.push_back(c);
+    }
+    for (CityId c = 0; c < db.size(); ++c) {
+      if (std::find(ixp_cities.begin(), ixp_cities.end(), c) != ixp_cities.end()) {
+        continue;
+      }
+      if (rng_t1.chance(0.30)) presence.push_back(c);
+    }
+    if (presence.empty()) presence = ixp_cities;
+    const CityId hub = presence[rng_t1.index(presence.size())];
+    const AsIndex idx = net.graph.add_as(
+        Asn{kTier1AsnBase + static_cast<std::uint32_t>(i)}, AsClass::Tier1,
+        "T1-" + std::to_string(i), presence, hub, /*backbone_inflation=*/1.15);
+    net.tier1s.push_back(idx);
+  }
+  // Full peer mesh among Tier-1s (the defining property of the clique).
+  for (std::size_t i = 0; i < net.tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < net.tier1s.size(); ++j) {
+      add_peering(net.graph, db, net.tier1s[i], net.tier1s[j],
+                  LinkKind::PrivatePeering, config.tier1_link_capacity, rng_link,
+                  /*max_links=*/48);
+    }
+  }
+
+  // ---- Regional transit providers ---------------------------------------
+  for (int i = 0; i < config.transit_count; ++i) {
+    const Region region = sample_region(db, rng_tr);
+    auto region_cities = cities_of_region(db, region);
+    std::vector<double> weights;
+    weights.reserve(region_cities.size());
+    for (const CityId c : region_cities) weights.push_back(db.at(c).user_weight);
+    const std::size_t n_cities =
+        std::min(region_cities.size(),
+                 static_cast<std::size_t>(rng_tr.uniform_int(6, 14)));
+    std::set<CityId> chosen;
+    while (chosen.size() < n_cities) {
+      chosen.insert(region_cities[rng_tr.weighted_index(weights)]);
+    }
+    std::vector<CityId> presence{chosen.begin(), chosen.end()};
+    // Some transits extend to 1-2 global hubs for long-haul peering.
+    if (rng_tr.chance(0.4)) {
+      presence.push_back(global_hubs[rng_tr.index(global_hubs.size())]);
+    }
+    const CityId hub = presence.front();
+    const AsIndex idx = net.graph.add_as(
+        Asn{kTransitAsnBase + static_cast<std::uint32_t>(i)}, AsClass::Transit,
+        "TR-" + std::string(region_name(region)) + "-" + std::to_string(i),
+        presence, hub, /*backbone_inflation=*/1.25);
+    net.transits.push_back(idx);
+
+    const int n_providers = sample_count(
+        rng_tr, config.transit_tier1_providers_mean, config.tier1_count);
+    std::vector<AsIndex> t1s = net.tier1s;
+    rng_tr.shuffle(t1s);
+    for (int p = 0; p < n_providers; ++p) {
+      add_transit(net.graph, db, t1s[static_cast<std::size_t>(p)], idx,
+                  config.transit_link_capacity, rng_link, /*max_links=*/10);
+    }
+  }
+  // Transit-transit peering where footprints overlap.
+  for (std::size_t i = 0; i < net.transits.size(); ++i) {
+    for (std::size_t j = i + 1; j < net.transits.size(); ++j) {
+      if (!rng_tr.chance(config.transit_peer_prob)) continue;
+      add_peering(net.graph, db, net.transits[i], net.transits[j],
+                  LinkKind::PublicPeering, config.transit_link_capacity * 0.25,
+                  rng_link, /*max_links=*/6);
+    }
+  }
+
+  // ---- Eyeball access ISPs ----------------------------------------------
+  // Countries weighted by their total user weight; big countries host
+  // multiple eyeballs.
+  std::vector<std::string_view> countries;
+  std::vector<double> country_weights;
+  for (CityId c = 0; c < db.size(); ++c) {
+    const auto& city = db.at(c);
+    auto it = std::find(countries.begin(), countries.end(), city.country);
+    if (it == countries.end()) {
+      countries.push_back(city.country);
+      country_weights.push_back(city.user_weight);
+    } else {
+      country_weights[static_cast<std::size_t>(it - countries.begin())] +=
+          city.user_weight;
+    }
+  }
+  for (int i = 0; i < config.eyeball_count; ++i) {
+    const std::size_t ci = rng_eb.weighted_index(country_weights);
+    const std::string_view country = countries[ci];
+    std::vector<CityId> country_cities = db.in_country(country);
+    assert(!country_cities.empty());
+    // Weighted hub: the biggest metro of the country.
+    CityId hub = country_cities.front();
+    for (const CityId c : country_cities) {
+      if (db.at(c).user_weight > db.at(hub).user_weight) hub = c;
+    }
+    // Access ISPs in large countries are regional, not national: keep the
+    // hub plus a subset of the other metros — big countries end up with a
+    // mix of nationwide and regional eyeballs.
+    std::vector<CityId> presence;
+    for (const CityId c : country_cities) {
+      if (c == hub || country_cities.size() <= 4 || rng_eb.chance(0.6)) {
+        presence.push_back(c);
+      }
+    }
+    const AsIndex idx = net.graph.add_as(
+        Asn{kEyeballAsnBase + static_cast<std::uint32_t>(i)}, AsClass::Eyeball,
+        "EB-" + std::string(db.at(hub).country_code) + "-" + std::to_string(i),
+        presence, hub, /*backbone_inflation=*/1.4);
+    net.eyeballs.push_back(idx);
+
+    // Providers: transits already present in the eyeball's metros first (an
+    // ISP buys transit from carriers operating in its own country; this also
+    // keeps alternate egress routes geographically close to the preferred
+    // one, §3.1.2), then other same-region transits.
+    const Region region = db.at(hub).region;
+    std::vector<AsIndex> at_hub;
+    std::vector<AsIndex> colocated;
+    std::vector<AsIndex> regional;
+    for (const AsIndex t : net.transits) {
+      if (db.at(net.graph.node(t).hub).region != region) continue;
+      if (net.graph.has_presence(t, hub)) {
+        at_hub.push_back(t);
+        continue;
+      }
+      const bool shares =
+          std::any_of(presence.begin(), presence.end(),
+                      [&](CityId c) { return net.graph.has_presence(t, c); });
+      (shares ? colocated : regional).push_back(t);
+    }
+    rng_eb.shuffle(at_hub);
+    rng_eb.shuffle(colocated);
+    rng_eb.shuffle(regional);
+    std::vector<AsIndex> candidates = std::move(at_hub);
+    candidates.insert(candidates.end(), colocated.begin(), colocated.end());
+    candidates.insert(candidates.end(), regional.begin(), regional.end());
+    const int n_providers =
+        sample_count(rng_eb, config.eyeball_transit_providers_mean, 4);
+    int attached = 0;
+    for (const AsIndex t : candidates) {
+      if (attached >= n_providers) break;
+      add_transit(net.graph, db, t, idx, config.eyeball_transit_capacity, rng_link,
+                  /*max_links=*/8);
+      ++attached;
+    }
+    if (attached == 0 || rng_eb.chance(config.eyeball_tier1_provider_prob)) {
+      const AsIndex t1 = net.tier1s[rng_eb.index(net.tier1s.size())];
+      add_transit(net.graph, db, t1, idx, config.eyeball_transit_capacity, rng_link);
+    }
+  }
+
+  // ---- Stubs --------------------------------------------------------------
+  std::vector<double> city_weights;
+  for (CityId c = 0; c < db.size(); ++c) city_weights.push_back(db.at(c).user_weight);
+  for (int i = 0; i < config.stub_count; ++i) {
+    const auto city = static_cast<CityId>(rng_st.weighted_index(city_weights));
+    const AsIndex idx = net.graph.add_as(
+        Asn{kStubAsnBase + static_cast<std::uint32_t>(i)}, AsClass::Stub,
+        "ST-" + std::string(db.at(city).country_code) + "-" + std::to_string(i),
+        {city}, city, /*backbone_inflation=*/1.5);
+    net.stubs.push_back(idx);
+
+    // Providers: any transit or eyeball present in (or near) the stub's city.
+    std::vector<AsIndex> candidates;
+    for (const AsIndex t : net.transits) {
+      if (net.graph.has_presence(t, city)) candidates.push_back(t);
+    }
+    for (const AsIndex e : net.eyeballs) {
+      if (net.graph.has_presence(e, city)) candidates.push_back(e);
+    }
+    const int n_providers = rng_st.chance(config.stub_dual_home_prob) ? 2 : 1;
+    rng_st.shuffle(candidates);
+    int attached = 0;
+    for (const AsIndex p : candidates) {
+      if (attached >= n_providers) break;
+      add_transit(net.graph, db, p, idx, config.stub_capacity, rng_link, 1);
+      ++attached;
+    }
+    if (attached == 0) {
+      // Remote metro: buy transit from a random regional transit, which
+      // extends its footprint into the stub's city.
+      const Region region = db.at(city).region;
+      std::vector<AsIndex> regional;
+      for (const AsIndex t : net.transits) {
+        if (db.at(net.graph.node(t).hub).region == region) regional.push_back(t);
+      }
+      const AsIndex p = regional.empty()
+                            ? net.tier1s[rng_st.index(net.tier1s.size())]
+                            : regional[rng_st.index(regional.size())];
+      add_transit(net.graph, db, p, idx, config.stub_capacity, rng_link, 1);
+    }
+  }
+
+  // ---- IXPs ----------------------------------------------------------------
+  for (const CityId c : ixp_cities) {
+    Ixp ixp;
+    ixp.name = "IXP-" + std::string(db.at(c).name);
+    ixp.city = c;
+    for (AsIndex i = 0; i < net.graph.as_count(); ++i) {
+      if (!net.graph.has_presence(i, c)) continue;
+      const AsClass cls = net.graph.node(i).cls;
+      const bool joins =
+          cls == AsClass::Tier1 || cls == AsClass::Transit ||
+          (cls == AsClass::Eyeball && rng_eb.chance(config.eyeball_peering_openness));
+      if (joins) ixp.members.push_back(i);
+    }
+    net.ixps.push_back(std::move(ixp));
+  }
+
+  // Eyeball-eyeball and eyeball-transit public peering across shared IXPs
+  // (modest probability; eyeballs mostly exchange via transit or content PNIs).
+  Rng rng_pub = root.fork("public-peering");
+  for (const Ixp& ixp : net.ixps) {
+    for (std::size_t i = 0; i < ixp.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < ixp.members.size(); ++j) {
+        const AsIndex a = ixp.members[i];
+        const AsIndex b = ixp.members[j];
+        const AsClass ca = net.graph.node(a).cls;
+        const AsClass cb = net.graph.node(b).cls;
+        const bool eyeball_pair = ca == AsClass::Eyeball && cb == AsClass::Eyeball;
+        const bool eyeball_transit =
+            (ca == AsClass::Eyeball && cb == AsClass::Transit) ||
+            (ca == AsClass::Transit && cb == AsClass::Eyeball);
+        double prob = 0.0;
+        if (eyeball_pair) prob = 0.10;
+        if (eyeball_transit) prob = 0.08;
+        if (prob > 0.0 && rng_pub.chance(prob)) {
+          add_peering(net.graph, db, a, b, LinkKind::PublicPeering,
+                      /*gbps=*/80.0, rng_link, 2);
+        }
+      }
+    }
+  }
+
+  return net;
+}
+
+std::vector<CityId> choose_pop_cities(const Internet& internet, std::size_t count,
+                                      Rng& rng) {
+  const CityDb& db = internet.city_db();
+  std::vector<CityId> candidates;
+  std::vector<double> weights;
+  for (const Ixp& ixp : internet.ixps) {
+    candidates.push_back(ixp.city);
+    weights.push_back(db.at(ixp.city).user_weight);
+  }
+  std::vector<CityId> chosen;
+  while (chosen.size() < std::min(count, candidates.size())) {
+    const std::size_t i = rng.weighted_index(weights);
+    if (weights[i] <= 0.0) continue;
+    chosen.push_back(candidates[i]);
+    weights[i] = 0.0;
+  }
+  // Hyperscale deployments outgrow the exchange metros: continue into the
+  // highest-weight cities without an IXP.
+  if (chosen.size() < count) {
+    std::vector<CityId> rest;
+    for (CityId c = 0; c < db.size(); ++c) {
+      if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
+        rest.push_back(c);
+      }
+    }
+    std::sort(rest.begin(), rest.end(), [&](CityId a, CityId b) {
+      if (db.at(a).user_weight != db.at(b).user_weight) {
+        return db.at(a).user_weight > db.at(b).user_weight;
+      }
+      return a < b;
+    });
+    for (const CityId c : rest) {
+      if (chosen.size() >= count) break;
+      chosen.push_back(c);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace bgpcmp::topo

@@ -1,0 +1,40 @@
+#include "bgpcmp/traffic/demand.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bgpcmp::traffic {
+
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692;
+}
+
+DemandModel::DemandModel(const ClientBase* clients, const topo::CityDb* cities,
+                         const DemandConfig& config)
+    : clients_(clients), cities_(cities), config_(config) {
+  Rng rng = Rng{config.seed}.fork("popularity");
+  popularity_.reserve(clients_->size());
+  for (std::size_t i = 0; i < clients_->size(); ++i) {
+    // User weight modulated by a heavy-tailed per-prefix factor: big metros
+    // still dominate, but some small prefixes are disproportionately hot.
+    const double skew = rng.pareto(1.0, 1.0 / config.zipf_exponent);
+    popularity_.push_back(clients_->at(static_cast<PrefixId>(i)).user_weight *
+                          std::min(skew, 50.0));
+  }
+}
+
+double DemandModel::popularity(PrefixId prefix) const {
+  return popularity_.at(prefix);
+}
+
+Bytes DemandModel::volume(PrefixId prefix, SimTime t) const {
+  const auto& client = clients_->at(prefix);
+  const double lon = cities_->at(client.city).location.lon_deg;
+  const double local_hour = std::fmod(t.hour_of_day() + lon / 15.0 + 48.0, 24.0);
+  // Demand peaks in the local evening (~21:00).
+  const double diurnal =
+      1.0 + config_.diurnal_amplitude * std::sin(kTwoPi * (local_hour - 15.0) / 24.0);
+  return Bytes{config_.mean_bytes_per_window * popularity_.at(prefix) * diurnal};
+}
+
+}  // namespace bgpcmp::traffic

@@ -1,0 +1,31 @@
+// HTTP session sampling: how many sessions a measurement window sees and how
+// long each one is.
+//
+// The Facebook system "sprays a sampled subset of client HTTP sessions across
+// different egress routes"; we reproduce the sampled measurement stream, not
+// the trillions of raw sessions — each sampled session yields one MinRTT
+// observation whose tightness depends on how many round trips the session
+// lasted.
+#pragma once
+
+#include "bgpcmp/netbase/rng.h"
+#include "bgpcmp/netbase/units.h"
+
+namespace bgpcmp::traffic {
+
+struct SessionConfig {
+  /// Sampled sessions per route per window for a unit-popularity prefix.
+  double sessions_per_unit_popularity = 3.0;
+  int min_sessions = 3;    ///< measurement floor per <PoP,prefix,route,window>
+  int max_sessions = 40;   ///< cap (the real pipeline aggregates anyway)
+  double mean_round_trips = 8.0;  ///< session length in RTTs (geometric-ish)
+};
+
+/// Number of sampled sessions for a prefix of the given popularity.
+[[nodiscard]] int sample_session_count(const SessionConfig& config, double popularity,
+                                       Rng& rng);
+
+/// Round trips observed by one session (>= 1).
+[[nodiscard]] int sample_round_trips(const SessionConfig& config, Rng& rng);
+
+}  // namespace bgpcmp::traffic

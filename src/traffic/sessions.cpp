@@ -1,0 +1,19 @@
+#include "bgpcmp/traffic/sessions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgpcmp::traffic {
+
+int sample_session_count(const SessionConfig& config, double popularity, Rng& rng) {
+  const double mean = config.sessions_per_unit_popularity * popularity;
+  const int n = static_cast<int>(std::round(rng.exponential(std::max(mean, 0.1))));
+  return std::clamp(n, config.min_sessions, config.max_sessions);
+}
+
+int sample_round_trips(const SessionConfig& config, Rng& rng) {
+  const int n = 1 + static_cast<int>(rng.exponential(config.mean_round_trips - 1.0));
+  return std::max(1, n);
+}
+
+}  // namespace bgpcmp::traffic

@@ -1,0 +1,25 @@
+// Transit-WAN behaviour toggles for the single-WAN hypothesis (§3.3.2, E9).
+//
+// "Do the Tier-1 networks use late-exit routing for Google but early-exit
+// routing for others?" — these helpers build the exit-strategy override maps
+// that switch a class of ASes between hot-potato (early exit) and cold-potato
+// (late exit) when geo paths are realized.
+#pragma once
+
+#include <map>
+
+#include "bgpcmp/latency/path_model.h"
+#include "bgpcmp/topology/as_graph.h"
+
+namespace bgpcmp::wan {
+
+/// Exit override for every AS of a class.
+[[nodiscard]] std::map<topo::AsIndex, lat::ExitStrategy> exit_override_for_class(
+    const topo::AsGraph& graph, topo::AsClass cls, lat::ExitStrategy strategy);
+
+/// Fraction of a realized path's one-way inflated distance spent inside its
+/// single largest contributor AS — the paper's "fraction of the journey on a
+/// single network".
+[[nodiscard]] double largest_single_network_fraction(const lat::GeoPath& path);
+
+}  // namespace bgpcmp::wan

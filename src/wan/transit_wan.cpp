@@ -1,0 +1,28 @@
+#include "bgpcmp/wan/transit_wan.h"
+
+#include <map>
+
+namespace bgpcmp::wan {
+
+std::map<topo::AsIndex, lat::ExitStrategy> exit_override_for_class(
+    const topo::AsGraph& graph, topo::AsClass cls, lat::ExitStrategy strategy) {
+  std::map<topo::AsIndex, lat::ExitStrategy> out;
+  for (topo::AsIndex i = 0; i < graph.as_count(); ++i) {
+    if (graph.node(i).cls == cls) out[i] = strategy;
+  }
+  return out;
+}
+
+double largest_single_network_fraction(const lat::GeoPath& path) {
+  const double total = path.inflated_distance().value();
+  if (total <= 0.0) return 1.0;  // zero-length path is trivially single-network
+  std::map<topo::AsIndex, double> per_as;
+  for (const auto& seg : path.segments) {
+    per_as[seg.as] += seg.geo.value() * seg.inflation;
+  }
+  double largest = 0.0;
+  for (const auto& [as, km] : per_as) largest = std::max(largest, km);
+  return largest / total;
+}
+
+}  // namespace bgpcmp::wan

@@ -1,0 +1,75 @@
+#include "bgpcmp/bgp/origin.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp::bgp {
+namespace {
+
+class OriginSpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    o_ = g_.add_as(Asn{1}, topo::AsClass::Content, "O", {0, 1});
+    n1_ = g_.add_as(Asn{2}, topo::AsClass::Transit, "N1", {0, 1});
+    n2_ = g_.add_as(Asn{3}, topo::AsClass::Transit, "N2", {0});
+    e1_ = g_.connect_peering(o_, n1_);
+    l1a_ = g_.add_link(e1_, 0, topo::LinkKind::PublicPeering, GigabitsPerSecond{1});
+    l1b_ = g_.add_link(e1_, 1, topo::LinkKind::PublicPeering, GigabitsPerSecond{1});
+    e2_ = g_.connect_transit(n2_, o_);
+    l2_ = g_.add_link(e2_, 0, topo::LinkKind::Transit, GigabitsPerSecond{1});
+  }
+
+  topo::AsGraph g_;
+  topo::AsIndex o_, n1_, n2_;
+  topo::EdgeId e1_, e2_;
+  topo::LinkId l1a_, l1b_, l2_;
+};
+
+TEST_F(OriginSpecTest, EverywhereAnnouncesOnAllEdges) {
+  const auto spec = OriginSpec::everywhere(o_);
+  EXPECT_TRUE(spec.announces_on(g_, e1_));
+  EXPECT_TRUE(spec.announces_on(g_, e2_));
+}
+
+TEST_F(OriginSpecTest, SuppressWithholdsOneEdge) {
+  auto spec = OriginSpec::everywhere(o_);
+  spec.suppress.insert(e1_);
+  EXPECT_FALSE(spec.announces_on(g_, e1_));
+  EXPECT_TRUE(spec.announces_on(g_, e2_));
+}
+
+TEST_F(OriginSpecTest, ScopeLimitsToLinkSessions) {
+  const auto spec = OriginSpec::scoped(o_, {l1a_});
+  EXPECT_TRUE(spec.announces_on(g_, e1_));   // edge has a scoped link
+  EXPECT_FALSE(spec.announces_on(g_, e2_));  // no scoped link on this edge
+}
+
+TEST_F(OriginSpecTest, EntryLinksUnscopedReturnsAll) {
+  const auto spec = OriginSpec::everywhere(o_);
+  EXPECT_EQ(spec.entry_links(g_, e1_).size(), 2u);
+  EXPECT_EQ(spec.entry_links(g_, e2_).size(), 1u);
+}
+
+TEST_F(OriginSpecTest, EntryLinksScopedFilters) {
+  const auto spec = OriginSpec::scoped(o_, {l1b_});
+  const auto links = spec.entry_links(g_, e1_);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], l1b_);
+  EXPECT_TRUE(spec.entry_links(g_, e2_).empty());
+}
+
+TEST_F(OriginSpecTest, PrependDefaultsToZero) {
+  auto spec = OriginSpec::everywhere(o_);
+  EXPECT_EQ(spec.prepend_on(e1_), 0);
+  spec.prepend[e1_] = 3;
+  EXPECT_EQ(spec.prepend_on(e1_), 3);
+  EXPECT_EQ(spec.prepend_on(e2_), 0);
+}
+
+TEST_F(OriginSpecTest, SuppressBeatsScope) {
+  auto spec = OriginSpec::scoped(o_, {l1a_, l1b_});
+  spec.suppress.insert(e1_);
+  EXPECT_FALSE(spec.announces_on(g_, e1_));
+}
+
+}  // namespace
+}  // namespace bgpcmp::bgp

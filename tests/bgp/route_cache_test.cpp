@@ -1,0 +1,48 @@
+#include "bgpcmp/bgp/route_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "bgpcmp/topology/topology_gen.h"
+
+namespace bgpcmp::bgp {
+namespace {
+
+TEST(RouteCache, ComputesOncePerOrigin) {
+  topo::InternetConfig cfg;
+  cfg.seed = 2;
+  cfg.tier1_count = 4;
+  cfg.transit_count = 8;
+  cfg.eyeball_count = 10;
+  cfg.stub_count = 4;
+  const auto net = topo::build_internet(cfg);
+  RouteCache cache{&net.graph};
+  EXPECT_EQ(cache.size(), 0u);
+  const auto& a = cache.toward(net.eyeballs[0]);
+  const auto& b = cache.toward(net.eyeballs[0]);
+  EXPECT_EQ(&a, &b);  // same table object, no recomputation
+  EXPECT_EQ(cache.size(), 1u);
+  (void)cache.toward(net.eyeballs[1]);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(RouteCache, MatchesDirectComputation) {
+  topo::InternetConfig cfg;
+  cfg.seed = 3;
+  cfg.tier1_count = 4;
+  cfg.transit_count = 8;
+  cfg.eyeball_count = 10;
+  cfg.stub_count = 4;
+  const auto net = topo::build_internet(cfg);
+  RouteCache cache{&net.graph};
+  const auto origin = net.eyeballs[2];
+  const auto direct = compute_routes(net.graph, origin);
+  const auto& cached = cache.toward(origin);
+  for (topo::AsIndex i = 0; i < net.graph.as_count(); ++i) {
+    EXPECT_EQ(cached.at(i).cls, direct.at(i).cls);
+    EXPECT_EQ(cached.at(i).length, direct.at(i).length);
+    EXPECT_EQ(cached.at(i).next_hop, direct.at(i).next_hop);
+  }
+}
+
+}  // namespace
+}  // namespace bgpcmp::bgp

@@ -1,0 +1,75 @@
+#include "bgpcmp/bgp/table_dump.h"
+
+#include <gtest/gtest.h>
+
+#include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/topology/topology_gen.h"
+
+namespace bgpcmp::bgp {
+namespace {
+
+class TableDumpTest : public ::testing::Test {
+ protected:
+  static const topo::Internet& net() {
+    static const auto n = [] {
+      topo::InternetConfig cfg;
+      cfg.seed = 3;
+      cfg.tier1_count = 4;
+      cfg.transit_count = 8;
+      cfg.eyeball_count = 12;
+      cfg.stub_count = 4;
+      return topo::build_internet(cfg);
+    }();
+    return n;
+  }
+};
+
+TEST_F(TableDumpTest, RouteLineNamesNodeAndPath) {
+  const auto origin = net().eyeballs[0];
+  const auto table = compute_routes(net().graph, origin);
+  const auto viewer = net().tier1s[0];
+  const auto line = dump_route(net().graph, table, viewer);
+  EXPECT_NE(line.find(net().graph.node(viewer).name), std::string::npos);
+  EXPECT_NE(line.find(net().graph.node(origin).name), std::string::npos);
+  EXPECT_NE(line.find("len"), std::string::npos);
+}
+
+TEST_F(TableDumpTest, OriginLineSaysOrigin) {
+  const auto origin = net().eyeballs[0];
+  const auto table = compute_routes(net().graph, origin);
+  EXPECT_NE(dump_route(net().graph, table, origin).find("origin"),
+            std::string::npos);
+}
+
+TEST_F(TableDumpTest, UnreachableLineSaysSo) {
+  // Isolate the origin by suppressing all of its edges.
+  const auto origin = net().eyeballs[0];
+  OriginSpec spec = OriginSpec::everywhere(origin);
+  for (const auto e : net().graph.node(origin).edges) spec.suppress.insert(e);
+  const auto table = compute_routes(net().graph, spec);
+  EXPECT_NE(dump_route(net().graph, table, net().tier1s[0]).find("unreachable"),
+            std::string::npos);
+}
+
+TEST_F(TableDumpTest, TableDumpCoversOrTruncates) {
+  const auto table = compute_routes(net().graph, net().eyeballs[0]);
+  const auto full = dump_table(net().graph, table);
+  // One line per AS except the origin, plus the header.
+  std::size_t lines = 0;
+  for (const char c : full) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, net().graph.as_count());  // header + (n-1) routes
+  const auto truncated = dump_table(net().graph, table, 3);
+  EXPECT_NE(truncated.find("more)"), std::string::npos);
+}
+
+TEST_F(TableDumpTest, RibInMarksBestFirst) {
+  const auto origin = net().eyeballs[0];
+  const auto table = compute_routes(net().graph, origin);
+  // Any transit AS hears at least one route.
+  const auto dump = dump_rib_in(net().graph, table, net().transits[0]);
+  EXPECT_NE(dump.find('>'), std::string::npos);
+  EXPECT_NE(dump.find("hears"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpcmp::bgp

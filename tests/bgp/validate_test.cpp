@@ -1,0 +1,100 @@
+#include "bgpcmp/bgp/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp::bgp {
+namespace {
+
+using topo::AsClass;
+
+/// Chain: T1 provider of TRa and TRb; TRa provider of EB; TRa peers TRb.
+class ValleyFreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = g_.add_as(Asn{10}, AsClass::Tier1, "T1", {0});
+    tra_ = g_.add_as(Asn{20}, AsClass::Transit, "TRa", {0});
+    trb_ = g_.add_as(Asn{21}, AsClass::Transit, "TRb", {0});
+    eb_ = g_.add_as(Asn{30}, AsClass::Eyeball, "EB", {0});
+    auto link = [&](topo::EdgeId e, topo::LinkKind k) {
+      g_.add_link(e, 0, k, GigabitsPerSecond{1});
+    };
+    link(g_.connect_transit(t1_, tra_), topo::LinkKind::Transit);
+    link(g_.connect_transit(t1_, trb_), topo::LinkKind::Transit);
+    link(g_.connect_transit(tra_, eb_), topo::LinkKind::Transit);
+    link(g_.connect_peering(tra_, trb_), topo::LinkKind::PublicPeering);
+  }
+
+  topo::AsGraph g_;
+  topo::AsIndex t1_, tra_, trb_, eb_;
+};
+
+TEST_F(ValleyFreeTest, UpOnlyIsValleyFree) {
+  const topo::AsIndex path[] = {eb_, tra_, t1_};
+  EXPECT_TRUE(is_valley_free(g_, path));
+}
+
+TEST_F(ValleyFreeTest, DownOnlyIsValleyFree) {
+  const topo::AsIndex path[] = {t1_, tra_, eb_};
+  EXPECT_TRUE(is_valley_free(g_, path));
+}
+
+TEST_F(ValleyFreeTest, UpPeerDownIsValleyFree) {
+  const topo::AsIndex path[] = {eb_, tra_, trb_};
+  EXPECT_TRUE(is_valley_free(g_, path));
+}
+
+TEST_F(ValleyFreeTest, DownThenUpIsAValley) {
+  // t1 -> tra (down) -> ... back up to t1? Use tra as waypoint: trb -> tra
+  // would be peer; construct the classic valley: t1 -> tra -> eb -> ... there
+  // is no up edge from eb except tra; use: t1 -> trb (down), trb -> tra
+  // (peer), tra -> t1 (up): peer then up = forbidden.
+  const topo::AsIndex path[] = {trb_, tra_, t1_};
+  // trb->tra is peer, tra->t1 is up: the peer hop must be last-before-down,
+  // so climbing after a peer hop is a violation.
+  EXPECT_FALSE(is_valley_free(g_, path));
+}
+
+TEST_F(ValleyFreeTest, TwoPeerHopsForbidden) {
+  // Add another peering trb -- eb to make a 2-peer-hop path possible.
+  const auto e = g_.connect_peering(trb_, eb_);
+  g_.add_link(e, 0, topo::LinkKind::PublicPeering, GigabitsPerSecond{1});
+  const topo::AsIndex path[] = {tra_, trb_, eb_};
+  // tra->trb peer, trb->eb peer: two peer hops.
+  EXPECT_FALSE(is_valley_free(g_, path));
+}
+
+TEST_F(ValleyFreeTest, ValleyDownUp) {
+  // t1 -> tra (down) -> ... -> t1 again is a loop; instead check down-up via
+  // eb: tra -> eb (down), eb -> tra (up) is a trivial bounce; non-adjacent
+  // duplicates aside, test down then up with distinct nodes:
+  // t1 -> tra (down), tra -> trb (peer): down then peer is also forbidden.
+  const topo::AsIndex path[] = {t1_, tra_, trb_};
+  EXPECT_FALSE(is_valley_free(g_, path));
+}
+
+TEST_F(ValleyFreeTest, NonAdjacentHopsRejected) {
+  const topo::AsIndex path[] = {eb_, trb_};  // no eb--trb edge in base fixture
+  EXPECT_FALSE(is_valley_free(g_, path));
+}
+
+TEST_F(ValleyFreeTest, TrivialPathsAreValleyFree) {
+  const topo::AsIndex single[] = {eb_};
+  EXPECT_TRUE(is_valley_free(g_, single));
+  EXPECT_TRUE(is_valley_free(g_, std::span<const topo::AsIndex>{}));
+}
+
+TEST_F(ValleyFreeTest, ConsistencyCatchesForgedTable) {
+  // A hand-forged table where EB claims a Customer route from its provider
+  // must fail the class check.
+  std::vector<BestRoute> routes(g_.as_count());
+  routes[t1_] = BestRoute{RouteClass::Origin, 0, topo::kNoAs, topo::kNoEdge};
+  const auto eb_edge = *g_.find_edge(tra_, eb_);
+  routes[eb_] = BestRoute{RouteClass::Customer, 2, tra_, eb_edge};  // wrong class
+  const auto tra_edge = *g_.find_edge(t1_, tra_);
+  routes[tra_] = BestRoute{RouteClass::Provider, 1, t1_, tra_edge};
+  const RouteTable table{&g_, t1_, std::move(routes)};
+  EXPECT_FALSE(table_is_consistent(g_, table));
+}
+
+}  // namespace
+}  // namespace bgpcmp::bgp

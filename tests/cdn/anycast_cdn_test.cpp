@@ -1,0 +1,147 @@
+#include "bgpcmp/cdn/anycast_cdn.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::cdn {
+namespace {
+
+class AnycastCdnTest : public ::testing::Test {
+ protected:
+  const core::Scenario& sc_ = test::small_scenario();
+  AnycastCdn cdn_{&sc_.internet, &sc_.provider};
+};
+
+TEST_F(AnycastCdnTest, MostClientsReachAnycast) {
+  std::size_t reachable = 0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); ++id) {
+    if (cdn_.anycast_route(sc_.clients.at(id)).valid()) ++reachable;
+  }
+  EXPECT_EQ(reachable, sc_.clients.size());
+}
+
+TEST_F(AnycastCdnTest, CatchmentIsARealPop) {
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 3) {
+    const auto route = cdn_.anycast_route(sc_.clients.at(id));
+    ASSERT_TRUE(route.valid());
+    EXPECT_LT(route.pop, sc_.provider.pops().size());
+    EXPECT_EQ(sc_.provider.pop(route.pop).city, route.path.entry_city);
+  }
+}
+
+TEST_F(AnycastCdnTest, AnycastPathEndsInsideProvider) {
+  const auto route = cdn_.anycast_route(sc_.clients.at(0));
+  ASSERT_TRUE(route.valid());
+  EXPECT_EQ(route.path.as_path.back(), sc_.provider.as_index());
+  EXPECT_EQ(route.path.as_path.front(), sc_.clients.at(0).origin_as);
+}
+
+TEST_F(AnycastCdnTest, UnicastRouteTargetsRequestedPop) {
+  const auto& client = sc_.clients.at(7);
+  for (const PopId pop : cdn_.nearby_front_ends(client, 4)) {
+    const auto path = cdn_.unicast_route(client, pop);
+    if (!path.valid()) continue;
+    EXPECT_EQ(path.segments.back().to, sc_.provider.pop(pop).city);
+    // Entry must use a link landed at that PoP (the scoped session).
+    EXPECT_EQ(path.entry_city, sc_.provider.pop(pop).city);
+  }
+}
+
+TEST_F(AnycastCdnTest, NearbyFrontEndsSortedByDistance) {
+  const auto& client = sc_.clients.at(11);
+  const auto pops = cdn_.nearby_front_ends(client, 6);
+  ASSERT_EQ(pops.size(), 6u);
+  const auto& db = sc_.internet.city_db();
+  for (std::size_t i = 1; i < pops.size(); ++i) {
+    EXPECT_LE(db.distance(sc_.provider.pop(pops[i - 1]).city, client.city).value(),
+              db.distance(sc_.provider.pop(pops[i]).city, client.city).value() + 1e-9);
+  }
+}
+
+TEST_F(AnycastCdnTest, NearbyFrontEndsCapAtPopCount) {
+  const auto pops = cdn_.nearby_front_ends(sc_.clients.at(0), 999);
+  EXPECT_EQ(pops.size(), sc_.provider.pops().size());
+}
+
+TEST_F(AnycastCdnTest, GroomedSpecChangesRoutes) {
+  // Suppress the announcement on the session carrying some client's anycast
+  // traffic; that client's catchment (or path) must change.
+  const auto& client = sc_.clients.at(1);
+  const auto before = cdn_.anycast_route(client);
+  ASSERT_TRUE(before.valid());
+  const auto entry_edge =
+      sc_.internet.graph.link(before.path.entry_link).edge;
+
+  AnycastCdn groomed{&sc_.internet, &sc_.provider};
+  auto spec = bgp::OriginSpec::everywhere(sc_.provider.as_index());
+  spec.suppress.insert(entry_edge);
+  groomed.set_anycast_spec(spec);
+  const auto after = groomed.anycast_route(client);
+  ASSERT_TRUE(after.valid());
+  EXPECT_NE(sc_.internet.graph.link(after.path.entry_link).edge, entry_edge);
+}
+
+TEST_F(AnycastCdnTest, PrependLengthensAdvertisedPaths) {
+  // Prepending cannot override LocalPref (a direct peer keeps its peer
+  // route), but every client whose path crosses a prepended session must see
+  // a longer BGP path — the mechanism grooming relies on for tie-steering.
+  std::map<PopId, int> catchment;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 2) {
+    const auto r = cdn_.anycast_route(sc_.clients.at(id));
+    if (r.valid()) ++catchment[r.pop];
+  }
+  PopId busiest = catchment.begin()->first;
+  for (const auto& [pop, n] : catchment) {
+    if (n > catchment[busiest]) busiest = pop;
+  }
+  auto spec = bgp::OriginSpec::everywhere(sc_.provider.as_index());
+  std::set<topo::EdgeId> prepended;
+  for (const auto l : sc_.provider.pop(busiest).links) {
+    const auto e = sc_.internet.graph.link(l).edge;
+    spec.prepend[e] = 6;
+    prepended.insert(e);
+  }
+  AnycastCdn groomed{&sc_.internet, &sc_.provider};
+  groomed.set_anycast_spec(spec);
+  int lengthened = 0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 2) {
+    const auto& client = sc_.clients.at(id);
+    const auto before = cdn_.anycast_route(client);
+    const auto after = groomed.anycast_route(client);
+    if (!before.valid() || !after.valid()) continue;
+    const auto entry_edge = sc_.internet.graph.link(after.path.entry_link).edge;
+    const auto before_len = cdn_.anycast_table().at(client.origin_as).length;
+    const auto after_len = groomed.anycast_table().at(client.origin_as).length;
+    if (prepended.count(entry_edge) > 0) {
+      // Still using a prepended session: the BGP length must have grown.
+      EXPECT_GT(after_len, before_len);
+      ++lengthened;
+    } else {
+      // Moved off (or never used) a prepended session: never longer than a
+      // groomed path would force.
+      EXPECT_GE(after_len, before_len);
+    }
+  }
+  EXPECT_GT(lengthened, 0);
+}
+
+TEST_F(AnycastCdnTest, CatchmentsAreMostlyRegional) {
+  // Sanity on geography: the weighted mean catchment distance should be far
+  // below intercontinental scale.
+  const auto& db = sc_.internet.city_db();
+  double sum = 0.0;
+  double w = 0.0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); ++id) {
+    const auto& client = sc_.clients.at(id);
+    const auto r = cdn_.anycast_route(client);
+    if (!r.valid()) continue;
+    sum += db.distance(sc_.provider.pop(r.pop).city, client.city).value() *
+           client.user_weight;
+    w += client.user_weight;
+  }
+  EXPECT_LT(sum / w, 3000.0);
+}
+
+}  // namespace
+}  // namespace bgpcmp::cdn

@@ -1,0 +1,105 @@
+#include "bgpcmp/cdn/dns_redirect.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testutil.h"
+
+namespace bgpcmp::cdn {
+namespace {
+
+class DnsRedirectTest : public ::testing::Test {
+ protected:
+  const core::Scenario& sc_ = test::small_scenario();
+  AnycastCdn cdn_{&sc_.internet, &sc_.provider};
+  OdinBeacons beacons_{&cdn_, &sc_.latency, &sc_.clients};
+  DnsRedirector redirector_{&cdn_, &beacons_, &sc_.clients};
+};
+
+TEST_F(DnsRedirectTest, ClustersPartitionTheClientBase) {
+  const auto clusters = redirector_.build_clusters();
+  std::set<traffic::PrefixId> seen;
+  std::size_t total = 0;
+  for (const auto& c : clusters) {
+    EXPECT_FALSE(c.members.empty());
+    for (const auto m : c.members) {
+      EXPECT_TRUE(seen.insert(m).second) << "client in two clusters";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, sc_.clients.size());
+}
+
+TEST_F(DnsRedirectTest, IspClustersKeyedByAs) {
+  for (const auto& c : redirector_.build_clusters()) {
+    if (c.public_resolver) continue;
+    EXPECT_NE(c.resolver_as, topo::kNoAs);
+    EXPECT_EQ(c.resolver_city, sc_.internet.graph.node(c.resolver_as).hub);
+  }
+}
+
+TEST_F(DnsRedirectTest, PublicResolversAggregateAcrossAses) {
+  bool found_mixed = false;
+  for (const auto& c : redirector_.build_clusters()) {
+    if (!c.public_resolver) continue;
+    std::set<topo::AsIndex> ases;
+    for (const auto m : c.members) ases.insert(sc_.clients.at(m).origin_as);
+    if (ases.size() > 1) found_mixed = true;
+  }
+  EXPECT_TRUE(found_mixed);
+}
+
+TEST_F(DnsRedirectTest, MismatchPutsClientsInForeignClusters) {
+  DnsRedirectConfig cfg;
+  cfg.ldns_mismatch_fraction = 0.5;
+  DnsRedirector heavy{&cdn_, &beacons_, &sc_.clients, cfg};
+  std::size_t foreign = 0;
+  for (const auto& c : heavy.build_clusters()) {
+    if (c.public_resolver) continue;
+    for (const auto m : c.members) {
+      if (sc_.clients.at(m).origin_as != c.resolver_as) ++foreign;
+    }
+  }
+  EXPECT_GT(foreign, sc_.clients.size() / 8);
+}
+
+TEST_F(DnsRedirectTest, DecisionsAreDeterministicGivenRng) {
+  const auto clusters = redirector_.build_clusters();
+  Rng a{7};
+  Rng b{7};
+  const auto da = redirector_.decide(clusters[0], SimTime::days(2), a);
+  const auto db = redirector_.decide(clusters[0], SimTime::days(2), b);
+  EXPECT_EQ(da.use_unicast, db.use_unicast);
+  EXPECT_EQ(da.pop, db.pop);
+}
+
+TEST_F(DnsRedirectTest, UnicastDecisionsNamePops) {
+  const auto clusters = redirector_.build_clusters();
+  Rng rng{8};
+  int overrides = 0;
+  for (const auto& c : clusters) {
+    const auto d = redirector_.decide(c, SimTime::days(2), rng);
+    if (d.use_unicast) {
+      EXPECT_LT(d.pop, sc_.provider.pops().size());
+      ++overrides;
+    }
+  }
+  // Some clusters must pick unicast, some must stay on anycast.
+  EXPECT_GT(overrides, 0);
+  EXPECT_LT(overrides, static_cast<int>(clusters.size()));
+}
+
+TEST_F(DnsRedirectTest, ClusterCountShrinksWithMorePublicResolvers) {
+  DnsRedirectConfig all_public;
+  all_public.public_resolver_fraction = 1.0;
+  all_public.ldns_mismatch_fraction = 0.0;
+  DnsRedirector pub{&cdn_, &beacons_, &sc_.clients, all_public};
+  const auto pub_clusters = pub.build_clusters();
+  // 3 sites per region, 7 regions: at most 21 clusters.
+  EXPECT_LE(pub_clusters.size(), 21u);
+  for (const auto& c : pub_clusters) EXPECT_TRUE(c.public_resolver);
+}
+
+}  // namespace
+}  // namespace bgpcmp::cdn

@@ -1,0 +1,96 @@
+#include "bgpcmp/cdn/odin.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::cdn {
+namespace {
+
+class OdinTest : public ::testing::Test {
+ protected:
+  const core::Scenario& sc_ = test::small_scenario();
+  AnycastCdn cdn_{&sc_.internet, &sc_.provider};
+  OdinBeacons beacons_{&cdn_, &sc_.latency, &sc_.clients};
+};
+
+TEST_F(OdinTest, BeaconMeasuresAnycastAndUnicast) {
+  Rng rng{1};
+  BeaconResult r;
+  ASSERT_TRUE(beacons_.measure(0, SimTime::hours(5), rng, r));
+  EXPECT_EQ(r.client, 0u);
+  EXPECT_NE(r.catchment, kNoPop);
+  EXPECT_GT(r.anycast.value(), 0.0);
+  EXPECT_FALSE(r.unicast.empty());
+  EXPECT_LE(r.unicast.size(), beacons_.config().unicast_candidates);
+}
+
+TEST_F(OdinTest, BestUnicastIsTheMinimum) {
+  Rng rng{2};
+  BeaconResult r;
+  ASSERT_TRUE(beacons_.measure(3, SimTime::hours(5), rng, r));
+  Milliseconds min{1e18};
+  for (const auto& [pop, ms] : r.unicast) min = std::min(min, ms);
+  EXPECT_EQ(r.best_unicast(), min);
+  bool found = false;
+  for (const auto& [pop, ms] : r.unicast) {
+    if (pop == r.best_unicast_pop()) {
+      EXPECT_EQ(ms, min);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(OdinTest, MeasurementsCarryNoise) {
+  Rng rng{3};
+  BeaconResult a;
+  BeaconResult b;
+  ASSERT_TRUE(beacons_.measure(5, SimTime::hours(5), rng, a));
+  ASSERT_TRUE(beacons_.measure(5, SimTime::hours(5), rng, b));
+  EXPECT_NE(a.anycast.value(), b.anycast.value());
+}
+
+TEST_F(OdinTest, DeterministicGivenRngState) {
+  Rng a{4};
+  Rng b{4};
+  BeaconResult ra;
+  BeaconResult rb;
+  ASSERT_TRUE(beacons_.measure(9, SimTime::hours(7), a, ra));
+  ASSERT_TRUE(beacons_.measure(9, SimTime::hours(7), b, rb));
+  EXPECT_DOUBLE_EQ(ra.anycast.value(), rb.anycast.value());
+  ASSERT_EQ(ra.unicast.size(), rb.unicast.size());
+  for (std::size_t i = 0; i < ra.unicast.size(); ++i) {
+    EXPECT_EQ(ra.unicast[i].first, rb.unicast[i].first);
+    EXPECT_DOUBLE_EQ(ra.unicast[i].second.value(), rb.unicast[i].second.value());
+  }
+}
+
+TEST_F(OdinTest, AnycastGapMostlySmall) {
+  // The CDN-stack sanity behind Fig 3: for a weighted majority of clients the
+  // anycast gap is modest.
+  Rng rng{5};
+  double w_small = 0.0;
+  double w_total = 0.0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 2) {
+    BeaconResult r;
+    if (!beacons_.measure(id, SimTime::hours(6), rng, r)) continue;
+    const double gap = r.anycast.value() - r.best_unicast().value();
+    const double w = sc_.clients.at(id).user_weight;
+    w_total += w;
+    if (gap <= 25.0) w_small += w;
+  }
+  EXPECT_GT(w_small / w_total, 0.5);
+}
+
+TEST_F(OdinTest, CatchmentMatchesAnycastRoute) {
+  Rng rng{6};
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 11) {
+    BeaconResult r;
+    if (!beacons_.measure(id, SimTime::hours(6), rng, r)) continue;
+    EXPECT_EQ(r.catchment, cdn_.anycast_route(sc_.clients.at(id)).pop);
+  }
+}
+
+}  // namespace
+}  // namespace bgpcmp::cdn

@@ -1,0 +1,152 @@
+#include "bgpcmp/cdn/provider.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bgpcmp/bgp/propagation.h"
+#include "../testutil.h"
+
+namespace bgpcmp::cdn {
+namespace {
+
+class ProviderTest : public ::testing::Test {
+ protected:
+  const core::Scenario& sc_ = test::small_scenario();
+  const ContentProvider& cp_ = sc_.provider;
+  const topo::AsGraph& g_ = sc_.internet.graph;
+};
+
+TEST_F(ProviderTest, PopsAreDistinctCities) {
+  EXPECT_EQ(cp_.pops().size(), 12u);
+  std::set<topo::CityId> cities;
+  for (const auto& pop : cp_.pops()) {
+    EXPECT_TRUE(cities.insert(pop.city).second);
+    EXPECT_TRUE(g_.has_presence(cp_.as_index(), pop.city));
+  }
+}
+
+TEST_F(ProviderTest, NodeIsContentClassWithoutCustomers) {
+  EXPECT_EQ(g_.node(cp_.as_index()).cls, topo::AsClass::Content);
+  for (const auto& nb : g_.neighbors(cp_.as_index())) {
+    EXPECT_NE(nb.role, topo::NeighborRole::Customer)
+        << "content provider must not sell transit";
+  }
+}
+
+TEST_F(ProviderTest, HasTransitAndPeerSessions) {
+  int providers = 0;
+  int peers = 0;
+  for (const auto& nb : g_.neighbors(cp_.as_index())) {
+    providers += nb.role == topo::NeighborRole::Provider ? 1 : 0;
+    peers += nb.role == topo::NeighborRole::Peer ? 1 : 0;
+  }
+  EXPECT_GE(providers, cp_.config().transit_provider_count);
+  EXPECT_GT(peers, 5);
+}
+
+TEST_F(ProviderTest, EveryPopHasLinks) {
+  for (const auto& pop : cp_.pops()) {
+    EXPECT_FALSE(pop.links.empty()) << "PoP without any session";
+    for (const auto l : pop.links) {
+      EXPECT_EQ(g_.link(l).city, pop.city);
+      const auto& edge = g_.edge(g_.link(l).edge);
+      EXPECT_TRUE(edge.a == cp_.as_index() || edge.b == cp_.as_index());
+    }
+  }
+}
+
+TEST_F(ProviderTest, PopInAndNearestPop) {
+  const auto& pop = cp_.pops()[3];
+  EXPECT_EQ(cp_.pop_in(pop.city), pop.id);
+  EXPECT_EQ(cp_.nearest_pop(sc_.internet.city_db(), pop.city), pop.id);
+}
+
+TEST_F(ProviderTest, NearestPopIsArgmin) {
+  const topo::CityDb& db = sc_.internet.city_db();
+  for (topo::CityId c = 0; c < db.size(); c += 17) {
+    const auto best = cp_.nearest_pop(db, c);
+    for (const auto& pop : cp_.pops()) {
+      EXPECT_LE(db.distance(cp_.pop(best).city, c).value(),
+                db.distance(pop.city, c).value() + 1e-9);
+    }
+  }
+}
+
+TEST_F(ProviderTest, EgressOptionsOnlyAtThisPop) {
+  const auto& client = sc_.clients.at(0);
+  const auto table = bgp::compute_routes(g_, client.origin_as);
+  for (const auto& pop : cp_.pops()) {
+    for (const auto& opt : cp_.egress_options(g_, table, pop.id)) {
+      EXPECT_EQ(g_.link(opt.link).city, pop.city);
+      EXPECT_EQ(g_.link(opt.link).edge, opt.route.edge);
+    }
+  }
+}
+
+TEST_F(ProviderTest, EgressOptionPrefersPrivateLinkOnMixedEdge) {
+  // For each option, no better-kind link of the same edge may exist at the
+  // same PoP.
+  auto kind_rank = [](topo::LinkKind k) {
+    return k == topo::LinkKind::PrivatePeering  ? 0
+           : k == topo::LinkKind::PublicPeering ? 1
+                                                : 2;
+  };
+  const auto& client = sc_.clients.at(5);
+  const auto table = bgp::compute_routes(g_, client.origin_as);
+  for (const auto& pop : cp_.pops()) {
+    for (const auto& opt : cp_.egress_options(g_, table, pop.id)) {
+      for (const auto l : pop.links) {
+        if (g_.link(l).edge != opt.route.edge) continue;
+        EXPECT_GE(kind_rank(g_.link(l).kind), kind_rank(opt.kind));
+      }
+    }
+  }
+}
+
+TEST_F(ProviderTest, ServingPopPrefersDirectSessions) {
+  const topo::CityDb& db = sc_.internet.city_db();
+  int with_direct = 0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 3) {
+    const auto& client = sc_.clients.at(id);
+    const auto pop = cp_.serving_pop(g_, db, client.origin_as, client.city);
+    const auto direct = g_.find_edge(cp_.as_index(), client.origin_as);
+    if (!direct) {
+      EXPECT_EQ(pop, cp_.nearest_pop(db, client.city));
+      continue;
+    }
+    // If a direct session exists at the serving PoP, count it.
+    for (const auto l : cp_.pop(pop).links) {
+      if (g_.link(l).edge == *direct) {
+        ++with_direct;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_direct, 0);
+}
+
+TEST_F(ProviderTest, ServingPopNeverWildlyFartherThanNearest) {
+  const topo::CityDb& db = sc_.internet.city_db();
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 5) {
+    const auto& client = sc_.clients.at(id);
+    const auto serving = cp_.serving_pop(g_, db, client.origin_as, client.city);
+    const auto nearest = cp_.nearest_pop(db, client.city);
+    const double ds = db.distance(cp_.pop(serving).city, client.city).value();
+    const double dn = db.distance(cp_.pop(nearest).city, client.city).value();
+    EXPECT_LE(ds, 1.5 * dn + 300.0 + 1e-9);
+  }
+}
+
+TEST(ProviderAttach, DeterministicForSameConfig) {
+  auto a = core::Scenario::make(test::small_scenario_config(77));
+  auto b = core::Scenario::make(test::small_scenario_config(77));
+  ASSERT_EQ(a->provider.pops().size(), b->provider.pops().size());
+  for (std::size_t i = 0; i < a->provider.pops().size(); ++i) {
+    EXPECT_EQ(a->provider.pops()[i].city, b->provider.pops()[i].city);
+    EXPECT_EQ(a->provider.pops()[i].links.size(), b->provider.pops()[i].links.size());
+  }
+}
+
+}  // namespace
+}  // namespace bgpcmp::cdn

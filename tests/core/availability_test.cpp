@@ -1,0 +1,86 @@
+#include "bgpcmp/core/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+class AvailabilityTest : public ::testing::Test {
+ protected:
+  static const AvailabilityResult& result() {
+    static const auto r = [] {
+      static cdn::AnycastCdn cdn{&test::small_scenario().internet,
+                                 &test::small_scenario().provider};
+      return run_availability_study(test::small_scenario(), cdn);
+    }();
+    return r;
+  }
+};
+
+TEST_F(AvailabilityTest, FailsTheBusiestCatchment) {
+  EXPECT_NE(result().failed_pop, cdn::kNoPop);
+  EXPECT_LT(result().failed_pop, test::small_scenario().provider.pops().size());
+  // The busiest catchment carries a meaningful share of users.
+  EXPECT_GT(result().anycast_affected_fraction, 0.02);
+  EXPECT_LT(result().anycast_affected_fraction, 0.9);
+}
+
+TEST_F(AvailabilityTest, DnsOutageCostExceedsAnycast) {
+  // The §4 claim: DNS caching turns a site failure into minutes of outage,
+  // anycast into seconds.
+  EXPECT_GT(result().dns_outage_user_seconds, result().anycast_outage_user_seconds);
+}
+
+TEST_F(AvailabilityTest, FailoverCostsLatencyButWorks) {
+  // Re-converged users land on a farther PoP: penalty positive but bounded.
+  EXPECT_GT(result().anycast_failover_penalty_ms, 0.0);
+  EXPECT_LT(result().anycast_failover_penalty_ms, 300.0);
+}
+
+TEST_F(AvailabilityTest, DnsUsersEventuallyRecover) {
+  if (result().dns_affected_fraction > 0.0) {
+    EXPECT_GT(result().dns_recovered_fraction, 0.9);
+  }
+}
+
+TEST_F(AvailabilityTest, StudyRestoresTheWorld) {
+  cdn::AnycastCdn cdn{&test::small_scenario().internet,
+                      &test::small_scenario().provider};
+  const auto& client = test::small_scenario().clients.at(0);
+  const auto before = cdn.anycast_route(client);
+  (void)run_availability_study(test::small_scenario(), cdn);
+  const auto after = cdn.anycast_route(client);
+  EXPECT_EQ(before.pop, after.pop);
+  EXPECT_TRUE(cdn.failed_pops().empty());
+  EXPECT_TRUE(cdn.anycast_spec().suppress.empty());
+}
+
+TEST(AvailabilityConfigTest, OutageScalesWithTtl) {
+  const auto& sc = test::small_scenario();
+  cdn::AnycastCdn cdn{&sc.internet, &sc.provider};
+  AvailabilityConfig short_ttl;
+  short_ttl.dns_ttl = SimTime::minutes(1.0);
+  AvailabilityConfig long_ttl;
+  long_ttl.dns_ttl = SimTime::minutes(30.0);
+  const auto a = run_availability_study(sc, cdn, short_ttl);
+  const auto b = run_availability_study(sc, cdn, long_ttl);
+  EXPECT_LE(a.dns_outage_user_seconds, b.dns_outage_user_seconds);
+}
+
+TEST(FailedPops, UnicastStopsAnswering) {
+  const auto& sc = test::small_scenario();
+  cdn::AnycastCdn cdn{&sc.internet, &sc.provider};
+  const auto& client = sc.clients.at(0);
+  const auto pops = cdn.nearby_front_ends(client, 1);
+  ASSERT_FALSE(pops.empty());
+  ASSERT_TRUE(cdn.unicast_route(client, pops[0]).valid());
+  cdn.set_failed_pops({pops[0]});
+  EXPECT_FALSE(cdn.unicast_route(client, pops[0]).valid());
+  cdn.set_failed_pops({});
+  EXPECT_TRUE(cdn.unicast_route(client, pops[0]).valid());
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

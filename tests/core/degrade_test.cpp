@@ -1,0 +1,83 @@
+#include "bgpcmp/core/degrade.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+const PopStudyResult& shared_study() {
+  static const auto r = [] {
+    PopStudyConfig cfg;
+    cfg.days = 1.0;
+    cfg.window_stride = 2;
+    return run_pop_study(test::small_scenario(), cfg);
+  }();
+  return r;
+}
+
+TEST(Degrade, SplitsSumToOne) {
+  const auto result = analyze_degrade(shared_study());
+  EXPECT_GT(result.pairs, 0u);
+  EXPECT_NEAR(result.traffic_no_opportunity + result.traffic_persistent +
+                  result.traffic_transient,
+              1.0, 1e-9);
+}
+
+TEST(Degrade, FractionsAreProbabilities) {
+  const auto result = analyze_degrade(shared_study());
+  for (const double v :
+       {result.degraded_window_fraction, result.degrade_together_fraction,
+        result.improvement_window_fraction, result.improvement_mass_persistent}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Degrade, HugeThresholdMeansNoOpportunity) {
+  DegradeConfig cfg;
+  cfg.improve_threshold_ms = 1e9;
+  cfg.degrade_threshold_ms = 1e9;
+  const auto result = analyze_degrade(shared_study(), cfg);
+  EXPECT_DOUBLE_EQ(result.traffic_no_opportunity, 1.0);
+  EXPECT_DOUBLE_EQ(result.improvement_window_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(result.degraded_window_fraction, 0.0);
+}
+
+TEST(Degrade, ZeroThresholdMakesEverythingImprovableOrDegraded) {
+  DegradeConfig cfg;
+  cfg.improve_threshold_ms = -1e9;  // every window "improvable"
+  const auto result = analyze_degrade(shared_study(), cfg);
+  EXPECT_DOUBLE_EQ(result.traffic_no_opportunity, 0.0);
+  EXPECT_DOUBLE_EQ(result.improvement_window_fraction, 1.0);
+}
+
+TEST(Degrade, TighterPersistenceThresholdShrinksPersistent) {
+  DegradeConfig loose;
+  loose.persistent_fraction = 0.2;
+  DegradeConfig strict;
+  strict.persistent_fraction = 0.95;
+  const auto a = analyze_degrade(shared_study(), loose);
+  const auto b = analyze_degrade(shared_study(), strict);
+  EXPECT_GE(a.traffic_persistent, b.traffic_persistent);
+}
+
+TEST(Degrade, EmptyStudyIsSafe) {
+  const PopStudyResult empty;
+  const auto result = analyze_degrade(empty);
+  EXPECT_EQ(result.pairs, 0u);
+  EXPECT_DOUBLE_EQ(result.improvement_window_fraction, 0.0);
+}
+
+TEST(Degrade, PaperShapeDegradeTogether) {
+  // §3.1.1: when BGP's path degrades, alternates often degrade too (shared
+  // destination-side congestion). Demand a non-trivial fraction.
+  const auto result = analyze_degrade(shared_study());
+  if (result.degraded_window_fraction > 0.01) {
+    EXPECT_GT(result.degrade_together_fraction, 0.15);
+  }
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

@@ -1,0 +1,58 @@
+#include "bgpcmp/core/footprint.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+const FootprintResult& shared_result() {
+  static const auto r = [] {
+    FootprintConfig cfg;
+    cfg.study.days = 0.25;
+    const double fractions[] = {1.0, 0.5, 0.1};
+    return run_footprint_ablation(test::small_scenario_config(2), cfg, fractions);
+  }();
+  return r;
+}
+
+TEST(Footprint, OnePointPerFraction) {
+  ASSERT_EQ(shared_result().points.size(), 3u);
+  EXPECT_DOUBLE_EQ(shared_result().points[0].peering_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(shared_result().points[2].peering_fraction, 0.1);
+}
+
+TEST(Footprint, PeerEdgesShrinkWithFraction) {
+  const auto& p = shared_result().points;
+  EXPECT_GT(p[0].provider_peer_edges, p[1].provider_peer_edges);
+  EXPECT_GT(p[1].provider_peer_edges, p[2].provider_peer_edges);
+}
+
+TEST(Footprint, LatencyDegradesAsPeeringVanishes) {
+  const auto& p = shared_result().points;
+  // Cutting peering 10x must cost latency (both geometry and congestion).
+  EXPECT_GT(p[2].mean_bgp_rtt_ms, p[0].mean_bgp_rtt_ms);
+  EXPECT_GT(p[2].p95_bgp_rtt_ms, p[0].p95_bgp_rtt_ms);
+}
+
+TEST(Footprint, TrafficShiftsToTransit) {
+  const auto& p = shared_result().points;
+  EXPECT_GT(p[2].transit_preferred_fraction, p[0].transit_preferred_fraction);
+  for (const auto& point : p) {
+    EXPECT_GE(point.transit_preferred_fraction, 0.0);
+    EXPECT_LE(point.transit_preferred_fraction, 1.0);
+  }
+}
+
+TEST(Footprint, StatisticsAreFinite) {
+  for (const auto& p : shared_result().points) {
+    EXPECT_GT(p.mean_bgp_rtt_ms, 0.0);
+    EXPECT_GE(p.p95_bgp_rtt_ms, p.mean_bgp_rtt_ms * 0.2);
+    EXPECT_GE(p.improvable_frac_5ms, 0.0);
+    EXPECT_LE(p.improvable_frac_5ms, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

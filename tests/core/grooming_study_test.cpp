@@ -1,0 +1,59 @@
+#include "bgpcmp/core/grooming_study.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+GroomingStudyConfig quick_config() {
+  GroomingStudyConfig cfg;
+  cfg.sample_clients = 120;
+  cfg.grooming.sample_clients = 120;
+  cfg.grooming.max_iterations = 4;
+  return cfg;
+}
+
+ScenarioConfig sparse_config() {
+  auto cfg = test::small_scenario_config(4);
+  cfg.provider.pni_eyeball_fraction = 0.3;
+  cfg.provider.ixp_peer_prob = 0.25;
+  cfg.provider.public_session_density = 0.3;
+  cfg.provider.transit_session_pops = 4;
+  return cfg;
+}
+
+TEST(GroomingStudy, QualitySnapshotFieldsInRange) {
+  auto scenario = Scenario::make(sparse_config());
+  cdn::AnycastCdn cdn{&scenario->internet, &scenario->provider};
+  const auto q = measure_anycast_quality(*scenario, cdn, quick_config());
+  EXPECT_GE(q.frac_within_10ms, 0.0);
+  EXPECT_LE(q.frac_within_10ms, 1.0);
+  EXPECT_GE(q.frac_tail_50ms, 0.0);
+  EXPECT_LE(q.frac_tail_50ms, 1.0);
+  EXPECT_GE(q.mean_gap_ms, -5.0);  // noise can push slightly negative
+}
+
+TEST(GroomingStudy, DensitySweepRunsPerPopCount) {
+  const std::size_t pops[] = {8, 14};
+  const auto result = run_grooming_study(sparse_config(), quick_config(), pops);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].pop_count, 8u);
+  EXPECT_EQ(result.rows[1].pop_count, 14u);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.gap_by_iteration.size(),
+              static_cast<std::size_t>(row.grooming_steps) + 1);
+  }
+}
+
+TEST(GroomingStudy, GroomingHelpsOrHoldsTheTail) {
+  const std::size_t pops[] = {10};
+  const auto result = run_grooming_study(sparse_config(), quick_config(), pops);
+  const auto& row = result.rows.front();
+  // Nurture must not make the distribution meaningfully worse.
+  EXPECT_LE(row.groomed.mean_gap_ms, row.ungroomed.mean_gap_ms + 2.0);
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

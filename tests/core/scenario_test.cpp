@@ -1,0 +1,64 @@
+#include "bgpcmp/core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+TEST(Scenario, MakeBuildsAConsistentWorld) {
+  const auto& sc = test::small_scenario();
+  EXPECT_GT(sc.internet.graph.as_count(), 70u);
+  EXPECT_GT(sc.clients.size(), 50u);
+  EXPECT_EQ(sc.provider.pops().size(), 12u);
+  // Provider AS exists in the graph the congestion field covers.
+  EXPECT_LT(sc.provider.as_index(), sc.internet.graph.as_count());
+}
+
+TEST(Scenario, CongestionCoversProviderLinks) {
+  // The congestion field is sized after provider attachment; the last link
+  // (a provider link) must be addressable.
+  const auto& sc = test::small_scenario();
+  const topo::LinkId last = static_cast<topo::LinkId>(sc.internet.graph.link_count() - 1);
+  EXPECT_GE(sc.congestion.link_utilization(last, SimTime::hours(1)), 0.0);
+}
+
+TEST(Scenario, WithMasterSeedDerivesAllSeeds) {
+  const auto a = ScenarioConfig::with_master_seed(100);
+  const auto b = ScenarioConfig::with_master_seed(100);
+  const auto c = ScenarioConfig::with_master_seed(101);
+  EXPECT_EQ(a.internet.seed, b.internet.seed);
+  EXPECT_EQ(a.provider.seed, b.provider.seed);
+  EXPECT_NE(a.internet.seed, c.internet.seed);
+  EXPECT_NE(a.internet.seed, a.provider.seed);
+  EXPECT_NE(a.clients.seed, a.demand.seed);
+}
+
+TEST(Scenario, PresetsDescribeDifferentProviders) {
+  const auto fb = ScenarioConfig::facebook_like();
+  const auto ms = ScenarioConfig::microsoft_like();
+  const auto gg = ScenarioConfig::google_like();
+  EXPECT_NE(ms.provider.asn, fb.provider.asn);
+  EXPECT_NE(gg.provider.asn, fb.provider.asn);
+  // The 2015 CDN peers less and has fewer transit-covered sites.
+  EXPECT_LT(ms.provider.public_session_density, fb.provider.public_session_density);
+  EXPECT_GT(ms.provider.transit_session_pops, 0u);
+  // The hyperscaler has the largest edge.
+  EXPECT_GT(gg.provider.pop_count, fb.provider.pop_count);
+}
+
+TEST(Scenario, RebuildIsDeterministic) {
+  auto a = Scenario::make(test::small_scenario_config(9));
+  auto b = Scenario::make(test::small_scenario_config(9));
+  EXPECT_EQ(a->internet.graph.link_count(), b->internet.graph.link_count());
+  EXPECT_EQ(a->clients.size(), b->clients.size());
+  const SimTime t = SimTime::hours(13);
+  for (topo::LinkId l = 0; l < a->internet.graph.link_count(); l += 97) {
+    EXPECT_DOUBLE_EQ(a->congestion.link_utilization(l, t),
+                     b->congestion.link_utilization(l, t));
+  }
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

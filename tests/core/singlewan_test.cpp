@@ -1,0 +1,74 @@
+#include "bgpcmp/core/singlewan.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+const SingleWanResult& shared_result() {
+  static const auto r = [] {
+    const auto& sc = test::small_scenario();
+    static wan::CloudTiers tiers{&sc.internet, &sc.provider};
+    SingleWanConfig cfg;
+    cfg.sample_clients = 300;
+    return run_single_wan_study(sc, tiers, cfg);
+  }();
+  return r;
+}
+
+TEST(SingleWan, BinsCoverUnitInterval) {
+  const auto& r = shared_result();
+  ASSERT_EQ(r.bins.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.bins.front().lo, 0.0);
+  EXPECT_DOUBLE_EQ(r.bins.back().hi, 1.0);
+  std::size_t total = 0;
+  for (const auto& bin : r.bins) total += bin.count;
+  EXPECT_GT(total, 100u);
+}
+
+TEST(SingleWan, InflationAtLeastOneInPopulatedBins) {
+  for (const auto& bin : shared_result().bins) {
+    if (bin.count == 0) continue;
+    EXPECT_GE(bin.median_inflation, 0.9);  // noise floor aside, >= geodesic
+  }
+}
+
+TEST(SingleWan, CorrelationSupportsHypothesis) {
+  // More of the journey on one network => less inflation.
+  EXPECT_LT(shared_result().correlation, 0.0);
+}
+
+TEST(SingleWan, CorrelationInRange) {
+  EXPECT_GE(shared_result().correlation, -1.0);
+  EXPECT_LE(shared_result().correlation, 1.0);
+}
+
+TEST(SingleWan, WorldMediansPositive) {
+  const auto& r = shared_result();
+  EXPECT_GT(r.world_premium_ms, 0.0);
+  EXPECT_GT(r.world_standard_ms, 0.0);
+}
+
+TEST(SingleWan, IndiaCaseStudyWhenSampled) {
+  const auto& r = shared_result();
+  if (r.india_samples > 10) {
+    // The WAN's eastward detour makes Premium pay more for India.
+    EXPECT_GT(r.india_premium_ms, r.india_standard_ms);
+  }
+}
+
+TEST(SingleWan, DeterministicGivenConfig) {
+  const auto& sc = test::small_scenario();
+  static wan::CloudTiers tiers{&sc.internet, &sc.provider};
+  SingleWanConfig cfg;
+  cfg.sample_clients = 100;
+  const auto a = run_single_wan_study(sc, tiers, cfg);
+  const auto b = run_single_wan_study(sc, tiers, cfg);
+  EXPECT_DOUBLE_EQ(a.correlation, b.correlation);
+  EXPECT_DOUBLE_EQ(a.world_premium_ms, b.world_premium_ms);
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

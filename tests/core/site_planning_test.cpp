@@ -1,0 +1,97 @@
+#include "bgpcmp/core/site_planning.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+const SitePlanningResult& shared_result() {
+  static const auto r = [] {
+    SitePlanningConfig cfg;
+    cfg.candidate_count = 3;
+    const std::size_t counts[] = {6, 12};
+    return run_site_planning(test::small_scenario_config(5), cfg, counts);
+  }();
+  return r;
+}
+
+TEST(SitePlanning, DensityRowsMatchRequestedCounts) {
+  ASSERT_EQ(shared_result().density.size(), 2u);
+  EXPECT_EQ(shared_result().density[0].pop_count, 6u);
+  EXPECT_EQ(shared_result().density[1].pop_count, 12u);
+}
+
+TEST(SitePlanning, MoreSitesShrinkCatchmentDistance) {
+  const auto& d = shared_result().density;
+  EXPECT_GT(d[0].median_catchment_km, d[1].median_catchment_km);
+  for (const auto& p : d) {
+    EXPECT_GE(p.p90_gap_ms, p.median_gap_ms);
+    EXPECT_GE(p.median_gap_ms, -1e-9);
+  }
+}
+
+TEST(SitePlanning, CandidatesAreNonPopMetros) {
+  ASSERT_EQ(shared_result().additions.size(), 3u);
+  auto base = Scenario::make(test::small_scenario_config(5));
+  for (const auto& row : shared_result().additions) {
+    EXPECT_FALSE(base->provider.pop_in(row.candidate).has_value());
+    EXPECT_GE(row.predicted_improvement_ms, 0.0);
+    EXPECT_GE(row.catchment_shift, 0.0);
+    EXPECT_LE(row.catchment_shift, 1.0);
+  }
+}
+
+TEST(SitePlanning, NewSiteAttractsTraffic) {
+  // Each heavyweight candidate must capture some catchment.
+  for (const auto& row : shared_result().additions) {
+    EXPECT_GT(row.catchment_shift, 0.0)
+        << topo::CityDb::world().at(row.candidate).name;
+  }
+}
+
+TEST(SitePlanning, CorrelationInRange) {
+  EXPECT_GE(shared_result().prediction_correlation, -1.0);
+  EXPECT_LE(shared_result().prediction_correlation, 1.0);
+}
+
+TEST(ExtraPopCities, AppendedAndDeduplicated) {
+  auto cfg = test::small_scenario_config(6);
+  auto base = Scenario::make(cfg);
+  const auto& db = base->internet.city_db();
+  const auto existing = db.at(base->provider.pops()[0].city).name;
+  cfg.provider.extra_pop_cities = {existing, "Tokyo", "Atlantis"};
+  auto extended = Scenario::make(cfg);
+  // "Atlantis" ignored; existing city deduplicated; Tokyo added if new.
+  const bool tokyo_was_pop = base->provider.pop_in(*db.find("Tokyo")).has_value();
+  const std::size_t expect =
+      base->provider.pops().size() + (tokyo_was_pop ? 0 : 1);
+  EXPECT_EQ(extended->provider.pops().size(), expect);
+  EXPECT_TRUE(extended->provider.pop_in(*db.find("Tokyo")).has_value());
+}
+
+TEST(ExtraPopCities, AdditionPreservesExistingPeerings) {
+  // The per-AS peering RNG makes site addition a local change: every PNI
+  // edge of the base provider must still exist afterward.
+  auto cfg = test::small_scenario_config(7);
+  auto base = Scenario::make(cfg);
+  cfg.provider.extra_pop_cities = {"Tokyo"};
+  auto extended = Scenario::make(cfg);
+  const auto& bg = base->internet.graph;
+  const auto& eg = extended->internet.graph;
+  std::size_t checked = 0;
+  for (const auto& nb : bg.neighbors(base->provider.as_index())) {
+    if (nb.role != topo::NeighborRole::Peer) continue;
+    const auto peer_asn = bg.node(nb.as).asn;
+    const auto idx = eg.find_asn(peer_asn);
+    ASSERT_TRUE(idx);
+    EXPECT_TRUE(eg.find_edge(extended->provider.as_index(), *idx))
+        << peer_asn.str();
+    ++checked;
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

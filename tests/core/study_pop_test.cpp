@@ -1,0 +1,148 @@
+#include "bgpcmp/core/study_pop.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+PopStudyConfig quick_config() {
+  PopStudyConfig cfg;
+  cfg.days = 0.5;
+  cfg.window_stride = 2;
+  return cfg;
+}
+
+class PopStudyTest : public ::testing::Test {
+ protected:
+  static const PopStudyResult& result() {
+    static const PopStudyResult r =
+        run_pop_study(test::small_scenario(), quick_config());
+    return r;
+  }
+};
+
+TEST_F(PopStudyTest, WindowsFollowTheGrid) {
+  // 0.5 days = 48 windows, stride 2 = 24 evaluated.
+  EXPECT_EQ(result().windows.size(), 24u);
+  for (std::size_t i = 1; i < result().windows.size(); ++i) {
+    EXPECT_GT(result().windows[i].begin, result().windows[i - 1].begin);
+  }
+}
+
+TEST_F(PopStudyTest, SeriesShapeIsConsistent) {
+  EXPECT_FALSE(result().series.empty());
+  for (const auto& s : result().series) {
+    ASSERT_GE(s.routes.size(), 2u);
+    ASSERT_LE(s.routes.size(), 3u);  // top_k default
+    ASSERT_EQ(s.medians.size(), s.routes.size());
+    for (const auto& m : s.medians) {
+      ASSERT_EQ(m.size(), result().windows.size());
+      for (const float v : m) EXPECT_GT(v, 0.0f);
+    }
+    ASSERT_EQ(s.volume.size(), result().windows.size());
+    ASSERT_EQ(s.ci_lower.size(), result().windows.size());
+    ASSERT_EQ(s.ci_upper.size(), result().windows.size());
+  }
+}
+
+TEST_F(PopStudyTest, BgpPreferredIsFirstAndRanked) {
+  // [0] must never be a transit route while a peer route exists in the set.
+  for (const auto& s : result().series) {
+    bool has_peer = false;
+    for (const auto& r : s.routes) {
+      has_peer |= r.role == topo::NeighborRole::Peer;
+    }
+    if (has_peer) {
+      EXPECT_EQ(s.routes[0].role, topo::NeighborRole::Peer);
+    }
+  }
+}
+
+TEST_F(PopStudyTest, CiBoundsBracketOrdered) {
+  for (const auto& s : result().series) {
+    for (std::size_t w = 0; w < result().windows.size(); ++w) {
+      EXPECT_LE(s.ci_lower[w], s.ci_upper[w]);
+    }
+  }
+}
+
+TEST_F(PopStudyTest, Fig1CdfMassNearZero) {
+  const auto cdf = result().fig1_cdf();
+  ASSERT_FALSE(cdf.empty());
+  // The central reproduction claim: most traffic sits within +/-10 ms.
+  const double within =
+      cdf.fraction_at_most(10.0) - cdf.fraction_at_most(-10.0);
+  EXPECT_GT(within, 0.6);
+}
+
+TEST_F(PopStudyTest, Fig1BoundsOrdered) {
+  const auto point = result().fig1_cdf(PopStudyResult::Fig1Bound::Point);
+  const auto lower = result().fig1_cdf(PopStudyResult::Fig1Bound::Lower);
+  const auto upper = result().fig1_cdf(PopStudyResult::Fig1Bound::Upper);
+  // ci_lower <= diff <= ci_upper implies stochastic ordering of the CDFs.
+  for (const double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    EXPECT_GE(lower.fraction_at_most(x) + 1e-9, point.fraction_at_most(x));
+    EXPECT_LE(upper.fraction_at_most(x) - 1e-9, point.fraction_at_most(x));
+  }
+}
+
+TEST_F(PopStudyTest, ImprovableFractionMonotoneInThreshold) {
+  double prev = 1.0;
+  for (const double th : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const double frac = result().improvable_traffic_fraction(th);
+    EXPECT_LE(frac, prev + 1e-12);
+    EXPECT_GE(frac, 0.0);
+    prev = frac;
+  }
+}
+
+TEST_F(PopStudyTest, ImprovableFractionIsSmallMinority) {
+  EXPECT_LT(result().improvable_traffic_fraction(5.0), 0.25);
+}
+
+TEST_F(PopStudyTest, Fig2CurvesCenteredNearZero) {
+  const auto pt = result().fig2_peer_vs_transit();
+  if (!pt.empty()) {
+    EXPECT_LT(std::abs(pt.quantile(0.5)), 8.0);
+  }
+  const auto pp = result().fig2_private_vs_public();
+  if (!pp.empty()) {
+    EXPECT_LT(std::abs(pp.quantile(0.5)), 8.0);
+  }
+}
+
+TEST_F(PopStudyTest, DiffUsesBestAlternate) {
+  const auto& s = result().series.front();
+  for (std::size_t w = 0; w < result().windows.size(); ++w) {
+    float best_alt = s.medians[1][w];
+    for (std::size_t r = 2; r < s.medians.size(); ++r) {
+      best_alt = std::min(best_alt, s.medians[r][w]);
+    }
+    EXPECT_FLOAT_EQ(s.diff(w), s.medians[0][w] - best_alt);
+  }
+}
+
+TEST(PopStudy, DeterministicGivenSeed) {
+  const auto a = run_pop_study(test::small_scenario(), quick_config());
+  const auto b = run_pop_study(test::small_scenario(), quick_config());
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); i += 11) {
+    EXPECT_EQ(a.series[i].prefix, b.series[i].prefix);
+    EXPECT_EQ(a.series[i].medians, b.series[i].medians);
+  }
+}
+
+TEST(PopStudy, TopKLimitsRoutes) {
+  PopStudyConfig cfg = quick_config();
+  cfg.top_k_routes = 2;
+  cfg.days = 0.25;
+  const auto result = run_pop_study(test::small_scenario(), cfg);
+  for (const auto& s : result.series) {
+    EXPECT_LE(s.routes.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

@@ -1,0 +1,86 @@
+#include "bgpcmp/core/study_wan.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+WanStudyConfig quick_config() {
+  WanStudyConfig cfg;
+  cfg.campaign.days = 3.0;
+  cfg.fleet.daily_vantage_points = 60;
+  cfg.min_country_samples = 5;
+  return cfg;
+}
+
+class WanStudyTest : public ::testing::Test {
+ protected:
+  static const WanStudyResult& result() {
+    static const auto r = [] {
+      const auto& sc = test::small_scenario();
+      static wan::CloudTiers tiers{&sc.internet, &sc.provider};
+      return run_wan_study(sc, tiers, quick_config());
+    }();
+    return r;
+  }
+};
+
+TEST_F(WanStudyTest, ProducesSamplesAndCountries) {
+  EXPECT_GT(result().total_samples, 1000u);
+  EXPECT_GT(result().filtered_samples, 0u);
+  EXPECT_LE(result().filtered_samples, result().total_samples);
+  EXPECT_FALSE(result().countries.empty());
+}
+
+TEST_F(WanStudyTest, CountriesSortedByDiff) {
+  for (std::size_t i = 1; i < result().countries.size(); ++i) {
+    EXPECT_GE(result().countries[i - 1].median_diff_ms,
+              result().countries[i].median_diff_ms);
+  }
+}
+
+TEST_F(WanStudyTest, CountryRowsMeetTheSampleFloor) {
+  for (const auto& row : result().countries) {
+    EXPECT_GE(row.samples, quick_config().min_country_samples);
+    EXPECT_FALSE(row.country.empty());
+  }
+}
+
+TEST_F(WanStudyTest, IngressFractionsFavorPremium) {
+  EXPECT_GT(result().premium_ingress_near_fraction,
+            result().standard_ingress_near_fraction);
+  EXPECT_GE(result().premium_ingress_near_fraction, 0.0);
+  EXPECT_LE(result().premium_ingress_near_fraction, 1.0);
+}
+
+TEST_F(WanStudyTest, CountryLookup) {
+  bool found = false;
+  const auto& first = result().countries.front();
+  const double diff = result().country_diff(first.country, found);
+  EXPECT_TRUE(found);
+  EXPECT_DOUBLE_EQ(diff, first.median_diff_ms);
+  (void)result().country_diff("Neverland", found);
+  EXPECT_FALSE(found);
+}
+
+TEST_F(WanStudyTest, IndiaFavorsStandardWhenPresent) {
+  bool found = false;
+  const double india = result().country_diff("India", found);
+  if (found) {
+    EXPECT_LT(india, 0.0) << "the §3.3.2 case study: public Internet wins India";
+  }
+}
+
+TEST_F(WanStudyTest, MostCountriesComparable) {
+  // Fig 5's overall message: most countries are within +/- tens of ms.
+  std::size_t comparable = 0;
+  for (const auto& row : result().countries) {
+    if (std::abs(row.median_diff_ms) <= 25.0) ++comparable;
+  }
+  EXPECT_GT(comparable * 2, result().countries.size());
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

@@ -1,0 +1,68 @@
+#include "bgpcmp/core/tail.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+const PopStudyResult& shared_study() {
+  static const auto r = [] {
+    PopStudyConfig cfg;
+    cfg.days = 0.5;
+    return run_pop_study(test::small_scenario(), cfg);
+  }();
+  return r;
+}
+
+std::vector<measure::TierSample> shared_samples() {
+  const auto& sc = test::small_scenario();
+  static wan::CloudTiers tiers{&sc.internet, &sc.provider};
+  measure::VantageFleetConfig fcfg;
+  fcfg.daily_vantage_points = 40;
+  measure::VantageFleet fleet{&sc.clients, fcfg};
+  measure::CampaignConfig ccfg;
+  ccfg.days = 1.0;
+  measure::Campaign campaign{&tiers, &sc.latency, &fleet, &sc.clients, ccfg};
+  Rng rng{8};
+  return campaign.run(rng);
+}
+
+TEST(Tail, RowsFollowThresholds) {
+  const auto result = analyze_tail(shared_study(), shared_samples());
+  ASSERT_EQ(result.rows.size(), 4u);
+  double prev_frac = 1.0;
+  for (const auto& row : result.rows) {
+    EXPECT_LE(row.traffic_fraction, prev_frac + 1e-12);  // monotone decreasing
+    EXPECT_NEAR(row.estimated_sessions, row.traffic_fraction * 2.0e14, 1.0);
+    prev_frac = row.traffic_fraction;
+  }
+}
+
+TEST(Tail, QuantilesAreOrdered) {
+  const auto result = analyze_tail(shared_study(), shared_samples());
+  EXPECT_LE(result.p95_improvement_ms, result.p99_improvement_ms);
+}
+
+TEST(Tail, GoodputRatioNearOne) {
+  // §4 footnote: "we saw little difference" in goodput between tiers.
+  const auto result = analyze_tail(shared_study(), shared_samples());
+  EXPECT_GT(result.goodput_ratio_median, 0.5);
+  EXPECT_LT(result.goodput_ratio_median, 2.0);
+}
+
+TEST(Tail, CustomThresholdsRespected) {
+  TailConfig cfg;
+  cfg.thresholds_ms = {2.5};
+  cfg.total_sessions = 1000.0;
+  const auto result = analyze_tail(shared_study(), {}, cfg);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.rows[0].threshold_ms, 2.5);
+  EXPECT_LE(result.rows[0].estimated_sessions, 1000.0);
+  // No WAN samples: the goodput ratio stays at its neutral default.
+  EXPECT_DOUBLE_EQ(result.goodput_ratio_median, 1.0);
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

@@ -1,0 +1,94 @@
+// Cross-subsystem integration: the full pipelines behind each figure run on
+// one world and their headline shapes hold simultaneously — the smallest
+// version of the paper's holistic claim.
+#include <gtest/gtest.h>
+
+#include "bgpcmp/core/degrade.h"
+#include "bgpcmp/core/study_anycast.h"
+#include "bgpcmp/core/study_pop.h"
+#include "bgpcmp/core/study_wan.h"
+#include "bgpcmp/core/tail.h"
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  const Scenario& sc_ = test::small_scenario();
+};
+
+TEST_F(EndToEndTest, StudyOneBgpIsHardToBeat) {
+  PopStudyConfig cfg;
+  cfg.days = 0.5;
+  const auto study = run_pop_study(sc_, cfg);
+  const auto cdf = study.fig1_cdf();
+  // The thesis: an omniscient controller improves >=5 ms for a small
+  // minority of traffic only.
+  EXPECT_LT(study.improvable_traffic_fraction(5.0), 0.25);
+  // And BGP is within 10 ms of optimal for a solid majority.
+  EXPECT_GT(1.0 - cdf.fraction_above(10.0), 0.7);
+}
+
+TEST_F(EndToEndTest, StudyTwoAnycastCompetitive) {
+  cdn::AnycastCdn cdn{&sc_.internet, &sc_.provider};
+  AnycastStudyConfig cfg;
+  cfg.beacon_rounds = 2;
+  cfg.eval_windows = 3;
+  const auto result = run_anycast_study(sc_, cdn, cfg);
+  EXPECT_GT(result.frac_within_10ms, 0.4);
+  EXPECT_LT(result.frac_unicast_100ms_faster, 0.3);
+  // Redirection is no silver bullet: its losses are the same order as wins.
+  if (result.fig4_improved_fraction > 0.02) {
+    EXPECT_GT(result.fig4_worse_fraction, result.fig4_improved_fraction / 20.0);
+  }
+}
+
+TEST_F(EndToEndTest, StudyThreeTiersComparable) {
+  wan::CloudTiers tiers{&sc_.internet, &sc_.provider};
+  WanStudyConfig cfg;
+  cfg.campaign.days = 2.0;
+  cfg.fleet.daily_vantage_points = 60;
+  cfg.min_country_samples = 5;
+  const auto result = run_wan_study(sc_, tiers, cfg);
+  ASSERT_FALSE(result.countries.empty());
+  // The private WAN must not dominate everywhere: some countries are
+  // comparable or favor the public Internet.
+  bool some_comparable_or_standard = false;
+  for (const auto& row : result.countries) {
+    if (row.median_diff_ms < 10.0) some_comparable_or_standard = true;
+  }
+  EXPECT_TRUE(some_comparable_or_standard);
+  EXPECT_GT(result.premium_ingress_near_fraction,
+            result.standard_ingress_near_fraction);
+}
+
+TEST_F(EndToEndTest, DegradeAnalysisAgreesWithFigOne) {
+  PopStudyConfig cfg;
+  cfg.days = 0.5;
+  const auto study = run_pop_study(sc_, cfg);
+  const auto degrade = analyze_degrade(study);
+  // The improvement windows the degrade analysis counts must reconcile with
+  // the headline improvable fraction within a loose factor (one is
+  // window-weighted, the other traffic-weighted).
+  const double headline = study.improvable_traffic_fraction(5.0);
+  EXPECT_LT(std::abs(degrade.improvement_window_fraction - headline), 0.30);
+}
+
+TEST_F(EndToEndTest, AllThreeStudiesShareOneWorld) {
+  // Guard against fixture drift: the same scenario object serves all three
+  // studies without mutation (const access only).
+  const auto before_links = sc_.internet.graph.link_count();
+  PopStudyConfig pcfg;
+  pcfg.days = 0.25;
+  (void)run_pop_study(sc_, pcfg);
+  cdn::AnycastCdn cdn{&sc_.internet, &sc_.provider};
+  AnycastStudyConfig acfg;
+  acfg.beacon_rounds = 1;
+  acfg.eval_windows = 2;
+  (void)run_anycast_study(sc_, cdn, acfg);
+  EXPECT_EQ(sc_.internet.graph.link_count(), before_links);
+}
+
+}  // namespace
+}  // namespace bgpcmp::core

@@ -1,0 +1,120 @@
+// Whole-system property tests across seeds: invariants that must hold for
+// every generated world, independent of calibration.
+#include <gtest/gtest.h>
+
+#include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/bgp/validate.h"
+#include "bgpcmp/cdn/anycast_cdn.h"
+#include "bgpcmp/cdn/edge_fabric.h"
+#include "bgpcmp/wan/tiers.h"
+#include "../testutil.h"
+
+namespace bgpcmp {
+namespace {
+
+class WorldInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static const core::Scenario& scenario(std::uint64_t seed) {
+    static std::map<std::uint64_t, std::unique_ptr<core::Scenario>> cache;
+    auto it = cache.find(seed);
+    if (it == cache.end()) {
+      it = cache.emplace(seed, core::Scenario::make(test::small_scenario_config(seed)))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(WorldInvariants, EgressPathsAreValleyFreeAndAnchored) {
+  const auto& sc = scenario(GetParam());
+  const auto& g = sc.internet.graph;
+  const auto& db = sc.internet.city_db();
+  for (traffic::PrefixId id = 0; id < sc.clients.size(); id += 9) {
+    const auto& client = sc.clients.at(id);
+    const auto pop = sc.provider.serving_pop(g, db, client.origin_as, client.city);
+    const auto table = bgp::compute_routes(g, client.origin_as);
+    for (const auto& opt : sc.provider.egress_options(g, table, pop)) {
+      const auto path = cdn::edge_fabric::egress_path(
+          g, db, sc.provider.as_index(), sc.provider.pop(pop), opt, client.city);
+      if (!path.valid()) continue;
+      EXPECT_TRUE(bgp::is_valley_free(g, path.as_path));
+      EXPECT_EQ(path.segments.front().from, sc.provider.pop(pop).city);
+      EXPECT_EQ(path.segments.back().to, client.city);
+    }
+  }
+}
+
+TEST_P(WorldInvariants, AnycastAndUnicastAgreeOnGeometry) {
+  const auto& sc = scenario(GetParam());
+  cdn::AnycastCdn cdn{&sc.internet, &sc.provider};
+  const SimTime t = SimTime::hours(2);
+  for (traffic::PrefixId id = 0; id < sc.clients.size(); id += 13) {
+    const auto& client = sc.clients.at(id);
+    const auto any = cdn.anycast_route(client);
+    if (!any.valid()) continue;
+    // The unicast route to the catchment PoP can differ from the anycast
+    // path (scoped announcements propagate differently), but it must exist
+    // and terminate at that PoP.
+    const auto uni = cdn.unicast_route(client, any.pop);
+    ASSERT_TRUE(uni.valid());
+    EXPECT_EQ(uni.segments.back().to, sc.provider.pop(any.pop).city);
+    // And the anycast RTT can never beat the best unicast RTT by more than
+    // noise-free modeling slack (same substrate).
+    const auto any_ms =
+        sc.latency.rtt(any.path, t, client.access, client.origin_as, client.city)
+            .total()
+            .value();
+    double best_uni = 1e18;
+    for (const auto pop : cdn.nearby_front_ends(client, 6)) {
+      const auto p = cdn.unicast_route(client, pop);
+      if (!p.valid()) continue;
+      best_uni = std::min(
+          best_uni,
+          sc.latency.rtt(p, t, client.access, client.origin_as, client.city)
+              .total()
+              .value());
+    }
+    EXPECT_GE(any_ms + 15.0, std::min(best_uni, any_ms))
+        << "anycast wildly better than unicast to the same sites";
+  }
+}
+
+TEST_P(WorldInvariants, TierRoutesUseTheSameAccessSubstrate) {
+  const auto& sc = scenario(GetParam());
+  wan::CloudTiers tiers{&sc.internet, &sc.provider};
+  for (traffic::PrefixId id = 0; id < sc.clients.size(); id += 13) {
+    const auto& client = sc.clients.at(id);
+    const auto prem = tiers.premium(client);
+    const auto stan = tiers.standard(client);
+    if (!prem.valid() || !stan.valid()) continue;
+    EXPECT_TRUE(bgp::is_valley_free(sc.internet.graph, prem.access_path.as_path));
+    EXPECT_TRUE(bgp::is_valley_free(sc.internet.graph, stan.access_path.as_path));
+    EXPECT_EQ(prem.access_path.as_path.front(), client.origin_as);
+    EXPECT_EQ(stan.access_path.as_path.front(), client.origin_as);
+    EXPECT_EQ(prem.access_path.as_path.back(), sc.provider.as_index());
+    EXPECT_EQ(stan.access_path.as_path.back(), sc.provider.as_index());
+  }
+}
+
+TEST_P(WorldInvariants, RttComponentsAlwaysNonNegative) {
+  const auto& sc = scenario(GetParam());
+  cdn::AnycastCdn cdn{&sc.internet, &sc.provider};
+  for (traffic::PrefixId id = 0; id < sc.clients.size(); id += 17) {
+    const auto& client = sc.clients.at(id);
+    const auto route = cdn.anycast_route(client);
+    if (!route.valid()) continue;
+    for (double h = 0; h < 30; h += 6.3) {
+      const auto rtt = sc.latency.rtt(route.path, SimTime::hours(h), client.access,
+                                      client.origin_as, client.city);
+      EXPECT_GE(rtt.propagation.value(), 0.0);
+      EXPECT_GE(rtt.processing.value(), 0.0);
+      EXPECT_GE(rtt.queueing.value(), 0.0);
+      EXPECT_GE(rtt.access.value(), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldInvariants, ::testing::Values(1u, 23u, 456u));
+
+}  // namespace
+}  // namespace bgpcmp

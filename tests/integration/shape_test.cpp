@@ -1,0 +1,63 @@
+// Reproduction-shape robustness: the paper's qualitative claims must hold
+// across different random worlds, not just the calibrated default seed.
+// Bounds here are intentionally loose — they express "who wins and by what
+// order", not the tuned headline numbers.
+#include <gtest/gtest.h>
+
+#include "bgpcmp/core/study_anycast.h"
+#include "bgpcmp/core/study_pop.h"
+#include "../testutil.h"
+
+namespace bgpcmp::core {
+namespace {
+
+class ShapeAcrossSeeds : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static const Scenario& scenario(std::uint64_t seed) {
+    static std::map<std::uint64_t, std::unique_ptr<Scenario>> cache;
+    auto it = cache.find(seed);
+    if (it == cache.end()) {
+      auto cfg = test::small_scenario_config(seed);
+      it = cache.emplace(seed, Scenario::make(cfg)).first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(ShapeAcrossSeeds, BgpIsHardToBeat) {
+  PopStudyConfig cfg;
+  cfg.days = 0.25;
+  const auto study = run_pop_study(scenario(GetParam()), cfg);
+  ASSERT_GT(study.series.size(), 20u);
+  // The headline claim, with generous slack: an omniscient controller helps
+  // >=5 ms for well under half the traffic, and the bulk of traffic sits
+  // within +/-10 ms of the best alternative.
+  EXPECT_LT(study.improvable_traffic_fraction(5.0), 0.30);
+  const auto cdf = study.fig1_cdf();
+  EXPECT_GT(cdf.fraction_at_most(10.0) - cdf.fraction_at_most(-10.0), 0.55);
+}
+
+TEST_P(ShapeAcrossSeeds, PeerAndTransitComparable) {
+  PopStudyConfig cfg;
+  cfg.days = 0.25;
+  const auto study = run_pop_study(scenario(GetParam()), cfg);
+  const auto pt = study.fig2_peer_vs_transit();
+  if (pt.empty()) GTEST_SKIP() << "no pair with both classes in this world";
+  EXPECT_LT(std::abs(pt.quantile(0.5)), 10.0);
+}
+
+TEST_P(ShapeAcrossSeeds, AnycastCompetitiveWithBestUnicast) {
+  const auto& sc = scenario(GetParam());
+  cdn::AnycastCdn cdn{&sc.internet, &sc.provider};
+  AnycastStudyConfig cfg;
+  cfg.beacon_rounds = 1;
+  cfg.eval_windows = 2;
+  const auto result = run_anycast_study(sc, cdn, cfg);
+  EXPECT_GT(result.frac_within_10ms, 0.35);
+  EXPECT_LT(result.frac_unicast_100ms_faster, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeAcrossSeeds, ::testing::Values(11u, 77u, 313u));
+
+}  // namespace
+}  // namespace bgpcmp::core

@@ -1,0 +1,172 @@
+#include "bgpcmp/latency/path_model.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp::lat {
+namespace {
+
+using topo::AsClass;
+using topo::CityDb;
+
+/// Fixture over real geography: a source AS in the US, a long-haul carrier
+/// present coast-to-coast, and a destination AS with two interconnect cities,
+/// so hot- vs cold-potato choices are observable.
+class PathModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ny_ = *db_.find("New York");
+    ch_ = *db_.find("Chicago");
+    la_ = *db_.find("Los Angeles");
+    sf_ = *db_.find("San Francisco");
+
+    src_ = g_.add_as(Asn{1}, AsClass::Content, "SRC", {ny_}, ny_, 1.1);
+    carrier_ = g_.add_as(Asn{2}, AsClass::Tier1, "CARRIER", {ny_, ch_, la_, sf_},
+                         ny_, 1.2);
+    dst_ = g_.add_as(Asn{3}, AsClass::Eyeball, "DST", {ch_, la_, sf_}, la_, 1.3);
+
+    const auto e1 = g_.connect_transit(carrier_, src_);
+    g_.add_link(e1, ny_, topo::LinkKind::Transit, GigabitsPerSecond{10});
+    e2_ = g_.connect_transit(carrier_, dst_);
+    l_ch_ = g_.add_link(e2_, ch_, topo::LinkKind::Transit, GigabitsPerSecond{10});
+    l_la_ = g_.add_link(e2_, la_, topo::LinkKind::Transit, GigabitsPerSecond{10});
+  }
+
+  const CityDb& db_ = CityDb::world();
+  topo::AsGraph g_;
+  topo::CityId ny_, ch_, la_, sf_;
+  topo::AsIndex src_, carrier_, dst_;
+  topo::EdgeId e2_ = topo::kNoEdge;
+  topo::LinkId l_ch_ = topo::kNoLink, l_la_ = topo::kNoLink;
+};
+
+TEST_F(PathModelTest, HotPotatoExitsNearCurrentLocation) {
+  // From NY toward an LA destination, hot potato hands off at Chicago (the
+  // carrier exit nearest to where the packet is), not LA.
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  const auto geo = build_geo_path(g_, db_, path, ny_, la_);
+  ASSERT_TRUE(geo.valid());
+  EXPECT_EQ(geo.entry_city, ch_);
+  EXPECT_EQ(geo.entry_link, l_ch_);
+}
+
+TEST_F(PathModelTest, ColdPotatoExitsNearDestination) {
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  GeoPathOptions opts;
+  opts.exit_override[carrier_] = ExitStrategy::ColdPotato;
+  const auto geo = build_geo_path(g_, db_, path, ny_, la_, opts);
+  ASSERT_TRUE(geo.valid());
+  EXPECT_EQ(geo.entry_city, la_);
+  EXPECT_EQ(geo.entry_link, l_la_);
+}
+
+TEST_F(PathModelTest, ColdPotatoShortensTotalDistanceHere) {
+  // Hot potato: NY->CH (carrier), CH->LA inside DST (inflation 1.3).
+  // Cold potato: NY->LA (carrier, 1.2), LA->LA (0). Cold should be shorter
+  // in inflated distance because the destination's backbone is worse.
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  const auto hot = build_geo_path(g_, db_, path, ny_, la_);
+  GeoPathOptions opts;
+  opts.exit_override[carrier_] = ExitStrategy::ColdPotato;
+  const auto cold = build_geo_path(g_, db_, path, ny_, la_, opts);
+  EXPECT_LT(cold.inflated_distance().value(), hot.inflated_distance().value());
+}
+
+TEST_F(PathModelTest, SegmentsCoverEveryAs) {
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  const auto geo = build_geo_path(g_, db_, path, ny_, la_);
+  ASSERT_EQ(geo.segments.size(), 3u);
+  EXPECT_EQ(geo.segments[0].as, src_);
+  EXPECT_EQ(geo.segments[1].as, carrier_);
+  EXPECT_EQ(geo.segments[2].as, dst_);
+  ASSERT_EQ(geo.crossed_links.size(), 2u);
+}
+
+TEST_F(PathModelTest, SegmentsAreGeographicallyContiguous) {
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  const auto geo = build_geo_path(g_, db_, path, ny_, la_);
+  EXPECT_EQ(geo.segments.front().from, ny_);
+  EXPECT_EQ(geo.segments.back().to, la_);
+  for (std::size_t i = 1; i < geo.segments.size(); ++i) {
+    EXPECT_EQ(geo.segments[i].from, geo.segments[i - 1].to);
+  }
+}
+
+TEST_F(PathModelTest, OpenEndedDestinationTerminatesAtEntry) {
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  const auto geo = build_geo_path(g_, db_, path, ny_, topo::kNoCity);
+  ASSERT_TRUE(geo.valid());
+  EXPECT_EQ(geo.entry_city, ch_);                  // hot potato from NY
+  EXPECT_EQ(geo.segments.back().from, ch_);        // zero-length final leg
+  EXPECT_EQ(geo.segments.back().to, ch_);
+  EXPECT_DOUBLE_EQ(geo.segments.back().geo.value(), 0.0);
+}
+
+TEST_F(PathModelTest, ForcedFirstLinkIsRespected) {
+  // Force the (only) SRC link; then verify a bogus forced link fails.
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  GeoPathOptions opts;
+  opts.forced_first_link = g_.edge(*g_.find_edge(carrier_, src_)).links[0];
+  EXPECT_TRUE(build_geo_path(g_, db_, path, ny_, la_, opts).valid());
+  opts.forced_first_link = l_la_;  // not a SRC-CARRIER link
+  EXPECT_FALSE(build_geo_path(g_, db_, path, ny_, la_, opts).valid());
+}
+
+TEST_F(PathModelTest, OriginScopeRestrictsEntryLink) {
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  bgp::OriginSpec spec = bgp::OriginSpec::scoped(dst_, {l_la_});
+  GeoPathOptions opts;
+  opts.origin_scope = &spec;
+  const auto geo = build_geo_path(g_, db_, path, ny_, la_, opts);
+  ASSERT_TRUE(geo.valid());
+  // Hot potato would pick Chicago, but only the LA session carries the prefix.
+  EXPECT_EQ(geo.entry_link, l_la_);
+}
+
+TEST_F(PathModelTest, SingleAsPathHasOneSegment) {
+  const topo::AsIndex path[] = {carrier_, };
+  const auto geo = build_geo_path(g_, db_, path, ny_, la_);
+  ASSERT_TRUE(geo.valid());
+  EXPECT_EQ(geo.segments.size(), 1u);
+  EXPECT_TRUE(geo.crossed_links.empty());
+  EXPECT_EQ(geo.entry_city, ny_);  // no crossing: entry is the source
+}
+
+TEST_F(PathModelTest, NonAdjacentPathIsInvalid) {
+  const topo::AsIndex path[] = {src_, dst_};  // no direct edge
+  EXPECT_FALSE(build_geo_path(g_, db_, path, ny_, la_).valid());
+}
+
+TEST_F(PathModelTest, EmptyPathIsInvalid) {
+  EXPECT_FALSE(build_geo_path(g_, db_, {}, ny_, la_).valid());
+}
+
+TEST(LongHaulInflation, FlatBelowThreshold) {
+  EXPECT_DOUBLE_EQ(long_haul_inflation(1.2, Kilometers{100.0}), 1.2);
+  EXPECT_DOUBLE_EQ(long_haul_inflation(1.2, Kilometers{3000.0}), 1.2);
+}
+
+TEST(LongHaulInflation, GrowsAndSaturates) {
+  const double mid = long_haul_inflation(1.2, Kilometers{6500.0});
+  EXPECT_GT(mid, 1.2);
+  EXPECT_LT(mid, 1.35);
+  EXPECT_DOUBLE_EQ(long_haul_inflation(1.2, Kilometers{10000.0}), 1.35);
+  EXPECT_DOUBLE_EQ(long_haul_inflation(1.2, Kilometers{20000.0}), 1.35);
+}
+
+TEST(LongHaulInflation, MonotoneInDistance) {
+  double prev = 0.0;
+  for (double km = 0; km <= 15000; km += 250) {
+    const double v = long_haul_inflation(1.15, Kilometers{km});
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(PathModelTest, InflatedDistanceAtLeastGeoDistance) {
+  const topo::AsIndex path[] = {src_, carrier_, dst_};
+  const auto geo = build_geo_path(g_, db_, path, ny_, la_);
+  EXPECT_GE(geo.inflated_distance().value(), geo.geo_distance().value());
+}
+
+}  // namespace
+}  // namespace bgpcmp::lat

@@ -1,0 +1,96 @@
+#include "bgpcmp/measure/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::measure {
+namespace {
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  const core::Scenario& sc_ = test::small_scenario();
+  wan::CloudTiers tiers_{&sc_.internet, &sc_.provider};
+
+  std::vector<TierSample> run(double days, int vantages = 30) {
+    VantageFleetConfig fcfg;
+    fcfg.daily_vantage_points = vantages;
+    VantageFleet fleet{&sc_.clients, fcfg};
+    CampaignConfig ccfg;
+    ccfg.days = days;
+    Campaign campaign{&tiers_, &sc_.latency, &fleet, &sc_.clients, ccfg};
+    Rng rng{17};
+    return campaign.run(rng);
+  }
+};
+
+TEST_F(CampaignTest, ProducesSamplesAtExpectedScale) {
+  const auto samples = run(2.0);
+  // 2 days x 10 rounds x 30 vantages, minus loss/invalid.
+  EXPECT_GT(samples.size(), 450u);
+  EXPECT_LE(samples.size(), 600u);
+}
+
+TEST_F(CampaignTest, SamplesCarryPositiveRtts) {
+  for (const auto& s : run(1.0)) {
+    EXPECT_GT(s.premium.value(), 0.0);
+    EXPECT_GT(s.standard.value(), 0.0);
+    EXPECT_GE(s.premium_ingress_km, 0.0);
+    EXPECT_GE(s.standard_ingress_km, 0.0);
+    EXPECT_GE(s.standard_intermediates, 0);
+  }
+}
+
+TEST_F(CampaignTest, TimesSpanTheCampaign) {
+  const auto samples = run(2.0);
+  SimTime lo = samples.front().time;
+  SimTime hi = samples.front().time;
+  for (const auto& s : samples) {
+    lo = std::min(lo, s.time);
+    hi = std::max(hi, s.time);
+  }
+  EXPECT_LT(lo, SimTime::days(1));
+  EXPECT_GT(hi, SimTime::days(1));
+  EXPECT_LE(hi, SimTime::days(2));
+}
+
+TEST_F(CampaignTest, DeterministicGivenSeed) {
+  const auto a = run(1.0);
+  const auto b = run(1.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a[i].client, b[i].client);
+    EXPECT_DOUBLE_EQ(a[i].premium.value(), b[i].premium.value());
+    EXPECT_DOUBLE_EQ(a[i].standard.value(), b[i].standard.value());
+  }
+}
+
+TEST_F(CampaignTest, DirectFlagConsistentPerClient) {
+  // A client's premium_direct is a property of routing, not time: all its
+  // samples must agree.
+  std::map<traffic::PrefixId, bool> flag;
+  for (const auto& s : run(1.0)) {
+    const auto it = flag.find(s.client);
+    if (it == flag.end()) {
+      flag[s.client] = s.premium_direct;
+    } else {
+      EXPECT_EQ(it->second, s.premium_direct);
+    }
+  }
+}
+
+TEST_F(CampaignTest, PremiumIngressUsuallyCloser) {
+  double prem = 0.0;
+  double stan = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : run(1.0)) {
+    prem += s.premium_ingress_km;
+    stan += s.standard_ingress_km;
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_LT(prem / static_cast<double>(n), stan / static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace bgpcmp::measure

@@ -1,0 +1,81 @@
+#include "bgpcmp/measure/http.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bgpcmp::measure {
+namespace {
+
+TEST(TcpModel, ZeroBytesCostsTheHandshake) {
+  const auto t = fetch_time(0.0, Milliseconds{50});
+  EXPECT_DOUBLE_EQ(t.value(), 50.0);
+}
+
+TEST(TcpModel, TinyObjectFitsInInitialWindow) {
+  // 10 KB < IW10 (14.6 KB): handshake + one delivery round.
+  const auto t = fetch_time(10e3, Milliseconds{100});
+  EXPECT_DOUBLE_EQ(t.value(), 200.0);
+}
+
+TEST(TcpModel, FetchTimeMonotoneInSize) {
+  double prev = 0.0;
+  for (const double bytes : {1e3, 1e4, 1e5, 1e6, 1e7, 1e8}) {
+    const double t = fetch_time(bytes, Milliseconds{40}).value();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TcpModel, FetchTimeMonotoneInRtt) {
+  double prev = 0.0;
+  for (const double rtt : {5.0, 20.0, 50.0, 100.0, 200.0}) {
+    const double t = fetch_time(10e6, Milliseconds{rtt}).value();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TcpModel, SteadyStateRespectsBottleneck) {
+  TcpModelConfig cfg;
+  cfg.loss_rate = 1e-9;  // Mathis limit astronomically high
+  cfg.bottleneck_mbps = 100.0;
+  EXPECT_NEAR(steady_state_throughput(Milliseconds{50}, cfg), 100e6 / 8.0, 1.0);
+}
+
+TEST(TcpModel, SteadyStateRespectsLoss) {
+  TcpModelConfig cfg;
+  cfg.loss_rate = 0.01;  // lossy: Mathis limit dominates
+  cfg.bottleneck_mbps = 10000.0;
+  const double expected = cfg.mss_bytes / 0.05 * std::sqrt(1.5 / 0.01);
+  EXPECT_NEAR(steady_state_throughput(Milliseconds{50}, cfg), expected, 1.0);
+}
+
+TEST(TcpModel, LongTransferApproachesSteadyState) {
+  // 1 GB at 40 ms: slow-start overhead amortizes away.
+  TcpModelConfig cfg;
+  const double rate = steady_state_throughput(Milliseconds{40}, cfg);
+  const double goodput =
+      goodput_mbps(1e9, Milliseconds{40}, cfg) * 1e6 / 8.0;  // bytes/sec
+  EXPECT_NEAR(goodput / rate, 1.0, 0.1);
+}
+
+TEST(TcpModel, PaperFootnoteTenMbDownloadsSimilarAcrossModestRttGap) {
+  // A 10-20 ms RTT difference between tiers barely moves 10 MB goodput when
+  // the bottleneck dominates — the §4 "little difference" observation.
+  const double a = goodput_mbps(10e6, Milliseconds{80});
+  const double b = goodput_mbps(10e6, Milliseconds{95});
+  EXPECT_GT(a / b, 0.8);
+  EXPECT_LT(a / b, 1.3);
+}
+
+TEST(TcpModel, ShortRttWinsBigOnSmallObjects) {
+  // For small objects the transfer is RTT-bound, so latency differences show
+  // up nearly proportionally.
+  const double near = fetch_time(50e3, Milliseconds{10}).value();
+  const double far = fetch_time(50e3, Milliseconds{100}).value();
+  EXPECT_GT(far / near, 5.0);
+}
+
+}  // namespace
+}  // namespace bgpcmp::measure

@@ -1,0 +1,108 @@
+#include "bgpcmp/measure/probes.h"
+
+#include <gtest/gtest.h>
+
+#include "bgpcmp/bgp/propagation.h"
+#include "../testutil.h"
+
+namespace bgpcmp::measure {
+namespace {
+
+class ProbesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto& sc = test::small_scenario();
+    const auto& client = sc.clients.at(0);
+    const auto table =
+        bgp::compute_routes(sc.internet.graph, sc.provider.as_index());
+    const auto as_path = table.path(client.origin_as);
+    path_ = lat::build_geo_path(sc.internet.graph, sc.internet.city_db(), as_path,
+                                client.city, topo::kNoCity);
+    ASSERT_TRUE(path_.valid());
+  }
+
+  const core::Scenario& sc_ = test::small_scenario();
+  const traffic::ClientPrefix& client_ = sc_.clients.at(0);
+  lat::GeoPath path_;
+};
+
+TEST_F(ProbesTest, PingAboveModelFloor) {
+  const Prober prober{&sc_.latency};
+  Rng rng{1};
+  const SimTime t = SimTime::hours(8);
+  const auto floor = sc_.latency
+                         .rtt(path_, t, client_.access, client_.origin_as,
+                              client_.city)
+                         .total();
+  const auto result =
+      prober.ping(path_, t, client_.access, client_.origin_as, client_.city, 5, rng);
+  ASSERT_GT(result.received, 0);
+  EXPECT_EQ(result.sent, 5);
+  EXPECT_GE(result.min_rtt.value(), floor.value());
+}
+
+TEST_F(ProbesTest, LossRateDropsPings) {
+  ProbeConfig lossy;
+  lossy.loss_rate = 1.0;
+  const Prober prober{&sc_.latency, lossy};
+  Rng rng{2};
+  const auto result = prober.ping(path_, SimTime{0}, client_.access,
+                                  client_.origin_as, client_.city, 5, rng);
+  EXPECT_EQ(result.received, 0);
+  EXPECT_EQ(result.sent, 5);
+}
+
+TEST_F(ProbesTest, MorePingsTightenMin) {
+  const Prober prober{&sc_.latency};
+  Rng rng{3};
+  double sum1 = 0.0;
+  double sum10 = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    sum1 += prober
+                .ping(path_, SimTime{0}, client_.access, client_.origin_as,
+                      client_.city, 1, rng)
+                .min_rtt.value();
+    sum10 += prober
+                 .ping(path_, SimTime{0}, client_.access, client_.origin_as,
+                       client_.city, 10, rng)
+                 .min_rtt.value();
+  }
+  EXPECT_GT(sum1, sum10);
+}
+
+TEST_F(ProbesTest, TracerouteHopPerSegment) {
+  const Prober prober{&sc_.latency};
+  Rng rng{4};
+  const auto hops = prober.traceroute(path_, SimTime::hours(8), client_.access,
+                                      client_.origin_as, client_.city, rng);
+  ASSERT_EQ(hops.size(), path_.segments.size());
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    EXPECT_EQ(hops[i].as, path_.segments[i].as);
+    EXPECT_EQ(hops[i].city, path_.segments[i].to);
+  }
+}
+
+TEST_F(ProbesTest, TracerouteRttsRoughlyIncrease) {
+  const Prober prober{&sc_.latency};
+  Rng rng{5};
+  const auto hops = prober.traceroute(path_, SimTime::hours(8), client_.access,
+                                      client_.origin_as, client_.city, rng);
+  // Cumulative base grows; per-hop noise can locally reorder, so compare with
+  // slack against the first hop.
+  ASSERT_GE(hops.size(), 1u);
+  EXPECT_GE(hops.back().rtt.value() + 5.0, hops.front().rtt.value());
+}
+
+TEST_F(ProbesTest, TracerouteLocatesProviderIngress) {
+  // The last hop belongs to the provider AS — how the §3.3 study located
+  // where traffic enters the cloud.
+  const Prober prober{&sc_.latency};
+  Rng rng{6};
+  const auto hops = prober.traceroute(path_, SimTime::hours(8), client_.access,
+                                      client_.origin_as, client_.city, rng);
+  EXPECT_EQ(hops.back().as, sc_.provider.as_index());
+  EXPECT_EQ(hops.back().city, path_.entry_city);
+}
+
+}  // namespace
+}  // namespace bgpcmp::measure

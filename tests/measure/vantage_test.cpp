@@ -1,0 +1,82 @@
+#include "bgpcmp/measure/vantage.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testutil.h"
+
+namespace bgpcmp::measure {
+namespace {
+
+class VantageTest : public ::testing::Test {
+ protected:
+  const core::Scenario& sc_ = test::small_scenario();
+  VantageFleet fleet_{&sc_.clients};
+};
+
+TEST_F(VantageTest, CoversEveryLocation) {
+  EXPECT_EQ(fleet_.location_count(), sc_.clients.size());
+}
+
+TEST_F(VantageTest, DailySelectionSizeAndUniqueness) {
+  VantageFleetConfig cfg;
+  cfg.daily_vantage_points = 50;
+  const VantageFleet fleet{&sc_.clients, cfg};
+  const auto day = fleet.daily_selection(3);
+  EXPECT_EQ(day.size(), 50u);
+  const std::set<traffic::PrefixId> unique(day.begin(), day.end());
+  EXPECT_EQ(unique.size(), day.size());
+}
+
+TEST_F(VantageTest, SelectionCappedByPopulation) {
+  VantageFleetConfig cfg;
+  cfg.daily_vantage_points = 1000000;
+  const VantageFleet fleet{&sc_.clients, cfg};
+  EXPECT_EQ(fleet.daily_selection(0).size(), sc_.clients.size());
+}
+
+TEST_F(VantageTest, DeterministicPerDay) {
+  VantageFleetConfig cfg;
+  cfg.daily_vantage_points = 40;
+  const VantageFleet a{&sc_.clients, cfg};
+  const VantageFleet b{&sc_.clients, cfg};
+  EXPECT_EQ(a.daily_selection(5), b.daily_selection(5));
+  EXPECT_NE(a.daily_selection(5), a.daily_selection(6));
+}
+
+TEST_F(VantageTest, RotationCoversLongTailOverTime) {
+  VantageFleetConfig cfg;
+  cfg.daily_vantage_points = 60;
+  const VantageFleet fleet{&sc_.clients, cfg};
+  std::set<traffic::PrefixId> seen;
+  for (int day = 0; day < 120; ++day) {
+    for (const auto id : fleet.daily_selection(day)) seen.insert(id);
+  }
+  // Over a long campaign, the weighted sampling still reaches most locations.
+  EXPECT_GT(seen.size(), sc_.clients.size() * 3 / 4);
+}
+
+TEST_F(VantageTest, HeavyLocationsSelectedMoreOften) {
+  VantageFleetConfig cfg;
+  cfg.daily_vantage_points = 30;
+  const VantageFleet fleet{&sc_.clients, cfg};
+  // The heaviest prefix should appear on far more days than the lightest.
+  traffic::PrefixId heavy = 0;
+  traffic::PrefixId light = 0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); ++id) {
+    if (sc_.clients.at(id).user_weight > sc_.clients.at(heavy).user_weight) heavy = id;
+    if (sc_.clients.at(id).user_weight < sc_.clients.at(light).user_weight) light = id;
+  }
+  int heavy_days = 0;
+  int light_days = 0;
+  for (int day = 0; day < 150; ++day) {
+    const auto sel = fleet.daily_selection(day);
+    heavy_days += std::count(sel.begin(), sel.end(), heavy);
+    light_days += std::count(sel.begin(), sel.end(), light);
+  }
+  EXPECT_GT(heavy_days, light_days);
+}
+
+}  // namespace
+}  // namespace bgpcmp::measure

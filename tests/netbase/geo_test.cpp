@@ -1,0 +1,84 @@
+#include "bgpcmp/netbase/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp {
+namespace {
+
+constexpr GeoPoint kNewYork{40.71, -74.01};
+constexpr GeoPoint kLondon{51.51, -0.13};
+constexpr GeoPoint kSydney{-33.87, 151.21};
+constexpr GeoPoint kTokyo{35.68, 139.69};
+
+TEST(GreatCircle, KnownDistanceNewYorkLondon) {
+  const double km = great_circle_distance(kNewYork, kLondon).value();
+  EXPECT_NEAR(km, 5570.0, 60.0);  // published geodesic ~5,567 km
+}
+
+TEST(GreatCircle, KnownDistanceTokyoSydney) {
+  const double km = great_circle_distance(kTokyo, kSydney).value();
+  EXPECT_NEAR(km, 7820.0, 100.0);
+}
+
+TEST(GreatCircle, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(great_circle_distance(kLondon, kLondon).value(), 0.0);
+}
+
+TEST(GreatCircle, IsSymmetric) {
+  EXPECT_DOUBLE_EQ(great_circle_distance(kNewYork, kSydney).value(),
+                   great_circle_distance(kSydney, kNewYork).value());
+}
+
+TEST(GreatCircle, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(great_circle_distance(a, b).value(), 6371.0 * 3.14159265, 1.0);
+}
+
+/// Triangle inequality over a grid of point triples.
+class GeoTriangle
+    : public ::testing::TestWithParam<std::tuple<GeoPoint, GeoPoint, GeoPoint>> {};
+
+TEST_P(GeoTriangle, TriangleInequalityHolds) {
+  const auto& [a, b, c] = GetParam();
+  const double ab = great_circle_distance(a, b).value();
+  const double bc = great_circle_distance(b, c).value();
+  const double ac = great_circle_distance(a, c).value();
+  EXPECT_LE(ac, ab + bc + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldTriples, GeoTriangle,
+    ::testing::Values(std::tuple{kNewYork, kLondon, kTokyo},
+                      std::tuple{kSydney, kTokyo, kLondon},
+                      std::tuple{kNewYork, kSydney, kTokyo},
+                      std::tuple{GeoPoint{0, 0}, GeoPoint{45, 90}, GeoPoint{-45, -90}},
+                      std::tuple{GeoPoint{89, 0}, GeoPoint{-89, 0}, GeoPoint{0, 90}}));
+
+TEST(PropagationDelay, MatchesFiberSpeed) {
+  // 200 km of fiber at 200 km/ms = 1 ms one way.
+  EXPECT_DOUBLE_EQ(propagation_delay(Kilometers{200.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(propagation_delay(Kilometers{200.0}, 1.5).value(), 1.5);
+}
+
+TEST(PropagationDelay, PaperRuleOfThumb) {
+  // Paper: "clients within 500 km ... translates to as little as 5 ms RTT".
+  EXPECT_NEAR(rtt_floor(Kilometers{500.0}).value(), 5.0, 0.01);
+}
+
+TEST(RttFloor, IsTwiceOneWay) {
+  const Kilometers d{1234.0};
+  EXPECT_DOUBLE_EQ(rtt_floor(d).value(), 2.0 * propagation_delay(d).value());
+}
+
+TEST(PropagationDelay, MonotoneInDistance) {
+  double prev = -1.0;
+  for (double km = 0.0; km <= 20000.0; km += 500.0) {
+    const double ms = propagation_delay(Kilometers{km}).value();
+    EXPECT_GT(ms, prev);
+    prev = ms;
+  }
+}
+
+}  // namespace
+}  // namespace bgpcmp

@@ -1,0 +1,108 @@
+#include "bgpcmp/netbase/ipaddr.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  const auto a = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->bits(), 0xC0000201u);
+  EXPECT_EQ(a->str(), "192.0.2.1");
+}
+
+TEST(Ipv4Address, ParsesExtremes) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->bits(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->bits(), 0xFFFFFFFFu);
+}
+
+struct MalformedCase {
+  const char* text;
+};
+
+class MalformedAddress : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MalformedAddress, IsRejected) {
+  EXPECT_FALSE(Ipv4Address::parse(GetParam().text)) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parsing, MalformedAddress,
+    ::testing::Values(MalformedCase{""}, MalformedCase{"1.2.3"},
+                      MalformedCase{"1.2.3.4.5"}, MalformedCase{"256.0.0.1"},
+                      MalformedCase{"1.2.3.x"}, MalformedCase{"01.2.3.4"},
+                      MalformedCase{"1..2.3"}, MalformedCase{" 1.2.3.4"},
+                      MalformedCase{"1.2.3.4 "}, MalformedCase{"-1.2.3.4"}));
+
+TEST(Ipv4Address, RoundTripsThroughString) {
+  for (const std::uint32_t bits : {0u, 1u, 0x7F000001u, 0xC0A80101u, 0xFFFFFFFEu}) {
+    const Ipv4Address a{bits};
+    const auto parsed = Ipv4Address::parse(a.str());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->bits(), bits);
+  }
+}
+
+TEST(Prefix, ParsesAndMasksHostBits) {
+  const auto p = Prefix::parse("203.0.113.77/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->str(), "203.0.113.0/24");
+  EXPECT_EQ(p->length(), 24);
+}
+
+TEST(Prefix, RejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("203.0.113.0"));
+  EXPECT_FALSE(Prefix::parse("203.0.113.0/33"));
+  EXPECT_FALSE(Prefix::parse("203.0.113.0/"));
+  EXPECT_FALSE(Prefix::parse("/24"));
+  EXPECT_FALSE(Prefix::parse("banana/8"));
+}
+
+TEST(Prefix, ContainsAddressesInRange) {
+  const auto p = *Prefix::parse("10.1.2.0/24");
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("10.1.2.0")));
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("10.1.2.255")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("10.1.3.0")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("10.1.1.255")));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  const auto p = Prefix::make(Ipv4Address{0x12345678}, 0);
+  EXPECT_EQ(p.network().bits(), 0u);
+  EXPECT_TRUE(p.contains(Ipv4Address{0xFFFFFFFF}));
+  EXPECT_TRUE(p.contains(Ipv4Address{0}));
+  EXPECT_EQ(p.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, HostRouteContainsOnlyItself) {
+  const auto p = *Prefix::parse("192.0.2.7/32");
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("192.0.2.7")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("192.0.2.8")));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Prefix, CoversMoreSpecifics) {
+  const auto p16 = *Prefix::parse("10.1.0.0/16");
+  const auto p24 = *Prefix::parse("10.1.2.0/24");
+  EXPECT_TRUE(p16.covers(p24));
+  EXPECT_FALSE(p24.covers(p16));
+  EXPECT_TRUE(p16.covers(p16));
+  EXPECT_FALSE(p16.covers(*Prefix::parse("10.2.0.0/24")));
+}
+
+TEST(Prefix, SizeIsPowerOfTwo) {
+  EXPECT_EQ(Prefix::parse("0.0.0.0/8")->size(), 1u << 24);
+  EXPECT_EQ(Prefix::parse("0.0.0.0/24")->size(), 256u);
+  EXPECT_EQ(Prefix::parse("0.0.0.0/30")->size(), 4u);
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  const auto a = *Prefix::parse("10.0.0.0/8");
+  const auto b = *Prefix::parse("10.0.0.0/16");
+  EXPECT_NE(a, b);
+  EXPECT_NE(std::hash<Prefix>{}(a), std::hash<Prefix>{}(b));
+}
+
+}  // namespace
+}  // namespace bgpcmp

@@ -1,0 +1,82 @@
+#include "bgpcmp/netbase/simtime.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp {
+namespace {
+
+TEST(SimTime, FactoryUnits) {
+  EXPECT_EQ(SimTime::minutes(15).seconds(), 900);
+  EXPECT_EQ(SimTime::hours(2).seconds(), 7200);
+  EXPECT_EQ(SimTime::days(1).seconds(), 86400);
+  EXPECT_EQ(SimTime::days(0.5).seconds(), 43200);
+}
+
+TEST(SimTime, ArithmeticAndOrdering) {
+  const SimTime a = SimTime::hours(3);
+  const SimTime b = SimTime::hours(1);
+  EXPECT_EQ((a + b).seconds(), SimTime::hours(4).seconds());
+  EXPECT_EQ((a - b).seconds(), SimTime::hours(2).seconds());
+  EXPECT_LT(b, a);
+}
+
+TEST(SimTime, HourOfDayWrapsAcrossDays) {
+  EXPECT_DOUBLE_EQ(SimTime::hours(0).hour_of_day(), 0.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(13.5).hour_of_day(), 13.5);
+  EXPECT_DOUBLE_EQ(SimTime::hours(24).hour_of_day(), 0.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(49).hour_of_day(), 1.0);
+}
+
+TEST(SimTime, HourOfDayHandlesNegativeTimes) {
+  // Stale-measurement lookback can reach before t=0.
+  EXPECT_DOUBLE_EQ(SimTime::hours(-1).hour_of_day(), 23.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(-25).hour_of_day(), 23.0);
+}
+
+TEST(SimTime, StrFormat) {
+  EXPECT_EQ(SimTime::days(2).str(), "d2 00:00:00");
+  EXPECT_EQ((SimTime::days(1) + SimTime::hours(3) + SimTime::minutes(4) + SimTime{5})
+                .str(),
+            "d1 03:04:05");
+}
+
+TEST(TimeWindow, ContainsIsHalfOpen) {
+  const TimeWindow w{SimTime::hours(1), SimTime::hours(2)};
+  EXPECT_TRUE(w.contains(SimTime::hours(1)));
+  EXPECT_TRUE(w.contains(SimTime::hours(1.5)));
+  EXPECT_FALSE(w.contains(SimTime::hours(2)));
+  EXPECT_FALSE(w.contains(SimTime::hours(0.5)));
+}
+
+TEST(TimeWindow, Midpoint) {
+  const TimeWindow w{SimTime::hours(2), SimTime::hours(4)};
+  EXPECT_EQ(w.midpoint().seconds(), SimTime::hours(3).seconds());
+}
+
+TEST(MakeWindows, SlicesEvenly) {
+  const auto windows = make_windows(SimTime{0}, SimTime::hours(1), SimTime::minutes(15));
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows.front().begin.seconds(), 0);
+  EXPECT_EQ(windows.back().end.seconds(), 3600);
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].begin, windows[i - 1].end);  // contiguous
+  }
+}
+
+TEST(MakeWindows, TruncatesLastWindow) {
+  const auto windows =
+      make_windows(SimTime{0}, SimTime::minutes(40), SimTime::minutes(15));
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows.back().end.seconds(), SimTime::minutes(40).seconds());
+  EXPECT_EQ((windows.back().end - windows.back().begin).seconds(),
+            SimTime::minutes(10).seconds());
+}
+
+TEST(FifteenMinuteGrid, PaperGridSize) {
+  // Ten days of 15-minute windows = 960 windows.
+  EXPECT_EQ(fifteen_minute_grid(10.0).size(), 960u);
+  EXPECT_EQ(fifteen_minute_grid(1.0).size(), 96u);
+}
+
+}  // namespace
+}  // namespace bgpcmp

@@ -1,0 +1,63 @@
+#include "bgpcmp/netbase/units.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp {
+namespace {
+
+TEST(Milliseconds, ArithmeticComposes) {
+  const Milliseconds a{3.5};
+  const Milliseconds b{1.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 5.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 7.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 7.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 1.75);
+}
+
+TEST(Milliseconds, CompoundAssignment) {
+  Milliseconds a{1.0};
+  a += Milliseconds{2.0};
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+  a -= Milliseconds{0.5};
+  EXPECT_DOUBLE_EQ(a.value(), 2.5);
+}
+
+TEST(Milliseconds, Ordering) {
+  EXPECT_LT(Milliseconds{1.0}, Milliseconds{2.0});
+  EXPECT_EQ(Milliseconds{1.0}, Milliseconds{1.0});
+  EXPECT_GT(Milliseconds{3.0}, Milliseconds{2.0});
+}
+
+TEST(Milliseconds, DefaultIsZero) { EXPECT_DOUBLE_EQ(Milliseconds{}.value(), 0.0); }
+
+TEST(Kilometers, ArithmeticAndOrdering) {
+  const Kilometers a{100.0};
+  const Kilometers b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 1.5).value(), 150.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Kilometers, CompoundAdd) {
+  Kilometers a{10.0};
+  a += Kilometers{5.0};
+  EXPECT_DOUBLE_EQ(a.value(), 15.0);
+}
+
+TEST(Bytes, AccumulatesAndScales) {
+  Bytes b{1000.0};
+  b += Bytes{500.0};
+  EXPECT_DOUBLE_EQ(b.value(), 1500.0);
+  EXPECT_DOUBLE_EQ((b * 2.0).value(), 3000.0);
+}
+
+TEST(GigabitsPerSecond, AddsAndScales) {
+  const GigabitsPerSecond g{100.0};
+  EXPECT_DOUBLE_EQ((g + GigabitsPerSecond{50.0}).value(), 150.0);
+  EXPECT_DOUBLE_EQ((g * 0.5).value(), 50.0);
+}
+
+}  // namespace
+}  // namespace bgpcmp

@@ -1,0 +1,107 @@
+#include "bgpcmp/stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "bgpcmp/stats/quantile.h"
+
+namespace bgpcmp::stats {
+namespace {
+
+TEST(Bootstrap, CiContainsSampleMedian) {
+  Rng rng{1};
+  std::vector<double> v;
+  Rng gen{2};
+  for (int i = 0; i < 40; ++i) v.push_back(gen.normal(20, 4));
+  const auto ci = bootstrap_median_ci(v, rng);
+  EXPECT_DOUBLE_EQ(ci.point, median(v));
+  EXPECT_TRUE(ci.contains(ci.point));
+  EXPECT_LE(ci.lower, ci.upper);
+}
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth) {
+  Rng rng{3};
+  const std::vector<double> v(20, 7.0);
+  const auto ci = bootstrap_median_ci(v, rng);
+  EXPECT_DOUBLE_EQ(ci.lower, 7.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 7.0);
+  EXPECT_DOUBLE_EQ(ci.width(), 0.0);
+}
+
+TEST(Bootstrap, WidthShrinksWithSampleSize) {
+  Rng gen{4};
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 10; ++i) small.push_back(gen.normal(0, 5));
+  for (int i = 0; i < 1000; ++i) large.push_back(gen.normal(0, 5));
+  Rng rng_a{5};
+  Rng rng_b{5};
+  const auto ci_small = bootstrap_median_ci(small, rng_a);
+  const auto ci_large = bootstrap_median_ci(large, rng_b);
+  EXPECT_LT(ci_large.width(), ci_small.width());
+}
+
+TEST(Bootstrap, DeterministicGivenRng) {
+  Rng gen{6};
+  std::vector<double> v;
+  for (int i = 0; i < 30; ++i) v.push_back(gen.uniform(0, 10));
+  Rng a{7};
+  Rng b{7};
+  const auto ci_a = bootstrap_median_ci(v, a);
+  const auto ci_b = bootstrap_median_ci(v, b);
+  EXPECT_DOUBLE_EQ(ci_a.lower, ci_b.lower);
+  EXPECT_DOUBLE_EQ(ci_a.upper, ci_b.upper);
+}
+
+TEST(Bootstrap, HigherConfidenceWidensInterval) {
+  Rng gen{8};
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(gen.normal(0, 3));
+  Rng a{9};
+  Rng b{9};
+  BootstrapOptions narrow{200, 0.80};
+  BootstrapOptions wide{200, 0.99};
+  EXPECT_LE(bootstrap_median_ci(v, a, narrow).width(),
+            bootstrap_median_ci(v, b, wide).width());
+}
+
+TEST(BootstrapDiff, PointIsMedianDifference) {
+  const std::vector<double> a{1, 2, 3, 4, 100};
+  const std::vector<double> b{0, 1, 2, 3, 4};
+  Rng rng{10};
+  const auto ci = bootstrap_median_diff_ci(a, b, rng);
+  EXPECT_DOUBLE_EQ(ci.point, median(a) - median(b));
+}
+
+TEST(BootstrapDiff, SeparatedSamplesExcludeZero) {
+  Rng gen{11};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(gen.normal(100, 1));
+    b.push_back(gen.normal(10, 1));
+  }
+  Rng rng{12};
+  const auto ci = bootstrap_median_diff_ci(a, b, rng);
+  EXPECT_GT(ci.lower, 0.0);  // a is clearly larger
+  EXPECT_FALSE(ci.contains(0.0));
+}
+
+TEST(BootstrapDiff, IdenticalSamplesStraddleZero) {
+  Rng gen{13};
+  std::vector<double> a;
+  for (int i = 0; i < 60; ++i) a.push_back(gen.normal(50, 5));
+  Rng rng{14};
+  const auto ci = bootstrap_median_diff_ci(a, a, rng);
+  EXPECT_TRUE(ci.contains(0.0));
+}
+
+TEST(ConfidenceInterval, ContainsAndWidth) {
+  const ConfidenceInterval ci{1.0, 2.0, 3.0};
+  EXPECT_TRUE(ci.contains(1.0));
+  EXPECT_TRUE(ci.contains(3.0));
+  EXPECT_FALSE(ci.contains(0.99));
+  EXPECT_DOUBLE_EQ(ci.width(), 2.0);
+}
+
+}  // namespace
+}  // namespace bgpcmp::stats

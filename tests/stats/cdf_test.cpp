@@ -1,0 +1,114 @@
+#include "bgpcmp/stats/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include "bgpcmp/netbase/rng.h"
+
+namespace bgpcmp::stats {
+namespace {
+
+WeightedCdf simple_cdf() {
+  WeightedCdf cdf;
+  cdf.add(1.0, 1.0);
+  cdf.add(2.0, 2.0);
+  cdf.add(3.0, 1.0);
+  return cdf;
+}
+
+TEST(WeightedCdf, CountsAndWeights) {
+  const auto cdf = simple_cdf();
+  EXPECT_EQ(cdf.count(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.total_weight(), 4.0);
+  EXPECT_FALSE(cdf.empty());
+}
+
+TEST(WeightedCdf, FractionAtMostSteps) {
+  const auto cdf = simple_cdf();
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1.5), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(99.0), 1.0);
+}
+
+TEST(WeightedCdf, CcdfComplementsCdf) {
+  const auto cdf = simple_cdf();
+  for (const double x : {0.0, 1.0, 1.7, 2.0, 2.5, 3.0, 4.0}) {
+    EXPECT_DOUBLE_EQ(cdf.fraction_above(x), 1.0 - cdf.fraction_at_most(x));
+  }
+}
+
+TEST(WeightedCdf, QuantileInverts) {
+  const auto cdf = simple_cdf();
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 3.0);
+}
+
+TEST(WeightedCdf, MinMax) {
+  const auto cdf = simple_cdf();
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+}
+
+TEST(WeightedCdf, SeriesHasRequestedShape) {
+  const auto cdf = simple_cdf();
+  const auto series = cdf.cdf_series(-1.0, 4.0, 11);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_DOUBLE_EQ(series.front().x, -1.0);
+  EXPECT_DOUBLE_EQ(series.back().x, 4.0);
+  EXPECT_DOUBLE_EQ(series.front().y, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().y, 1.0);
+}
+
+TEST(WeightedCdf, SeriesIsMonotone) {
+  Rng rng{5};
+  WeightedCdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.add(rng.normal(0, 5), rng.uniform(0.1, 2.0));
+  const auto series = cdf.cdf_series(-20, 20, 41);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].y, series[i - 1].y);
+  }
+}
+
+TEST(WeightedCdf, CcdfSeriesMirrorsCdfSeries) {
+  const auto cdf = simple_cdf();
+  const auto c = cdf.cdf_series(0, 4, 9);
+  const auto cc = cdf.ccdf_series(0, 4, 9);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cc[i].y, 1.0 - c[i].y);
+  }
+}
+
+TEST(WeightedCdf, InterleavedAddAndQuery) {
+  WeightedCdf cdf;
+  cdf.add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(5.0), 1.0);
+  cdf.add(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1.0), 0.5);
+  cdf.add(3.0);
+  EXPECT_NEAR(cdf.fraction_at_most(3.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(WeightedCdf, AddAllMatchesIndividualAdds) {
+  const Weighted obs[] = {{1.0, 0.5}, {2.0, 1.5}, {0.0, 1.0}};
+  WeightedCdf a;
+  a.add_all(obs);
+  WeightedCdf b;
+  for (const auto& o : obs) b.add(o.value, o.weight);
+  for (const double x : {-1.0, 0.0, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(a.fraction_at_most(x), b.fraction_at_most(x));
+  }
+}
+
+TEST(WeightedCdf, DuplicateValuesAggregateWeight) {
+  WeightedCdf cdf;
+  cdf.add(2.0, 1.0);
+  cdf.add(2.0, 3.0);
+  cdf.add(5.0, 4.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2.0), 0.5);
+}
+
+}  // namespace
+}  // namespace bgpcmp::stats

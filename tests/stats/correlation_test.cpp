@@ -1,0 +1,60 @@
+#include "bgpcmp/stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "bgpcmp/netbase/rng.h"
+
+namespace bgpcmp::stats {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const double x[] = {1, 2, 3, 4};
+  const double y[] = {10, 20, 30, 40};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const double x[] = {1, 2, 3, 4};
+  const double y[] = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, InvariantToAffineTransform) {
+  Rng rng{9};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.normal(0, 1));
+    y.push_back(x.back() * 0.5 + rng.normal(0, 1));
+  }
+  std::vector<double> x2;
+  for (const double v : x) x2.push_back(3.0 * v - 7.0);
+  EXPECT_NEAR(pearson(x, y), pearson(x2, y), 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero) {
+  const double x[] = {5, 5, 5};
+  const double y[] = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, TooFewPointsIsZero) {
+  const double x[] = {1};
+  const double y[] = {2};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Pearson, IndependentSamplesNearZero) {
+  Rng rng{10};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.normal(0, 1));
+    y.push_back(rng.normal(0, 1));
+  }
+  EXPECT_LT(std::abs(pearson(x, y)), 0.05);
+}
+
+}  // namespace
+}  // namespace bgpcmp::stats

@@ -1,0 +1,68 @@
+#include "bgpcmp/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp::stats {
+namespace {
+
+TEST(Histogram, BinBoundaries) {
+  const Histogram h{0.0, 10.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, ValuesLandInCorrectBins) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.0);
+  h.add(1.99);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(4), 1.0);
+}
+
+TEST(Histogram, OutOfRangeGoesToOverflowBuckets) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 3.0);
+}
+
+TEST(Histogram, TotalWeightIncludesEverything) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.5, 2.0);
+  h.add(-1.0, 1.0);
+  h.add(2.0, 1.5);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.5);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h{0.0, 4.0, 4};
+  h.add(1.5, 3.0);
+  h.add(1.7, 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 5.0);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5, 10.0);
+  h.add(1.5, 5.0);
+  const auto text = h.render(20);
+  EXPECT_NE(text.find("####################"), std::string::npos);  // peak bin
+  EXPECT_NE(text.find("##########"), std::string::npos);            // half bin
+}
+
+TEST(Histogram, RenderEmptyIsSafe) {
+  const Histogram h{0.0, 1.0, 3};
+  const auto text = h.render();
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpcmp::stats

@@ -1,0 +1,83 @@
+#include "bgpcmp/stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "bgpcmp/netbase/rng.h"
+
+namespace bgpcmp::stats {
+namespace {
+
+TEST(Summary, EmptyState) {
+  const Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.str(), "n=0");
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 4.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, WelfordMatchesNaiveOnRandomData) {
+  Rng rng{21};
+  Summary s;
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(1000.0, 0.01);  // stresses numerical stability
+    v.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (const double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(Summary, AddAllMatchesLoop) {
+  const double values[] = {1.0, -2.0, 3.5};
+  Summary a;
+  a.add_all(values);
+  Summary b;
+  for (const double v : values) b.add(v);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(Summary, StrContainsFields) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  const auto str = s.str();
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+  EXPECT_NE(str.find("mean=2.000"), std::string::npos);
+}
+
+TEST(Summary, NegativeValues) {
+  Summary s;
+  for (const double v : {-5.0, -1.0, -3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), -1.0);
+}
+
+}  // namespace
+}  // namespace bgpcmp::stats

@@ -1,0 +1,26 @@
+// Shared test fixtures: a small, fast scenario reused across suites via a
+// per-binary singleton (building one costs tens of milliseconds; the studies
+// run on it in well under a second).
+#pragma once
+
+#include "bgpcmp/core/scenario.h"
+
+namespace bgpcmp::test {
+
+inline core::ScenarioConfig small_scenario_config(std::uint64_t seed = 1) {
+  core::ScenarioConfig cfg = core::ScenarioConfig::with_master_seed(seed);
+  cfg.internet.tier1_count = 5;
+  cfg.internet.transit_count = 16;
+  cfg.internet.eyeball_count = 40;
+  cfg.internet.stub_count = 15;
+  cfg.provider.pop_count = 12;
+  return cfg;
+}
+
+/// The default shared world (built once per test binary).
+inline const core::Scenario& small_scenario() {
+  static const auto scenario = core::Scenario::make(small_scenario_config());
+  return *scenario;
+}
+
+}  // namespace bgpcmp::test

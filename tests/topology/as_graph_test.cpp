@@ -1,0 +1,117 @@
+#include "bgpcmp/topology/as_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp::topo {
+namespace {
+
+/// Small fixture: provider P over customers A, B; A-B peer.
+class AsGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p_ = g_.add_as(Asn{100}, AsClass::Tier1, "P", {0, 1, 2});
+    a_ = g_.add_as(Asn{200}, AsClass::Eyeball, "A", {0, 1});
+    b_ = g_.add_as(Asn{300}, AsClass::Eyeball, "B", {1, 2});
+    pa_ = g_.connect_transit(p_, a_);
+    pb_ = g_.connect_transit(p_, b_);
+    ab_ = g_.connect_peering(a_, b_);
+    g_.add_link(pa_, 0, LinkKind::Transit, GigabitsPerSecond{10});
+    g_.add_link(pa_, 1, LinkKind::Transit, GigabitsPerSecond{10});
+    g_.add_link(pb_, 2, LinkKind::Transit, GigabitsPerSecond{10});
+    g_.add_link(ab_, 1, LinkKind::PublicPeering, GigabitsPerSecond{5});
+  }
+
+  AsGraph g_;
+  AsIndex p_ = kNoAs, a_ = kNoAs, b_ = kNoAs;
+  EdgeId pa_ = kNoEdge, pb_ = kNoEdge, ab_ = kNoEdge;
+};
+
+TEST_F(AsGraphTest, Counts) {
+  EXPECT_EQ(g_.as_count(), 3u);
+  EXPECT_EQ(g_.edge_count(), 3u);
+  EXPECT_EQ(g_.link_count(), 4u);
+}
+
+TEST_F(AsGraphTest, NodeAttributes) {
+  EXPECT_EQ(g_.node(p_).asn, Asn{100});
+  EXPECT_EQ(g_.node(p_).cls, AsClass::Tier1);
+  EXPECT_EQ(g_.node(p_).hub, 0);  // defaults to first presence city
+}
+
+TEST_F(AsGraphTest, ExplicitHub) {
+  const AsIndex c = g_.add_as(Asn{400}, AsClass::Stub, "C", {3, 4}, 4);
+  EXPECT_EQ(g_.node(c).hub, 4);
+}
+
+TEST_F(AsGraphTest, NeighborsWithRoles) {
+  const auto nbs = g_.neighbors(a_);
+  ASSERT_EQ(nbs.size(), 2u);
+  // From A's view: P is a provider, B is a peer.
+  for (const auto& nb : nbs) {
+    if (nb.as == p_) {
+      EXPECT_EQ(nb.role, NeighborRole::Provider);
+    }
+    if (nb.as == b_) {
+      EXPECT_EQ(nb.role, NeighborRole::Peer);
+    }
+  }
+}
+
+TEST_F(AsGraphTest, RoleOfOtherIsAsymmetric) {
+  EXPECT_EQ(g_.role_of_other(pa_, p_), NeighborRole::Customer);  // A is P's customer
+  EXPECT_EQ(g_.role_of_other(pa_, a_), NeighborRole::Provider);  // P is A's provider
+  EXPECT_EQ(g_.role_of_other(ab_, a_), NeighborRole::Peer);
+  EXPECT_EQ(g_.role_of_other(ab_, b_), NeighborRole::Peer);
+}
+
+TEST_F(AsGraphTest, OtherEnd) {
+  EXPECT_EQ(g_.other_end(pa_, p_), a_);
+  EXPECT_EQ(g_.other_end(pa_, a_), p_);
+}
+
+TEST_F(AsGraphTest, FindEdgeIsSymmetric) {
+  EXPECT_EQ(g_.find_edge(p_, a_), pa_);
+  EXPECT_EQ(g_.find_edge(a_, p_), pa_);
+  EXPECT_FALSE(g_.find_edge(p_, p_ + 100));
+}
+
+TEST_F(AsGraphTest, LinksAttachToEdges) {
+  EXPECT_EQ(g_.edge(pa_).links.size(), 2u);
+  EXPECT_EQ(g_.edge(pb_).links.size(), 1u);
+  for (const LinkId l : g_.edge(pa_).links) {
+    EXPECT_EQ(g_.link(l).edge, pa_);
+  }
+}
+
+TEST_F(AsGraphTest, HasPresence) {
+  EXPECT_TRUE(g_.has_presence(a_, 0));
+  EXPECT_TRUE(g_.has_presence(a_, 1));
+  EXPECT_FALSE(g_.has_presence(a_, 2));
+}
+
+TEST_F(AsGraphTest, FindAsn) {
+  EXPECT_EQ(g_.find_asn(Asn{300}), b_);
+  EXPECT_FALSE(g_.find_asn(Asn{999}));
+}
+
+TEST_F(AsGraphTest, OfClass) {
+  EXPECT_EQ(g_.of_class(AsClass::Tier1).size(), 1u);
+  EXPECT_EQ(g_.of_class(AsClass::Eyeball).size(), 2u);
+  EXPECT_TRUE(g_.of_class(AsClass::Content).empty());
+}
+
+TEST(AsGraphNames, ClassAndKindNames) {
+  EXPECT_EQ(as_class_name(AsClass::Tier1), "tier1");
+  EXPECT_EQ(as_class_name(AsClass::Content), "content");
+  EXPECT_EQ(link_kind_name(LinkKind::PrivatePeering), "private-peering");
+  EXPECT_EQ(link_kind_name(LinkKind::Transit), "transit");
+}
+
+TEST(Asn, ValidityAndFormat) {
+  EXPECT_FALSE(Asn{}.valid());
+  EXPECT_TRUE(Asn{64512}.valid());
+  EXPECT_EQ(Asn{65001}.str(), "AS65001");
+}
+
+}  // namespace
+}  // namespace bgpcmp::topo

@@ -1,0 +1,127 @@
+#include "bgpcmp/topology/build_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp::topo {
+namespace {
+
+class BuildUtilTest : public ::testing::Test {
+ protected:
+  const CityDb& db_ = CityDb::world();
+  AsGraph g_;
+  CityId ny_ = *db_.find("New York");
+  CityId ld_ = *db_.find("London");
+  CityId tk_ = *db_.find("Tokyo");
+  CityId pa_ = *db_.find("Paris");
+};
+
+TEST_F(BuildUtilTest, SharedPresenceCitiesSortedByWeight) {
+  const AsIndex a = g_.add_as(Asn{1}, AsClass::Tier1, "a", {ny_, ld_, tk_});
+  const AsIndex b = g_.add_as(Asn{2}, AsClass::Transit, "b", {ld_, tk_, pa_});
+  const auto shared = shared_presence_cities(g_, db_, a, b);
+  ASSERT_EQ(shared.size(), 2u);
+  // Tokyo (weight 30) outweighs London (14).
+  EXPECT_EQ(shared[0], tk_);
+  EXPECT_EQ(shared[1], ld_);
+}
+
+TEST_F(BuildUtilTest, SharedPresenceEmptyForDisjoint) {
+  const AsIndex a = g_.add_as(Asn{1}, AsClass::Stub, "a", {ny_});
+  const AsIndex b = g_.add_as(Asn{2}, AsClass::Stub, "b", {tk_});
+  EXPECT_TRUE(shared_presence_cities(g_, db_, a, b).empty());
+}
+
+TEST_F(BuildUtilTest, SpreadSubsetKeepsAllWhenSmall) {
+  const std::vector<CityId> cities{ny_, ld_};
+  EXPECT_EQ(spread_subset(db_, cities, 5), cities);
+}
+
+TEST_F(BuildUtilTest, SpreadSubsetMaximizesSpread) {
+  // From {NY, London, Paris, Tokyo} picking 2 starting at NY (first element),
+  // the farthest addition is Tokyo, not London/Paris.
+  const auto chosen = spread_subset(db_, {ny_, ld_, pa_, tk_}, 2);
+  ASSERT_EQ(chosen.size(), 2u);
+  EXPECT_EQ(chosen[0], ny_);
+  EXPECT_EQ(chosen[1], tk_);
+}
+
+TEST_F(BuildUtilTest, EnsurePresenceIdempotent) {
+  const AsIndex a = g_.add_as(Asn{1}, AsClass::Transit, "a", {ny_});
+  ensure_presence(g_, a, ld_);
+  EXPECT_TRUE(g_.has_presence(a, ld_));
+  const auto size = g_.node(a).presence.size();
+  ensure_presence(g_, a, ld_);
+  EXPECT_EQ(g_.node(a).presence.size(), size);
+}
+
+TEST_F(BuildUtilTest, AddTransitEdgeUsesSharedCities) {
+  const AsIndex p = g_.add_as(Asn{1}, AsClass::Tier1, "p", {ny_, ld_, tk_});
+  const AsIndex c = g_.add_as(Asn{2}, AsClass::Eyeball, "c", {ld_, tk_});
+  const EdgeId e = add_transit_edge(g_, db_, p, c, GigabitsPerSecond{100}, 8);
+  EXPECT_EQ(g_.edge(e).rel, Relationship::ProviderCustomer);
+  EXPECT_EQ(g_.edge(e).a, p);
+  EXPECT_EQ(g_.edge(e).links.size(), 2u);
+  for (const LinkId l : g_.edge(e).links) {
+    EXPECT_EQ(g_.link(l).kind, LinkKind::Transit);
+  }
+}
+
+TEST_F(BuildUtilTest, AddTransitEdgeExtendsProviderWhenDisjoint) {
+  const AsIndex p = g_.add_as(Asn{1}, AsClass::Transit, "p", {ny_});
+  const AsIndex c = g_.add_as(Asn{2}, AsClass::Stub, "c", {tk_}, tk_);
+  add_transit_edge(g_, db_, p, c, GigabitsPerSecond{10});
+  EXPECT_TRUE(g_.has_presence(p, tk_));  // provider deployed into customer hub
+}
+
+TEST_F(BuildUtilTest, AddTransitEdgeIdempotent) {
+  const AsIndex p = g_.add_as(Asn{1}, AsClass::Tier1, "p", {ny_, ld_});
+  const AsIndex c = g_.add_as(Asn{2}, AsClass::Eyeball, "c", {ny_});
+  const EdgeId e1 = add_transit_edge(g_, db_, p, c, GigabitsPerSecond{10});
+  const EdgeId e2 = add_transit_edge(g_, db_, p, c, GigabitsPerSecond{10});
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(g_.edge_count(), 1u);
+}
+
+TEST_F(BuildUtilTest, AddPeeringEdgeRequiresColocation) {
+  const AsIndex a = g_.add_as(Asn{1}, AsClass::Transit, "a", {ny_});
+  const AsIndex b = g_.add_as(Asn{2}, AsClass::Transit, "b", {tk_});
+  EXPECT_EQ(add_peering_edge(g_, db_, a, b, LinkKind::PublicPeering,
+                             GigabitsPerSecond{10}),
+            kNoEdge);
+  EXPECT_EQ(g_.edge_count(), 0u);
+}
+
+TEST_F(BuildUtilTest, AddPeeringEdgeCreatesPeerLinks) {
+  const AsIndex a = g_.add_as(Asn{1}, AsClass::Transit, "a", {ny_, ld_});
+  const AsIndex b = g_.add_as(Asn{2}, AsClass::Transit, "b", {ny_, ld_});
+  const EdgeId e = add_peering_edge(g_, db_, a, b, LinkKind::PublicPeering,
+                                    GigabitsPerSecond{10}, 5);
+  ASSERT_NE(e, kNoEdge);
+  EXPECT_EQ(g_.edge(e).rel, Relationship::PeerPeer);
+  EXPECT_EQ(g_.edge(e).links.size(), 2u);
+}
+
+TEST_F(BuildUtilTest, AddPeeringLinkAtAccumulatesCities) {
+  const AsIndex a = g_.add_as(Asn{1}, AsClass::Content, "a", {ny_, ld_});
+  const AsIndex b = g_.add_as(Asn{2}, AsClass::Eyeball, "b", {ny_, ld_});
+  const EdgeId e1 =
+      add_peering_link_at(g_, a, b, ny_, LinkKind::PublicPeering, GigabitsPerSecond{1});
+  const EdgeId e2 =
+      add_peering_link_at(g_, a, b, ld_, LinkKind::PublicPeering, GigabitsPerSecond{1});
+  EXPECT_EQ(e1, e2);  // same edge, more links
+  EXPECT_EQ(g_.edge(e1).links.size(), 2u);
+}
+
+TEST_F(BuildUtilTest, AddPeeringLinkAtDeduplicatesSameCityKind) {
+  const AsIndex a = g_.add_as(Asn{1}, AsClass::Content, "a", {ny_});
+  const AsIndex b = g_.add_as(Asn{2}, AsClass::Eyeball, "b", {ny_});
+  add_peering_link_at(g_, a, b, ny_, LinkKind::PublicPeering, GigabitsPerSecond{1});
+  add_peering_link_at(g_, a, b, ny_, LinkKind::PublicPeering, GigabitsPerSecond{1});
+  EXPECT_EQ(g_.link_count(), 1u);
+  // A different kind at the same city is a distinct session.
+  add_peering_link_at(g_, a, b, ny_, LinkKind::PrivatePeering, GigabitsPerSecond{1});
+  EXPECT_EQ(g_.link_count(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpcmp::topo

@@ -1,0 +1,195 @@
+#include "bgpcmp/topology/topology_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+namespace bgpcmp::topo {
+namespace {
+
+InternetConfig small_config(std::uint64_t seed = 5) {
+  InternetConfig cfg;
+  cfg.seed = seed;
+  cfg.tier1_count = 6;
+  cfg.transit_count = 20;
+  cfg.eyeball_count = 50;
+  cfg.stub_count = 25;
+  return cfg;
+}
+
+class TopologyGenTest : public ::testing::Test {
+ protected:
+  Internet net_ = build_internet(small_config());
+};
+
+TEST_F(TopologyGenTest, GeneratesRequestedCounts) {
+  EXPECT_EQ(net_.tier1s.size(), 6u);
+  EXPECT_EQ(net_.transits.size(), 20u);
+  EXPECT_EQ(net_.eyeballs.size(), 50u);
+  EXPECT_EQ(net_.stubs.size(), 25u);
+  EXPECT_EQ(net_.graph.as_count(), 101u);
+}
+
+TEST_F(TopologyGenTest, Tier1sAreFullyMeshed) {
+  for (std::size_t i = 0; i < net_.tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < net_.tier1s.size(); ++j) {
+      const auto e = net_.graph.find_edge(net_.tier1s[i], net_.tier1s[j]);
+      ASSERT_TRUE(e);
+      EXPECT_EQ(net_.graph.edge(*e).rel, Relationship::PeerPeer);
+    }
+  }
+}
+
+TEST_F(TopologyGenTest, Tier1sAreTransitFree) {
+  // No Tier-1 has a provider.
+  for (const AsIndex t1 : net_.tier1s) {
+    for (const auto& nb : net_.graph.neighbors(t1)) {
+      EXPECT_NE(nb.role, NeighborRole::Provider)
+          << net_.graph.node(t1).name << " buys transit from "
+          << net_.graph.node(nb.as).name;
+    }
+  }
+}
+
+TEST_F(TopologyGenTest, EveryNonTier1HasAProvider) {
+  for (AsIndex i = 0; i < net_.graph.as_count(); ++i) {
+    if (net_.graph.node(i).cls == AsClass::Tier1) continue;
+    bool has_provider = false;
+    for (const auto& nb : net_.graph.neighbors(i)) {
+      has_provider |= nb.role == NeighborRole::Provider;
+    }
+    EXPECT_TRUE(has_provider) << net_.graph.node(i).name;
+  }
+}
+
+TEST_F(TopologyGenTest, ProviderHierarchyIsAcyclic) {
+  // DFS over provider->customer edges must see no cycles.
+  const std::size_t n = net_.graph.as_count();
+  std::vector<int> state(n, 0);  // 0 = new, 1 = on stack, 2 = done
+  bool cyclic = false;
+  std::function<void(AsIndex)> dfs = [&](AsIndex u) {
+    state[u] = 1;
+    for (const auto& nb : net_.graph.neighbors(u)) {
+      if (nb.role != NeighborRole::Customer) continue;
+      if (state[nb.as] == 1) cyclic = true;
+      if (state[nb.as] == 0) dfs(nb.as);
+    }
+    state[u] = 2;
+  };
+  for (AsIndex i = 0; i < n; ++i) {
+    if (state[i] == 0) dfs(i);
+  }
+  EXPECT_FALSE(cyclic);
+}
+
+TEST_F(TopologyGenTest, LinksRespectPresenceInvariant) {
+  for (const auto& link : net_.graph.links()) {
+    const auto& edge = net_.graph.edge(link.edge);
+    EXPECT_TRUE(net_.graph.has_presence(edge.a, link.city));
+    EXPECT_TRUE(net_.graph.has_presence(edge.b, link.city));
+  }
+}
+
+TEST_F(TopologyGenTest, LinkKindsMatchRelationships) {
+  for (const auto& link : net_.graph.links()) {
+    const auto& edge = net_.graph.edge(link.edge);
+    if (edge.rel == Relationship::ProviderCustomer) {
+      EXPECT_EQ(link.kind, LinkKind::Transit);
+    } else {
+      EXPECT_NE(link.kind, LinkKind::Transit);
+    }
+  }
+}
+
+TEST_F(TopologyGenTest, EveryEdgeHasAtLeastOneLink) {
+  for (const auto& edge : net_.graph.edges()) {
+    EXPECT_FALSE(edge.links.empty());
+  }
+}
+
+TEST_F(TopologyGenTest, IxpsHostedInDistinctCities) {
+  std::set<CityId> cities;
+  for (const auto& ixp : net_.ixps) {
+    EXPECT_TRUE(cities.insert(ixp.city).second);
+    EXPECT_FALSE(ixp.members.empty());
+    for (const AsIndex m : ixp.members) {
+      EXPECT_TRUE(net_.graph.has_presence(m, ixp.city));
+    }
+  }
+}
+
+TEST_F(TopologyGenTest, EyeballsAreCountryScoped) {
+  const CityDb& db = net_.city_db();
+  for (const AsIndex eb : net_.eyeballs) {
+    const auto& node = net_.graph.node(eb);
+    // All original presence cities share the hub's country. (Providers may
+    // not extend an eyeball, so presence stays in-country.)
+    const auto country = db.at(node.hub).country;
+    for (const CityId c : node.presence) {
+      EXPECT_EQ(db.at(c).country, country) << node.name;
+    }
+  }
+}
+
+TEST_F(TopologyGenTest, StubsAreSingleCity) {
+  for (const AsIndex st : net_.stubs) {
+    EXPECT_EQ(net_.graph.node(st).presence.size(), 1u);
+  }
+}
+
+TEST_F(TopologyGenTest, AsnsAreUnique) {
+  std::set<std::uint32_t> asns;
+  for (const auto& node : net_.graph.nodes()) {
+    EXPECT_TRUE(asns.insert(node.asn.value()).second) << node.name;
+  }
+}
+
+TEST(TopologyGen, DeterministicForSameSeed) {
+  const Internet a = build_internet(small_config(11));
+  const Internet b = build_internet(small_config(11));
+  ASSERT_EQ(a.graph.as_count(), b.graph.as_count());
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  ASSERT_EQ(a.graph.link_count(), b.graph.link_count());
+  for (AsIndex i = 0; i < a.graph.as_count(); ++i) {
+    EXPECT_EQ(a.graph.node(i).asn, b.graph.node(i).asn);
+    EXPECT_EQ(a.graph.node(i).presence, b.graph.node(i).presence);
+  }
+  for (LinkId l = 0; l < a.graph.link_count(); ++l) {
+    EXPECT_EQ(a.graph.link(l).city, b.graph.link(l).city);
+    EXPECT_EQ(a.graph.link(l).kind, b.graph.link(l).kind);
+  }
+}
+
+TEST(TopologyGen, DifferentSeedsDiffer) {
+  const Internet a = build_internet(small_config(1));
+  const Internet b = build_internet(small_config(2));
+  // Same counts but different wiring.
+  EXPECT_NE(a.graph.link_count(), b.graph.link_count());
+}
+
+TEST(TopologyGen, IxpCitiesAreTopMetros) {
+  const auto cities = choose_ixp_cities(CityDb::world(), 2);
+  // 7 regions x 2.
+  EXPECT_EQ(cities.size(), 14u);
+  // The single heaviest metro of each region must be present; spot-check two.
+  const CityDb& db = CityDb::world();
+  const auto has = [&](const char* name) {
+    return std::find(cities.begin(), cities.end(), *db.find(name)) != cities.end();
+  };
+  EXPECT_TRUE(has("Tokyo") || has("Delhi"));  // Asia's top metros
+  EXPECT_TRUE(has("London") || has("Istanbul") || has("Moscow"));
+}
+
+TEST(TopologyGen, PopCitySelectionExtendsBeyondIxps) {
+  const Internet net = build_internet(small_config(3));
+  Rng rng{17};
+  const std::size_t ixps = net.ixps.size();
+  const auto pops = choose_pop_cities(net, ixps + 5, rng);
+  EXPECT_EQ(pops.size(), ixps + 5);
+  std::set<CityId> unique(pops.begin(), pops.end());
+  EXPECT_EQ(unique.size(), pops.size());
+}
+
+}  // namespace
+}  // namespace bgpcmp::topo

@@ -1,0 +1,56 @@
+#include "bgpcmp/traffic/sessions.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcmp::traffic {
+namespace {
+
+TEST(Sessions, CountWithinConfiguredBounds) {
+  const SessionConfig cfg;
+  Rng rng{1};
+  for (int i = 0; i < 2000; ++i) {
+    const int n = sample_session_count(cfg, 5.0, rng);
+    EXPECT_GE(n, cfg.min_sessions);
+    EXPECT_LE(n, cfg.max_sessions);
+  }
+}
+
+TEST(Sessions, PopularPrefixesGetMoreSessions) {
+  const SessionConfig cfg;
+  Rng rng{2};
+  double lo_sum = 0.0;
+  double hi_sum = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    lo_sum += sample_session_count(cfg, 0.5, rng);
+    hi_sum += sample_session_count(cfg, 8.0, rng);
+  }
+  EXPECT_GT(hi_sum, lo_sum);
+}
+
+TEST(Sessions, TinyPopularityStillGetsFloor) {
+  const SessionConfig cfg;
+  Rng rng{3};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(sample_session_count(cfg, 0.0, rng), cfg.min_sessions);
+  }
+}
+
+TEST(Sessions, RoundTripsAtLeastOne) {
+  const SessionConfig cfg;
+  Rng rng{4};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(sample_round_trips(cfg, rng), 1);
+  }
+}
+
+TEST(Sessions, RoundTripMeanApproximatesConfig) {
+  const SessionConfig cfg;  // mean_round_trips = 8
+  Rng rng{5};
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += sample_round_trips(cfg, rng);
+  EXPECT_NEAR(sum / kN, cfg.mean_round_trips, 0.5);
+}
+
+}  // namespace
+}  // namespace bgpcmp::traffic

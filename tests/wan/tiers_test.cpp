@@ -1,0 +1,119 @@
+#include "bgpcmp/wan/tiers.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::wan {
+namespace {
+
+class TiersTest : public ::testing::Test {
+ protected:
+  const core::Scenario& sc_ = test::small_scenario();
+  CloudTiers tiers_{&sc_.internet, &sc_.provider};
+};
+
+TEST_F(TiersTest, DcIsTheNearestPopToKansasCity) {
+  const auto& db = sc_.internet.city_db();
+  const auto kc = *db.find("Kansas City");
+  EXPECT_EQ(tiers_.dc_pop(), sc_.provider.nearest_pop(db, kc));
+  EXPECT_EQ(tiers_.dc_city(), sc_.provider.pop(tiers_.dc_pop()).city);
+}
+
+TEST_F(TiersTest, PremiumRidesTheWan) {
+  int valid = 0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 4) {
+    const auto& client = sc_.clients.at(id);
+    const auto route = tiers_.premium(client);
+    if (!route.valid()) continue;
+    ++valid;
+    EXPECT_LT(route.entry_pop, sc_.provider.pops().size());
+    // Entry at the DC itself is the only case with a zero WAN leg.
+    if (route.entry_pop != tiers_.dc_pop()) {
+      EXPECT_GT(route.wan_rtt.value(), 0.0);
+    }
+  }
+  EXPECT_GT(valid, 0);
+}
+
+TEST_F(TiersTest, StandardEntersAtTheDc) {
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 4) {
+    const auto route = tiers_.standard(sc_.clients.at(id));
+    if (!route.valid()) continue;
+    EXPECT_EQ(route.entry_pop, tiers_.dc_pop());
+    EXPECT_DOUBLE_EQ(route.wan_rtt.value(), 0.0);
+  }
+}
+
+TEST_F(TiersTest, DirectEntryMatchesPathLength) {
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 4) {
+    const auto route = tiers_.premium(sc_.clients.at(id));
+    if (!route.valid()) continue;
+    EXPECT_EQ(route.direct_entry, route.intermediate_ases == 0);
+    EXPECT_EQ(route.intermediate_ases,
+              static_cast<int>(route.access_path.as_path.size()) - 2);
+  }
+}
+
+TEST_F(TiersTest, PremiumEntersNearerThanStandardOnAverage) {
+  // Cold-potato vs hot-potato in aggregate: the weighted mean ingress
+  // distance of Premium must beat Standard by a wide margin (the paper's
+  // 400 km headline, E12).
+  double prem = 0.0;
+  double stan = 0.0;
+  double w = 0.0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); ++id) {
+    const auto& client = sc_.clients.at(id);
+    const auto p = tiers_.premium(client);
+    const auto s = tiers_.standard(client);
+    if (!p.valid() || !s.valid()) continue;
+    prem += tiers_.ingress_distance(p, client).value() * client.user_weight;
+    stan += tiers_.ingress_distance(s, client).value() * client.user_weight;
+    w += client.user_weight;
+  }
+  ASSERT_GT(w, 0.0);
+  EXPECT_LT(prem / w, 0.5 * (stan / w));
+}
+
+TEST_F(TiersTest, RttIncludesWanLeg) {
+  const SimTime t = SimTime::hours(6);
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 9) {
+    const auto& client = sc_.clients.at(id);
+    const auto route = tiers_.premium(client);
+    if (!route.valid()) continue;
+    const auto total = tiers_.rtt(route, sc_.latency, t, client);
+    const auto access = sc_.latency
+                            .rtt(route.access_path, t, client.access,
+                                 client.origin_as, client.city)
+                            .total();
+    EXPECT_NEAR(total.value(), access.value() + route.wan_rtt.value(), 1e-9);
+  }
+}
+
+TEST_F(TiersTest, TablesAreExposedAndScoped) {
+  EXPECT_FALSE(tiers_.premium_spec().scope.has_value());
+  ASSERT_TRUE(tiers_.standard_spec().scope.has_value());
+  for (const auto l : *tiers_.standard_spec().scope) {
+    EXPECT_EQ(sc_.internet.graph.link(l).city, tiers_.dc_city());
+  }
+}
+
+TEST_F(TiersTest, WanLegNeverBeatsItsGeodesic) {
+  // The WAN backhaul is a shortest path over real links; its RTT can never
+  // undercut the geodesic floor between the entry PoP and the DC.
+  const auto& db = sc_.internet.city_db();
+  int checked = 0;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 3) {
+    const auto p = tiers_.premium(sc_.clients.at(id));
+    if (!p.valid() || p.entry_pop == tiers_.dc_pop()) continue;
+    const auto entry_city = sc_.provider.pop(p.entry_pop).city;
+    const double floor_ms =
+        rtt_floor(db.distance(entry_city, tiers_.dc_city()), 1.08).value();
+    EXPECT_GE(p.wan_rtt.value(), floor_ms - 1e-9);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace bgpcmp::wan

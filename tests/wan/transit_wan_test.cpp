@@ -1,0 +1,62 @@
+#include "bgpcmp/wan/transit_wan.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace bgpcmp::wan {
+namespace {
+
+TEST(ExitOverride, CoversExactlyTheClass) {
+  const auto& sc = test::small_scenario();
+  const auto overrides = exit_override_for_class(sc.internet.graph,
+                                                 topo::AsClass::Tier1,
+                                                 lat::ExitStrategy::ColdPotato);
+  EXPECT_EQ(overrides.size(), sc.internet.tier1s.size());
+  for (const auto& [as, strat] : overrides) {
+    EXPECT_EQ(sc.internet.graph.node(as).cls, topo::AsClass::Tier1);
+    EXPECT_EQ(strat, lat::ExitStrategy::ColdPotato);
+  }
+}
+
+TEST(SingleNetworkFraction, SingleSegmentIsOne) {
+  lat::GeoPath path;
+  path.as_path = {0};
+  path.segments.push_back(lat::GeoSegment{0, 0, 1, Kilometers{1000}, 1.2});
+  EXPECT_DOUBLE_EQ(largest_single_network_fraction(path), 1.0);
+}
+
+TEST(SingleNetworkFraction, SplitsByInflatedDistance) {
+  lat::GeoPath path;
+  path.as_path = {0, 1};
+  path.segments.push_back(lat::GeoSegment{0, 0, 1, Kilometers{1000}, 1.0});
+  path.segments.push_back(lat::GeoSegment{1, 1, 2, Kilometers{3000}, 1.0});
+  EXPECT_DOUBLE_EQ(largest_single_network_fraction(path), 0.75);
+}
+
+TEST(SingleNetworkFraction, AggregatesSegmentsOfSameAs) {
+  lat::GeoPath path;
+  path.as_path = {0, 1, 0};
+  path.segments.push_back(lat::GeoSegment{0, 0, 1, Kilometers{1000}, 1.0});
+  path.segments.push_back(lat::GeoSegment{1, 1, 2, Kilometers{1500}, 1.0});
+  path.segments.push_back(lat::GeoSegment{0, 2, 3, Kilometers{500}, 1.0});
+  EXPECT_DOUBLE_EQ(largest_single_network_fraction(path), 0.5);
+}
+
+TEST(SingleNetworkFraction, InflationWeighs) {
+  lat::GeoPath path;
+  path.as_path = {0, 1};
+  path.segments.push_back(lat::GeoSegment{0, 0, 1, Kilometers{1000}, 2.0});
+  path.segments.push_back(lat::GeoSegment{1, 1, 2, Kilometers{1000}, 1.0});
+  EXPECT_NEAR(largest_single_network_fraction(path), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SingleNetworkFraction, ZeroLengthPathIsOne) {
+  lat::GeoPath path;
+  path.as_path = {0};
+  path.segments.push_back(lat::GeoSegment{0, 0, 0, Kilometers{0}, 1.0});
+  EXPECT_DOUBLE_EQ(largest_single_network_fraction(path), 1.0);
+}
+
+}  // namespace
+}  // namespace bgpcmp::wan

@@ -1,0 +1,261 @@
+// bgpcmp — command-line explorer for the simulated Internet.
+//
+//   bgpcmp topology [--seed N]                 world summary
+//   bgpcmp route <ASN> [--from <ASN>]          routes toward an AS
+//   bgpcmp rib <ASN> --at <ASN>                what one AS hears (Adj-RIB-in)
+//   bgpcmp catchment [--preset ms|fb|goog]     anycast catchment per PoP
+//   bgpcmp pops [--preset ...]                 provider PoPs and sessions
+//   bgpcmp trace <ASN> <city> <city>           geographic path across one AS
+//   bgpcmp lookup <ip>                         who serves this address
+//
+// Every subcommand builds the same deterministic world the benches use, so
+// output here explains bench results line by line.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/bgp/table_dump.h"
+#include "bgpcmp/cdn/anycast_cdn.h"
+#include "bgpcmp/core/scenario.h"
+#include "bgpcmp/latency/path_model.h"
+#include "bgpcmp/stats/table.h"
+
+using namespace bgpcmp;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+core::ScenarioConfig preset_config(const Args& args) {
+  const auto it = args.flags.find("preset");
+  core::ScenarioConfig cfg;
+  if (it != args.flags.end()) {
+    if (it->second == "ms") cfg = core::ScenarioConfig::microsoft_like();
+    if (it->second == "goog") cfg = core::ScenarioConfig::google_like();
+  }
+  if (const auto seed = args.flags.find("seed"); seed != args.flags.end()) {
+    cfg = core::ScenarioConfig::with_master_seed(std::stoull(seed->second));
+  }
+  return cfg;
+}
+
+topo::AsIndex find_asn_or_die(const topo::AsGraph& graph, const std::string& text) {
+  const auto idx = graph.find_asn(Asn{static_cast<std::uint32_t>(std::stoul(text))});
+  if (!idx) {
+    std::fprintf(stderr, "no AS%s in this world\n", text.c_str());
+    std::exit(1);
+  }
+  return *idx;
+}
+
+int cmd_topology(const core::Scenario& sc) {
+  const auto& g = sc.internet.graph;
+  std::printf("world: %zu ASes, %zu edges, %zu links, %zu IXPs, %zu client /24s\n",
+              g.as_count(), g.edge_count(), g.link_count(), sc.internet.ixps.size(),
+              sc.clients.size());
+  stats::Table t{{"class", "count", "mean degree", "mean presence"}};
+  for (const auto cls :
+       {topo::AsClass::Tier1, topo::AsClass::Transit, topo::AsClass::Eyeball,
+        topo::AsClass::Stub, topo::AsClass::Content}) {
+    const auto members = g.of_class(cls);
+    if (members.empty()) continue;
+    double degree = 0.0;
+    double presence = 0.0;
+    for (const auto m : members) {
+      degree += static_cast<double>(g.node(m).edges.size());
+      presence += static_cast<double>(g.node(m).presence.size());
+    }
+    const auto n = static_cast<double>(members.size());
+    t.add_row({std::string(topo::as_class_name(cls)), std::to_string(members.size()),
+               stats::fmt(degree / n, 1), stats::fmt(presence / n, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_route(const core::Scenario& sc, const Args& args) {
+  if (args.positional.empty()) {
+    std::fputs("usage: bgpcmp route <ASN> [--from <ASN>] [--limit N]\n", stderr);
+    return 1;
+  }
+  const auto& g = sc.internet.graph;
+  const auto origin = find_asn_or_die(g, args.positional[0]);
+  const auto table = bgp::compute_routes(g, origin);
+  if (const auto from = args.flags.find("from"); from != args.flags.end()) {
+    std::fputs((bgp::dump_route(g, table, find_asn_or_die(g, from->second)) + "\n")
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+  std::size_t limit = 40;
+  if (const auto l = args.flags.find("limit"); l != args.flags.end()) {
+    limit = std::stoul(l->second);
+  }
+  std::fputs(bgp::dump_table(g, table, limit).c_str(), stdout);
+  return 0;
+}
+
+int cmd_rib(const core::Scenario& sc, const Args& args) {
+  const auto at = args.flags.find("at");
+  if (args.positional.empty() || at == args.flags.end()) {
+    std::fputs("usage: bgpcmp rib <origin ASN> --at <viewer ASN>\n", stderr);
+    return 1;
+  }
+  const auto& g = sc.internet.graph;
+  const auto table = bgp::compute_routes(g, find_asn_or_die(g, args.positional[0]));
+  std::fputs(bgp::dump_rib_in(g, table, find_asn_or_die(g, at->second)).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_catchment(const core::Scenario& sc) {
+  cdn::AnycastCdn cdn{&sc.internet, &sc.provider};
+  const auto& db = sc.internet.city_db();
+  std::map<cdn::PopId, std::pair<double, std::size_t>> per_pop;  // weight, prefixes
+  double total = 0.0;
+  for (traffic::PrefixId id = 0; id < sc.clients.size(); ++id) {
+    const auto route = cdn.anycast_route(sc.clients.at(id));
+    if (!route.valid()) continue;
+    per_pop[route.pop].first += sc.clients.at(id).user_weight;
+    per_pop[route.pop].second += 1;
+    total += sc.clients.at(id).user_weight;
+  }
+  stats::Table t{{"PoP", "user share", "client /24s"}};
+  for (const auto& [pop, stats_pair] : per_pop) {
+    t.add_row({std::string(db.at(sc.provider.pop(pop).city).name),
+               stats::fmt(100.0 * stats_pair.first / total, 1) + "%",
+               std::to_string(stats_pair.second)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_pops(const core::Scenario& sc) {
+  const auto& g = sc.internet.graph;
+  const auto& db = sc.internet.city_db();
+  stats::Table t{{"PoP", "sessions", "PNI", "public", "transit"}};
+  for (const auto& pop : sc.provider.pops()) {
+    int pni = 0;
+    int pub = 0;
+    int transit = 0;
+    for (const auto l : pop.links) {
+      switch (g.link(l).kind) {
+        case topo::LinkKind::PrivatePeering: ++pni; break;
+        case topo::LinkKind::PublicPeering: ++pub; break;
+        case topo::LinkKind::Transit: ++transit; break;
+      }
+    }
+    t.add_row({std::string(db.at(pop.city).name), std::to_string(pop.links.size()),
+               std::to_string(pni), std::to_string(pub), std::to_string(transit)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_lookup(const core::Scenario& sc, const Args& args) {
+  if (args.positional.empty()) {
+    std::fputs("usage: bgpcmp lookup <ipv4 address>\n", stderr);
+    return 1;
+  }
+  const auto addr = Ipv4Address::parse(args.positional[0]);
+  if (!addr) {
+    std::fputs("not an IPv4 address\n", stderr);
+    return 1;
+  }
+  const auto map = sc.clients.prefix_map();
+  const auto* hit = map.lookup(*addr);
+  if (hit == nullptr) {
+    std::printf("%s is not in any client prefix of this world\n",
+                addr->str().c_str());
+    return 0;
+  }
+  const auto& g = sc.internet.graph;
+  const auto& db = sc.internet.city_db();
+  const auto& client = sc.clients.at(*hit);
+  std::printf("%s -> %s in %s (%s), origin %s (%s), user weight %.2f, "
+              "last mile %.1f ms\n",
+              addr->str().c_str(), client.prefix.str().c_str(),
+              db.at(client.city).name.data(), db.at(client.city).country.data(),
+              g.node(client.origin_as).name.c_str(),
+              g.node(client.origin_as).asn.str().c_str(), client.user_weight,
+              client.access.base_rtt_ms);
+  const auto pop = sc.provider.serving_pop(g, db, client.origin_as, client.city);
+  std::printf("served from the %s PoP\n",
+              db.at(sc.provider.pop(pop).city).name.data());
+  return 0;
+}
+
+int cmd_trace(const core::Scenario& sc, const Args& args) {
+  if (args.positional.size() < 3) {
+    std::fputs("usage: bgpcmp trace <ASN> <from-city> <to-city>\n", stderr);
+    return 1;
+  }
+  const auto& g = sc.internet.graph;
+  const auto& db = sc.internet.city_db();
+  const auto as = find_asn_or_die(g, args.positional[0]);
+  const auto from = db.find(args.positional[1]);
+  const auto to = db.find(args.positional[2]);
+  if (!from || !to) {
+    std::fputs("unknown city\n", stderr);
+    return 1;
+  }
+  if (!g.has_presence(as, *from) || !g.has_presence(as, *to)) {
+    std::printf("%s has no presence at one endpoint\n", g.node(as).name.c_str());
+    return 1;
+  }
+  const topo::AsIndex path[] = {as};
+  const auto geo = lat::build_geo_path(g, db, path, *from, *to);
+  std::printf("%s %s -> %s: %.0f km geodesic, %.0f km inflated, %.2f ms RTT floor\n",
+              g.node(as).name.c_str(), db.at(*from).name.data(),
+              db.at(*to).name.data(), geo.geo_distance().value(),
+              geo.inflated_distance().value(),
+              rtt_floor(geo.geo_distance(), geo.segments[0].inflation).value());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command.empty()) {
+    std::fputs("usage: bgpcmp <topology|route|rib|catchment|pops|trace|lookup> "
+               "[--preset ms|goog] [--seed N] ...\n",
+               stderr);
+    return 1;
+  }
+  auto scenario = core::Scenario::make(preset_config(args));
+  if (args.command == "topology") return cmd_topology(*scenario);
+  if (args.command == "route") return cmd_route(*scenario, args);
+  if (args.command == "rib") return cmd_rib(*scenario, args);
+  if (args.command == "catchment") return cmd_catchment(*scenario);
+  if (args.command == "pops") return cmd_pops(*scenario);
+  if (args.command == "trace") return cmd_trace(*scenario, args);
+  if (args.command == "lookup") return cmd_lookup(*scenario, args);
+  std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+  return 1;
+}
