@@ -1,13 +1,31 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, run every test, regenerate every
-# figure. Mirrors what CI would run.
+# Full verification: lint, configure, build, run every test, the determinism
+# audit, the format check, and regenerate every figure. Mirrors what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
+
+scripts/lint.sh
+scripts/format.sh --check
+
+# Prefer Ninja, but fall back to the default generator when it is absent.
+# Never pass -G over an already-configured tree: CMake rejects a generator
+# change, and the cached one wins anyway.
+generator=()
+if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+cmake -B build "${generator[@]}"
+cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
+
+# Reproducibility gate: every registered scenario, studies included.
+build/tools/determinism_audit
+
 for b in build/bench/*; do
-  [ -x "$b" ] || continue
+  [ -f "$b" ] && [ -x "$b" ] || continue
   echo "== $(basename "$b")"
-  "$b" "${BENCH_ARG:-}"
+  case "$(basename "$b")" in
+    micro_*) "$b" ;;  # google-benchmark CLI: no positional days argument
+    *) "$b" ${BENCH_ARG:+"$BENCH_ARG"} ;;
+  esac
 done

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Custom repo lint: reject nondeterminism and invariant-layer regressions
+# that no compiler warning catches. Run by scripts/check.sh and CI.
+#
+# Rules:
+#   R1  C rand()/srand() anywhere — all randomness flows through bgpcmp::Rng.
+#   R2  std::random_device — nondeterministic seeding is banned.
+#   R3  mt19937 outside src/netbase/rng.* — model code must take an Rng.
+#   R4  Wall-clock reads in model code (src/, tools/) — simulation time is
+#       SimTime; wall-clock in results breaks same-seed reproducibility.
+#   R5  Range-for over unordered containers in model code — iteration order
+#       is unspecified and must never shape emitted tables.
+#   R6  Bare assert() in src/ — invariants go through BGPCMP_CHECK* so they
+#       print diagnostics and survive Release builds.
+#
+# A line may opt out with a trailing comment: // lint:allow(<rule>)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+
+report() { # rule, description, matches
+  local rule="$1" desc="$2" matches="$3"
+  matches=$(grep -v "lint:allow($rule)" <<<"$matches" || true)
+  if [ -n "$matches" ]; then
+    echo "lint: $rule violated — $desc"
+    echo "$matches" | sed 's/^/  /'
+    failures=$((failures + 1))
+  fi
+}
+
+src_like() {
+  git ls-files --cached --others --exclude-standard "$@" | grep -E '\.(cpp|h)$' || true
+}
+
+ALL_FILES=$(src_like 'src/**' 'tools/**' 'bench/**' 'examples/**' 'tests/**')
+MODEL_FILES=$(src_like 'src/**' 'tools/**')
+SRC_FILES=$(src_like 'src/**')
+
+run_grep() { # pattern, files — matches code only, // comments stripped
+  local pattern="$1" files="$2"
+  [ -n "$files" ] || return 0
+  # shellcheck disable=SC2086
+  awk -v pat="$pattern" '{
+    line = $0
+    sub(/\/\/.*/, "", line)
+    if (line ~ pat) printf "%s:%d:%s\n", FILENAME, FNR, $0
+  }' $files || true
+}
+
+report R1 "C rand()/srand() is banned; use bgpcmp::Rng" \
+  "$(run_grep '(^|[^_[:alnum:]])s?rand[[:space:]]*\(' "$ALL_FILES")"
+
+report R2 "std::random_device is nondeterministic; seed explicitly" \
+  "$(run_grep 'random_device' "$ALL_FILES")"
+
+report R3 "raw mt19937 outside the Rng wrapper; take an Rng instead" \
+  "$(run_grep 'mt19937' "$MODEL_FILES" | grep -v '^src/netbase/include/bgpcmp/netbase/rng\.h:' | grep -v '^src/netbase/rng\.cpp:' || true)"
+
+report R4 "wall-clock read in model code; use SimTime" \
+  "$(run_grep 'system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|localtime|gmtime|[^_[:alnum:]]time[[:space:]]*\((NULL|nullptr|0)\)' "$MODEL_FILES")"
+
+report R5 "iteration over an unordered container in model code; order is unspecified" \
+  "$(run_grep 'for[[:space:]]*\(.*:.*unordered' "$MODEL_FILES")"
+
+report R6 "bare assert() in src/; use BGPCMP_CHECK* (bgpcmp/netbase/check.h)" \
+  "$(run_grep '(^|[^_[:alnum:]])assert[[:space:]]*\(' "$SRC_FILES" | grep -v 'static_assert' || true)"
+
+report R6 "cassert include in src/; BGPCMP_CHECK* replaces it" \
+  "$(run_grep '#include[[:space:]]*<cassert>' "$SRC_FILES")"
+
+if [ "$failures" -gt 0 ]; then
+  echo "lint: $failures rule(s) violated"
+  exit 1
+fi
+echo "lint: clean"

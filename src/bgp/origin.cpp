@@ -1,15 +1,17 @@
 #include "bgpcmp/bgp/origin.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::bgp {
 
 bool OriginSpec::announces_on(const AsGraph& graph, EdgeId e) const {
   const auto& edge = graph.edge(e);
-  assert(edge.a == origin || edge.b == origin);
+  BGPCMP_CHECK(edge.a == origin || edge.b == origin,
+               "origin must be an endpoint of its announcing edge");
   (void)edge;
-  if (suppress.count(e) > 0) return false;
+  if (suppress.contains(e)) return false;
   if (!scope) return true;
   return std::any_of(scope->begin(), scope->end(), [&](LinkId l) {
     return graph.link(l).edge == e;

@@ -1,8 +1,9 @@
 #include "bgpcmp/bgp/propagation.h"
 
-#include <cassert>
 #include <limits>
 #include <vector>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::bgp {
 
@@ -46,7 +47,8 @@ std::uint32_t best_len(const Tables& t, AsIndex as, AsIndex origin) {
 }  // namespace
 
 RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin) {
-  assert(origin.origin != kNoAs && origin.origin < graph.as_count());
+  BGPCMP_CHECK_NE(origin.origin, kNoAs, "announcement needs a real origin AS");
+  BGPCMP_CHECK_LT(origin.origin, graph.as_count(), "origin AS out of range");
   const std::size_t n = graph.as_count();
   Tables t;
   t.cust.resize(n);

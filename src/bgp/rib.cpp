@@ -1,7 +1,8 @@
 #include "bgpcmp/bgp/rib.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::bgp {
 
@@ -9,7 +10,8 @@ std::vector<CandidateRoute> candidate_routes_at(const AsGraph& graph,
                                                 const RouteTable& table,
                                                 const OriginSpec& origin_spec,
                                                 AsIndex viewer) {
-  assert(origin_spec.origin == table.origin());
+  BGPCMP_CHECK_EQ(origin_spec.origin, table.origin(),
+                  "RIB dump must use the table's own origin spec");
   std::vector<CandidateRoute> out;
   for (const topo::Neighbor& nb : graph.neighbors(viewer)) {
     CandidateRoute cand;

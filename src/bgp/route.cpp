@@ -1,6 +1,6 @@
 #include "bgpcmp/bgp/route.h"
 
-#include <cassert>
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::bgp {
 
@@ -24,9 +24,9 @@ std::vector<AsIndex> RouteTable::path(AsIndex from) const {
     out.push_back(cur);
     if (cur == origin_) return out;
     cur = routes_[cur].next_hop;
-    assert(cur != kNoAs);
+    BGPCMP_CHECK_NE(cur, kNoAs, "route table has a gap on the path toward the origin");
   }
-  assert(false && "forwarding loop in route table");
+  BGPCMP_FAIL("forwarding loop in route table");
   return {};
 }
 
@@ -38,9 +38,9 @@ std::vector<EdgeId> RouteTable::path_edges(AsIndex from) const {
     if (cur == origin_) return out;
     out.push_back(routes_[cur].via_edge);
     cur = routes_[cur].next_hop;
-    assert(cur != kNoAs);
+    BGPCMP_CHECK_NE(cur, kNoAs, "route table has a gap on the path toward the origin");
   }
-  assert(false && "forwarding loop in route table");
+  BGPCMP_FAIL("forwarding loop in route table");
   return {};
 }
 

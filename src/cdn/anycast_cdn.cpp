@@ -1,7 +1,8 @@
 #include "bgpcmp/cdn/anycast_cdn.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::cdn {
 
@@ -13,7 +14,8 @@ AnycastCdn::AnycastCdn(const Internet* internet, const ContentProvider* provider
 }
 
 void AnycastCdn::set_anycast_spec(bgp::OriginSpec spec) {
-  assert(spec.origin == provider_->as_index());
+  BGPCMP_CHECK(spec.origin == provider_->as_index(),
+               "anycast spec must originate at the provider");
   anycast_spec_ = std::move(spec);
   anycast_table_ = bgp::compute_routes(internet_->graph, anycast_spec_);
 }
@@ -29,7 +31,7 @@ AnycastCdn::AnycastRoute AnycastCdn::anycast_route(
                                  client.city, topo::kNoCity, opts);
   if (!out.path.valid()) return out;
   const auto pop = provider_->pop_in(out.path.entry_city);
-  assert(pop && "anycast entry link must land at a PoP");
+  BGPCMP_CHECK(pop, "anycast entry link must land at a PoP");
   out.pop = *pop;
   return out;
 }
@@ -50,7 +52,7 @@ void AnycastCdn::set_failed_pops(std::set<PopId> failed) {
 
 lat::GeoPath AnycastCdn::unicast_route(const traffic::ClientPrefix& client,
                                        PopId pop) const {
-  if (failed_pops_.count(pop) > 0) return {};  // dead front-end: no answers
+  if (failed_pops_.contains(pop)) return {};  // dead front-end: no answers
   const bgp::RouteTable& table = unicast_table(pop);
   if (!table.reachable(client.origin_as)) return {};
   const auto as_path = table.path(client.origin_as);

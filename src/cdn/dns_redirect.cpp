@@ -1,11 +1,11 @@
 #include "bgpcmp/cdn/dns_redirect.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <map>
 #include <string>
 
+#include "bgpcmp/netbase/check.h"
 #include "bgpcmp/topology/ixp.h"
 
 namespace bgpcmp::cdn {
@@ -74,7 +74,7 @@ std::vector<LdnsCluster> DnsRedirector::build_clusters() const {
 
 RedirectDecision DnsRedirector::decide(const LdnsCluster& cluster, SimTime now,
                                        Rng& rng) const {
-  assert(!cluster.members.empty());
+  BGPCMP_CHECK(!cluster.members.empty(), "DNS cluster has no front-ends");
   const SimTime when = now - SimTime::hours(config_.staleness_hours);
 
   // Weight-proportional sample of members to measure.

@@ -1,7 +1,6 @@
 #include "bgpcmp/cdn/edge_fabric_controller.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace bgpcmp::cdn {
 

@@ -80,7 +80,7 @@ GroomingReport AnycastGroomer::groom() {
     topo::EdgeId worst = topo::kNoEdge;
     double worst_gap = config_.badness_threshold_ms;
     for (const auto& [edge, gw] : current.per_edge) {
-      if (blacklist.count(edge) > 0) continue;
+      if (blacklist.contains(edge)) continue;
       const double mean = gw.second > 0.0 ? gw.first / gw.second : 0.0;
       if (mean > worst_gap) {
         worst_gap = mean;
@@ -93,7 +93,7 @@ GroomingReport AnycastGroomer::groom() {
     // (or is in place) and the session still attracts misrouted traffic —
     // LocalPref shrugs prepends off — escalate to withdrawing from it.
     const bool escalate =
-        spec.prepend.count(worst) > 0 || prepend_failed.count(worst) > 0;
+        spec.prepend.contains(worst) || prepend_failed.contains(worst);
     GroomingStep step{worst, 0, worst_gap, /*withdrawn=*/false};
     if (escalate) {
       spec.suppress.insert(worst);

@@ -1,19 +1,20 @@
 #include "bgpcmp/cdn/odin.h"
 
-#include <cassert>
 #include <limits>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::cdn {
 
 Milliseconds BeaconResult::best_unicast() const {
-  assert(!unicast.empty());
+  BGPCMP_CHECK(!unicast.empty(), "Odin needs unicast candidates");
   Milliseconds best{std::numeric_limits<double>::max()};
   for (const auto& [pop, ms] : unicast) best = std::min(best, ms);
   return best;
 }
 
 PopId BeaconResult::best_unicast_pop() const {
-  assert(!unicast.empty());
+  BGPCMP_CHECK(!unicast.empty(), "Odin needs unicast candidates");
   PopId best = kNoPop;
   Milliseconds best_ms{std::numeric_limits<double>::max()};
   for (const auto& [pop, ms] : unicast) {

@@ -1,9 +1,10 @@
 #include "bgpcmp/cdn/provider.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::cdn {
 
@@ -188,7 +189,7 @@ std::optional<PopId> ContentProvider::pop_in(CityId city) const {
 }
 
 PopId ContentProvider::nearest_pop(const topo::CityDb& cities, CityId city) const {
-  assert(!pops_.empty());
+  BGPCMP_CHECK(!pops_.empty(), "provider must have at least one PoP");
   PopId best = kNoPop;
   double best_km = std::numeric_limits<double>::max();
   for (const Pop& p : pops_) {

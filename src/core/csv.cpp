@@ -1,9 +1,9 @@
 #include "bgpcmp/core/csv.h"
 
-#include <cassert>
 #include <cstdlib>
 #include <fstream>
 
+#include "bgpcmp/netbase/check.h"
 #include "bgpcmp/stats/table.h"
 
 namespace bgpcmp::core {
@@ -37,7 +37,7 @@ bool write_csv(const std::string& path, const std::vector<std::string>& header,
   if (!out) return false;
   emit_row(out, header);
   for (const auto& row : rows) {
-    assert(row.size() == header.size());
+    BGPCMP_CHECK_EQ(row.size(), header.size(), "CSV row width must match the header");
     emit_row(out, row);
   }
   return static_cast<bool>(out);
@@ -47,7 +47,7 @@ bool write_series_csv(const std::string& path, const std::string& x_label,
                       const std::vector<std::string>& names,
                       const std::vector<const stats::WeightedCdf*>& cdfs, double lo,
                       double hi, std::size_t points, bool ccdf) {
-  assert(names.size() == cdfs.size());
+  BGPCMP_CHECK_EQ(names.size(), cdfs.size(), "one name per CDF");
   std::vector<std::string> header{x_label};
   header.insert(header.end(), names.begin(), names.end());
   std::vector<std::vector<stats::SeriesPoint>> series;

@@ -1,0 +1,200 @@
+#include "bgpcmp/core/fingerprint.h"
+
+#include <map>
+#include <utility>
+
+#include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/bgp/table_dump.h"
+#include "bgpcmp/cdn/anycast_cdn.h"
+#include "bgpcmp/core/report.h"
+#include "bgpcmp/core/study_anycast.h"
+#include "bgpcmp/core/study_pop.h"
+#include "bgpcmp/core/study_wan.h"
+#include "bgpcmp/stats/table.h"
+#include "bgpcmp/wan/tiers.h"
+
+namespace bgpcmp::core {
+namespace {
+
+// Sample grid shared by the demand / latency probes below: a handful of
+// prefixes spread across the population, at fixed simulation instants.
+constexpr std::size_t kSamplePrefixes = 32;
+constexpr double kSampleHours[] = {0.5, 7.25, 13.0, 21.75};
+
+void append_topology(const Scenario& sc, std::string& out) {
+  const auto& g = sc.internet.graph;
+  out += banner("topology");
+  out += "ases=" + std::to_string(g.as_count()) +
+         " edges=" + std::to_string(g.edge_count()) +
+         " links=" + std::to_string(g.link_count()) +
+         " ixps=" + std::to_string(sc.internet.ixps.size()) +
+         " clients=" + std::to_string(sc.clients.size()) + "\n";
+  stats::Table t{{"class", "count", "mean degree", "mean presence"}};
+  for (const auto cls :
+       {topo::AsClass::Tier1, topo::AsClass::Transit, topo::AsClass::Eyeball,
+        topo::AsClass::Stub, topo::AsClass::Content}) {
+    const auto members = g.of_class(cls);
+    if (members.empty()) continue;
+    double degree = 0.0;
+    double presence = 0.0;
+    for (const auto m : members) {
+      degree += static_cast<double>(g.node(m).edges.size());
+      presence += static_cast<double>(g.node(m).presence.size());
+    }
+    const auto n = static_cast<double>(members.size());
+    t.add_row({std::string(topo::as_class_name(cls)), std::to_string(members.size()),
+               stats::fmt(degree / n, 3), stats::fmt(presence / n, 3)});
+  }
+  out += t.render();
+}
+
+void append_routes(const Scenario& sc, std::string& out) {
+  const auto& g = sc.internet.graph;
+  out += banner("provider routes");
+  const auto table = bgp::compute_routes(g, sc.provider.as_index());
+  out += bgp::dump_table(g, table, /*limit=*/40);
+}
+
+void append_catchment(const Scenario& sc, const cdn::AnycastCdn& cdn,
+                      std::string& out) {
+  out += banner("anycast catchment");
+  const auto& db = sc.internet.city_db();
+  std::map<cdn::PopId, std::pair<double, std::size_t>> per_pop;
+  double total = 0.0;
+  for (traffic::PrefixId id = 0; id < sc.clients.size(); ++id) {
+    const auto route = cdn.anycast_route(sc.clients.at(id));
+    if (!route.valid()) continue;
+    per_pop[route.pop].first += sc.clients.at(id).user_weight;
+    per_pop[route.pop].second += 1;
+    total += sc.clients.at(id).user_weight;
+  }
+  stats::Table t{{"PoP", "user share", "client /24s"}};
+  for (const auto& [pop, acc] : per_pop) {
+    t.add_row({std::string(db.at(sc.provider.pop(pop).city).name),
+               stats::fmt(100.0 * acc.first / total, 4),
+               std::to_string(acc.second)});
+  }
+  out += t.render();
+}
+
+void append_demand_and_latency(const Scenario& sc, const cdn::AnycastCdn& cdn,
+                               std::string& out) {
+  out += banner("demand and latency samples");
+  const std::size_t stride =
+      sc.clients.size() > kSamplePrefixes ? sc.clients.size() / kSamplePrefixes : 1;
+  stats::Table t{{"prefix", "popularity", "volume@13h", "rtt (ms)", "bw (gbps)"}};
+  for (traffic::PrefixId id = 0; id < sc.clients.size(); id += stride) {
+    const auto& client = sc.clients.at(id);
+    std::string rtts;
+    std::string bw = "-";
+    const auto route = cdn.anycast_route(client);
+    if (route.valid()) {
+      for (const double h : kSampleHours) {
+        const auto breakdown =
+            sc.latency.rtt(route.path, SimTime::hours(h), client.access,
+                           client.origin_as, client.city);
+        if (!rtts.empty()) rtts += "/";
+        rtts += stats::fmt(breakdown.total().value(), 3);
+      }
+      bw = stats::fmt(
+          sc.latency.available_bandwidth(route.path, SimTime::hours(13.0)).value(),
+          3);
+    }
+    t.add_row({client.prefix.str(), stats::fmt(sc.demand.popularity(id), 6),
+               stats::fmt(sc.demand.volume(id, SimTime::hours(13.0)).value(), 1),
+               rtts, bw});
+  }
+  out += t.render();
+}
+
+// Scaled-down study runs: deep enough to flow through every study code path,
+// small enough that auditing the whole registry stays interactive.
+void append_pop_study(const Scenario& sc, std::string& out) {
+  out += banner("pop study (scaled down)");
+  PopStudyConfig cfg;
+  cfg.days = 1.0;
+  cfg.window_stride = 8;
+  cfg.top_k_routes = 2;
+  cfg.bootstrap.resamples = 20;
+  const auto result = run_pop_study(sc, cfg);
+  out += "series=" + std::to_string(result.series.size()) +
+         " windows=" + std::to_string(result.windows.size()) + "\n";
+  const auto cdf = result.fig1_cdf();
+  if (cdf.count() > 0) {
+    out += render_cdfs("diff_ms", {"fig1"}, {&cdf}, -20.0, 20.0, 11);
+  }
+  out += headline("improvable traffic fraction",
+                  result.improvable_traffic_fraction(5.0));
+}
+
+void append_anycast_study(const Scenario& sc, const cdn::AnycastCdn& cdn,
+                          std::string& out) {
+  out += banner("anycast study (scaled down)");
+  AnycastStudyConfig cfg;
+  cfg.beacon_rounds = 1;
+  cfg.eval_windows = 2;
+  const auto result = run_anycast_study(sc, cdn, cfg);
+  out += render_cdfs("gap_ms", {"world"}, {&result.fig3_world}, 0.0, 100.0, 11,
+                     /*ccdf=*/true);
+  out += headline("within 10ms", result.frac_within_10ms);
+  out += headline("unicast 100ms faster", result.frac_unicast_100ms_faster);
+  out += headline("fig4 improved", result.fig4_improved_fraction);
+  out += headline("fig4 worse", result.fig4_worse_fraction);
+}
+
+void append_wan_study(const Scenario& sc, std::string& out) {
+  out += banner("wan study (scaled down)");
+  wan::CloudTiers tiers{&sc.internet, &sc.provider};
+  WanStudyConfig cfg;
+  cfg.fleet.daily_vantage_points = 60;
+  cfg.fleet.rounds_per_day = 2;
+  cfg.fleet.pings_per_measurement = 2;
+  cfg.campaign.days = 2.0;
+  cfg.min_country_samples = 5;
+  const auto result = run_wan_study(sc, tiers, cfg);
+  out += "samples=" + std::to_string(result.total_samples) + "/" +
+         std::to_string(result.filtered_samples) + "\n";
+  stats::Table t{{"country", "median S-P (ms)", "samples"}};
+  for (const auto& row : result.countries) {
+    t.add_row({row.country, stats::fmt(row.median_diff_ms, 4),
+               std::to_string(row.samples)});
+  }
+  out += t.render();
+  out += headline("premium near ingress", result.premium_ingress_near_fraction);
+  out += headline("standard near ingress", result.standard_ingress_near_fraction);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string render_result_tables(const ScenarioConfig& config,
+                                 const FingerprintOptions& options) {
+  const auto scenario = Scenario::make(config);
+  const cdn::AnycastCdn cdn{&scenario->internet, &scenario->provider};
+  std::string out;
+  append_topology(*scenario, out);
+  append_routes(*scenario, out);
+  append_catchment(*scenario, cdn, out);
+  append_demand_and_latency(*scenario, cdn, out);
+  if (options.run_studies) {
+    append_pop_study(*scenario, out);
+    append_anycast_study(*scenario, cdn, out);
+    append_wan_study(*scenario, out);
+  }
+  return out;
+}
+
+std::uint64_t scenario_fingerprint(const ScenarioConfig& config,
+                                   const FingerprintOptions& options) {
+  return fnv1a64(render_result_tables(config, options));
+}
+
+}  // namespace bgpcmp::core

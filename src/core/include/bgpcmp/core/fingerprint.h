@@ -1,0 +1,37 @@
+// Canonical result-table rendering and hashing for the determinism audit.
+//
+// A scenario's "fingerprint" is the FNV-1a hash of every result table the
+// substrate can emit for it — topology summary, a route-table dump, the
+// anycast catchment, demand and latency samples, and (optionally) scaled-down
+// runs of the three paper studies. Two builds of the same config must render
+// byte-identical tables; any divergence means model state leaked in from
+// iteration order, uninitialized memory, wall-clock reads, or an unseeded
+// RNG. tools/determinism_audit.cpp runs this over the whole registry and is
+// the gate future parallelism PRs must keep green.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bgpcmp/core/scenario.h"
+
+namespace bgpcmp::core {
+
+/// 64-bit FNV-1a over arbitrary bytes.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
+
+struct FingerprintOptions {
+  /// Also run scaled-down pop/anycast/wan studies (slower, deeper coverage).
+  bool run_studies = true;
+};
+
+/// Build a fresh world from `config` and render its canonical result tables.
+[[nodiscard]] std::string render_result_tables(const ScenarioConfig& config,
+                                               const FingerprintOptions& options = {});
+
+/// fnv1a64 over render_result_tables.
+[[nodiscard]] std::uint64_t scenario_fingerprint(const ScenarioConfig& config,
+                                                 const FingerprintOptions& options = {});
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,30 @@
+// Central registry of the canonical scenarios every cross-cutting tool runs
+// over — the determinism auditor, future perf harnesses, and CI sweeps all
+// iterate this list instead of hard-coding preset names. Adding a scenario
+// here automatically puts it under the determinism gate.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "bgpcmp/core/scenario.h"
+
+namespace bgpcmp::core {
+
+struct RegisteredScenario {
+  std::string_view name;
+  std::string_view description;
+  ScenarioConfig (*config)();
+  /// Whether fingerprinting should also run the (scaled-down) paper studies
+  /// on this scenario, not just the world tables. Study runs dominate the
+  /// auditor's runtime, so seed-sweep entries keep this off.
+  bool fingerprint_studies = true;
+};
+
+/// All registered scenarios, in a fixed, documented order.
+[[nodiscard]] std::span<const RegisteredScenario> scenario_registry();
+
+/// Look up one scenario by name; nullptr if absent.
+[[nodiscard]] const RegisteredScenario* find_scenario(std::string_view name);
+
+}  // namespace bgpcmp::core

@@ -1,7 +1,6 @@
 #include "bgpcmp/core/report.h"
 
-#include <cassert>
-
+#include "bgpcmp/netbase/check.h"
 #include "bgpcmp/stats/table.h"
 
 namespace bgpcmp::core {
@@ -10,7 +9,7 @@ std::string render_cdfs(const std::string& x_label,
                         const std::vector<std::string>& names,
                         const std::vector<const stats::WeightedCdf*>& cdfs, double lo,
                         double hi, std::size_t points, bool ccdf) {
-  assert(names.size() == cdfs.size());
+  BGPCMP_CHECK_EQ(names.size(), cdfs.size(), "one name per CDF");
   std::vector<std::vector<stats::SeriesPoint>> series;
   series.reserve(cdfs.size());
   for (const auto* cdf : cdfs) {

@@ -1,0 +1,35 @@
+#include "bgpcmp/core/scenario_registry.h"
+
+#include <array>
+
+namespace bgpcmp::core {
+namespace {
+
+ScenarioConfig master_seed_7() { return ScenarioConfig::with_master_seed(7); }
+ScenarioConfig master_seed_456() { return ScenarioConfig::with_master_seed(456); }
+
+constexpr std::array<RegisteredScenario, 5> kRegistry{{
+    {"facebook_like", "Study 1: PNI-rich edge provider (default config)",
+     &ScenarioConfig::facebook_like, /*fingerprint_studies=*/true},
+    {"microsoft_like", "Study 2: 2015-era anycast CDN, sparse peering",
+     &ScenarioConfig::microsoft_like, /*fingerprint_studies=*/true},
+    {"google_like", "Study 3: hyperscale cloud with a large WAN edge",
+     &ScenarioConfig::google_like, /*fingerprint_studies=*/true},
+    {"master_seed_7", "seed-sweep world derived from master seed 7",
+     &master_seed_7, /*fingerprint_studies=*/false},
+    {"master_seed_456", "seed-sweep world derived from master seed 456",
+     &master_seed_456, /*fingerprint_studies=*/false},
+}};
+
+}  // namespace
+
+std::span<const RegisteredScenario> scenario_registry() { return kRegistry; }
+
+const RegisteredScenario* find_scenario(std::string_view name) {
+  for (const auto& s : kRegistry) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace bgpcmp::core

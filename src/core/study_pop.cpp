@@ -1,7 +1,6 @@
 #include "bgpcmp/core/study_pop.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <string>
 

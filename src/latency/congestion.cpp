@@ -1,9 +1,10 @@
 #include "bgpcmp/latency/congestion.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <string>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::lat {
 
@@ -92,7 +93,7 @@ Milliseconds CongestionField::link_delay(LinkId link, SimTime t) const {
 }
 
 double CongestionField::link_utilization(LinkId link, SimTime t) const {
-  assert(link < links_.size());
+  BGPCMP_CHECK_LT(link, links_.size(), "link out of range");
   return links_[link].utilization(t, load_scale_[link], config_);
 }
 
@@ -123,13 +124,13 @@ Milliseconds CongestionField::access_delay(AsIndex access_as, CityId city,
 }
 
 void CongestionField::set_load_scale(LinkId link, double scale) {
-  assert(link < load_scale_.size());
-  assert(scale >= 0.0);
+  BGPCMP_CHECK_LT(link, load_scale_.size(), "link out of range");
+  BGPCMP_CHECK_GE(scale, 0.0, "load scale cannot be negative");
   load_scale_[link] = scale;
 }
 
 double CongestionField::load_scale(LinkId link) const {
-  assert(link < load_scale_.size());
+  BGPCMP_CHECK_LT(link, load_scale_.size(), "link out of range");
   return load_scale_[link];
 }
 

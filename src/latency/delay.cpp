@@ -1,14 +1,15 @@
 #include "bgpcmp/latency/delay.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::lat {
 
 RttBreakdown LatencyModel::rtt(const GeoPath& path, SimTime t,
                                const AccessProfile& profile, AsIndex access_as,
                                CityId access_city) const {
-  assert(path.valid());
+  BGPCMP_CHECK(path.valid(), "delay of an invalid path");
   RttBreakdown out;
 
   Milliseconds one_way{0.0};
@@ -33,7 +34,7 @@ RttBreakdown LatencyModel::rtt(const GeoPath& path, SimTime t,
 
 GigabitsPerSecond LatencyModel::available_bandwidth(const GeoPath& path, SimTime t,
                                                     double access_cap_gbps) const {
-  assert(path.valid());
+  BGPCMP_CHECK(path.valid(), "delay of an invalid path");
   double gbps = access_cap_gbps;
   for (const LinkId l : path.crossed_links) {
     const auto& link = graph_->link(l);

@@ -1,8 +1,9 @@
 #include "bgpcmp/latency/path_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::lat {
 
@@ -30,7 +31,7 @@ namespace {
 /// cold potato targets the destination. Ties break on lowest link id.
 LinkId choose_link(const AsGraph& graph, const CityDb& cities,
                    std::span<const LinkId> candidates, CityId reference) {
-  assert(!candidates.empty());
+  BGPCMP_CHECK(!candidates.empty(), "path selection needs at least one candidate");
   LinkId best = topo::kNoLink;
   double best_km = std::numeric_limits<double>::max();
   for (const LinkId l : candidates) {
@@ -50,7 +51,8 @@ GeoPath build_geo_path(const AsGraph& graph, const CityDb& cities,
                        CityId dest_city, const GeoPathOptions& options) {
   GeoPath out;
   if (as_path.empty()) return out;
-  assert(graph.has_presence(as_path.front(), src_city));
+  BGPCMP_CHECK(graph.has_presence(as_path.front(), src_city),
+               "AS path must start where the source city is");
 
   CityId cur_city = src_city;
   for (std::size_t i = 0; i + 1 < as_path.size(); ++i) {

@@ -1,13 +1,14 @@
 #include "bgpcmp/latency/rtt_sampler.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::lat {
 
 Milliseconds RttSampler::sample_min_rtt(Milliseconds base, int round_trips,
                                         Rng& rng) const {
-  assert(round_trips >= 1);
+  BGPCMP_CHECK_GE(round_trips, 1, "a measurement needs at least one round trip");
   // Min of n iid Exp(mean m) residuals is Exp(mean m/n).
   const double residual =
       rng.exponential(config_.noise_scale_ms / static_cast<double>(round_trips));

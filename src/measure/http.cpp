@@ -1,13 +1,14 @@
 #include "bgpcmp/measure/http.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::measure {
 
 double steady_state_throughput(Milliseconds rtt, const TcpModelConfig& config) {
-  assert(rtt.value() > 0.0);
+  BGPCMP_CHECK_GT(rtt.value(), 0.0, "HTTP model needs a positive RTT");
   const double rtt_s = rtt.value() / 1000.0;
   // Mathis et al.: throughput <= (MSS / RTT) * sqrt(3 / (2p)).
   const double mathis =
@@ -17,8 +18,8 @@ double steady_state_throughput(Milliseconds rtt, const TcpModelConfig& config) {
 }
 
 Milliseconds fetch_time(double bytes, Milliseconds rtt, const TcpModelConfig& config) {
-  assert(bytes >= 0.0);
-  assert(rtt.value() > 0.0);
+  BGPCMP_CHECK_GE(bytes, 0.0, "transfer size cannot be negative");
+  BGPCMP_CHECK_GT(rtt.value(), 0.0, "HTTP model needs a positive RTT");
   if (bytes <= 0.0) return rtt * config.handshake_rtts;
 
   const double rate = steady_state_throughput(rtt, config);  // bytes/sec

@@ -1,0 +1,76 @@
+#include "bgpcmp/netbase/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bgpcmp {
+namespace check_detail {
+namespace {
+
+void abort_handler(const char* file, int line, const std::string& what) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, what.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<Handler> g_handler{&abort_handler};
+
+}  // namespace
+
+Handler install_handler(Handler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &abort_handler);
+}
+
+void fail(const char* file, int line, std::string what) {
+  g_handler.load()(file, line, what);
+  // A handler that returns (instead of throwing) must not let execution
+  // continue past a violated invariant.
+  abort_handler(file, line, what);
+  std::abort();
+}
+
+std::string compose(const char* expr, const std::string& context) {
+  std::string out = "invariant violated: ";
+  out += expr;
+  if (!context.empty()) {
+    out += " -- ";
+    out += context;
+  }
+  return out;
+}
+
+std::string compose(const char* expr, const std::string& lhs, const char* op,
+                    const std::string& rhs, const std::string& context) {
+  std::string out = "invariant violated: ";
+  out += expr;
+  out += " (";
+  out += lhs;
+  out += " ";
+  out += op;
+  out += " ";
+  out += rhs;
+  out += ")";
+  if (!context.empty()) {
+    out += " -- ";
+    out += context;
+  }
+  return out;
+}
+
+}  // namespace check_detail
+
+namespace {
+
+[[noreturn]] void throw_handler(const char* file, int line, const std::string& what) {
+  throw CheckError{std::string(file) + ":" + std::to_string(line) + ": " + what};
+}
+
+}  // namespace
+
+ScopedCheckThrows::ScopedCheckThrows()
+    : prev_(check_detail::install_handler(&throw_handler)) {}
+
+ScopedCheckThrows::~ScopedCheckThrows() { check_detail::install_handler(prev_); }
+
+}  // namespace bgpcmp

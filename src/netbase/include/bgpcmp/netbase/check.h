@@ -1,0 +1,182 @@
+// Diagnosable model invariants.
+//
+// BGPCMP_CHECK* replaces bare assert() everywhere in the model: a failing
+// check prints the expression, both operand values, file:line, and an
+// optional context message, and it survives every build type — an invariant
+// violation in a Release binary must never become silent undefined
+// behaviour. The failure handler is swappable so tests can turn violations
+// into catchable exceptions (see ScopedCheckThrows) while production binaries
+// abort with a diagnostic.
+//
+//   BGPCMP_CHECK(table.valid());
+//   BGPCMP_CHECK_GT(mean, 0.0, "exponential mean must be positive");
+//   BGPCMP_CHECK_LT(link, links_.size(), "link id out of range");
+//   BGPCMP_FAIL("forwarding loop in route table");
+#pragma once
+
+#include <concepts>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace bgpcmp {
+
+/// Thrown instead of aborting while a ScopedCheckThrows is alive, so unit
+/// tests can exercise invariant-violation paths.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace check_detail {
+
+/// Receives the fully composed diagnostic. Must not return; if it does, the
+/// process aborts anyway.
+using Handler = void (*)(const char* file, int line, const std::string& what);
+
+/// Install a new failure handler; returns the previous one. Passing nullptr
+/// restores the default abort handler.
+Handler install_handler(Handler handler);
+
+/// Compose the diagnostic and dispatch it to the current handler.
+[[noreturn]] void fail(const char* file, int line, std::string what);
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& v) { os << v; };
+
+template <typename T>
+concept HasStr = requires(const T& v) {
+  { v.str() } -> std::convertible_to<std::string>;
+};
+
+/// Best-effort textual form of an operand: streamable types stream, types
+/// with a str() method (SimTime, Asn, ...) use it, enums show their
+/// underlying value, everything else degrades to a placeholder.
+template <typename T>
+std::string describe(const T& v) {
+  using D = std::remove_cvref_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (Streamable<D>) {
+    std::ostringstream os;
+    os << v;
+    return std::move(os).str();
+  } else if constexpr (HasStr<D>) {
+    return v.str();
+  } else if constexpr (std::is_enum_v<D>) {
+    return std::to_string(static_cast<long long>(v));
+  } else {
+    return "<unprintable>";
+  }
+}
+
+/// Standard integer types eligible for std::cmp_* safe comparison.
+template <typename T>
+concept StdInteger =
+    std::integral<T> && !std::is_same_v<T, bool> && !std::is_same_v<T, char> &&
+    !std::is_same_v<T, wchar_t> && !std::is_same_v<T, char8_t> &&
+    !std::is_same_v<T, char16_t> && !std::is_same_v<T, char32_t>;
+
+// Comparison dispatchers: integer/integer pairs go through std::cmp_* so a
+// size_t bound vs. an int literal is both warning-free and mathematically
+// correct; everything else uses the plain operator.
+#define BGPCMP_DEFINE_CMP_(name, op, std_cmp)                                    \
+  template <typename A, typename B>                                              \
+  constexpr bool name(const A& a, const B& b) {                                  \
+    if constexpr (StdInteger<A> && StdInteger<B>) {                              \
+      return std::std_cmp(a, b);                                                 \
+    } else {                                                                     \
+      return a op b;                                                             \
+    }                                                                            \
+  }
+BGPCMP_DEFINE_CMP_(cmp_eq, ==, cmp_equal)
+BGPCMP_DEFINE_CMP_(cmp_ne, !=, cmp_not_equal)
+BGPCMP_DEFINE_CMP_(cmp_lt, <, cmp_less)
+BGPCMP_DEFINE_CMP_(cmp_le, <=, cmp_less_equal)
+BGPCMP_DEFINE_CMP_(cmp_gt, >, cmp_greater)
+BGPCMP_DEFINE_CMP_(cmp_ge, >=, cmp_greater_equal)
+#undef BGPCMP_DEFINE_CMP_
+
+/// Join optional context-message fragments; zero fragments yield "".
+inline std::string context() { return {}; }
+template <typename... Parts>
+std::string context(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return std::move(os).str();
+}
+
+/// "CHECK(expr) failed" message for the condition-only form.
+[[nodiscard]] std::string compose(const char* expr, const std::string& context);
+/// "CHECK_OP(a, b) failed (lhs vs rhs)" message for the comparison forms.
+[[nodiscard]] std::string compose(const char* expr, const std::string& lhs,
+                                  const char* op, const std::string& rhs,
+                                  const std::string& context);
+
+}  // namespace check_detail
+
+/// While alive, failing checks throw CheckError instead of aborting.
+/// Not thread-safe against concurrent installs (tests install it once).
+class ScopedCheckThrows {
+ public:
+  ScopedCheckThrows();
+  ~ScopedCheckThrows();
+  ScopedCheckThrows(const ScopedCheckThrows&) = delete;
+  ScopedCheckThrows& operator=(const ScopedCheckThrows&) = delete;
+
+ private:
+  check_detail::Handler prev_;
+};
+
+}  // namespace bgpcmp
+
+/// Check a boolean condition; extra arguments are streamed into the context
+/// message: BGPCMP_CHECK(route.valid(), "origin AS", asn.str()).
+#define BGPCMP_CHECK(cond, ...)                                                  \
+  do {                                                                           \
+    if (!(cond)) [[unlikely]] {                                                  \
+      ::bgpcmp::check_detail::fail(                                              \
+          __FILE__, __LINE__,                                                    \
+          ::bgpcmp::check_detail::compose(                                       \
+              #cond, ::bgpcmp::check_detail::context(__VA_ARGS__)));             \
+    }                                                                            \
+  } while (false)
+
+/// Unconditional failure for unreachable states.
+#define BGPCMP_FAIL(...)                                                         \
+  ::bgpcmp::check_detail::fail(                                                  \
+      __FILE__, __LINE__,                                                        \
+      ::bgpcmp::check_detail::compose(                                           \
+          "unreachable", ::bgpcmp::check_detail::context(__VA_ARGS__)))
+
+#define BGPCMP_CHECK_OP_(cmp, op, a, b, ...)                                     \
+  do {                                                                           \
+    const auto& bgpcmp_chk_a = (a);                                              \
+    const auto& bgpcmp_chk_b = (b);                                              \
+    if (!::bgpcmp::check_detail::cmp(bgpcmp_chk_a, bgpcmp_chk_b)) [[unlikely]] { \
+      ::bgpcmp::check_detail::fail(                                              \
+          __FILE__, __LINE__,                                                    \
+          ::bgpcmp::check_detail::compose(                                       \
+              #a " " #op " " #b,                                                 \
+              ::bgpcmp::check_detail::describe(bgpcmp_chk_a), #op,               \
+              ::bgpcmp::check_detail::describe(bgpcmp_chk_b),                    \
+              ::bgpcmp::check_detail::context(__VA_ARGS__)));                    \
+    }                                                                            \
+  } while (false)
+
+/// Comparison checks printing both operand values on failure. Integer
+/// operands of mixed signedness compare safely (std::cmp_*).
+#define BGPCMP_CHECK_EQ(a, b, ...) \
+  BGPCMP_CHECK_OP_(cmp_eq, ==, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define BGPCMP_CHECK_NE(a, b, ...) \
+  BGPCMP_CHECK_OP_(cmp_ne, !=, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define BGPCMP_CHECK_LT(a, b, ...) \
+  BGPCMP_CHECK_OP_(cmp_lt, <, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define BGPCMP_CHECK_LE(a, b, ...) \
+  BGPCMP_CHECK_OP_(cmp_le, <=, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define BGPCMP_CHECK_GT(a, b, ...) \
+  BGPCMP_CHECK_OP_(cmp_gt, >, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define BGPCMP_CHECK_GE(a, b, ...) \
+  BGPCMP_CHECK_OP_(cmp_ge, >=, a, b __VA_OPT__(, ) __VA_ARGS__)

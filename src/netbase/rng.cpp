@@ -1,8 +1,9 @@
 #include "bgpcmp/netbase/rng.h"
 
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp {
 
@@ -58,27 +59,28 @@ double Rng::lognormal(double mu, double sigma) {
 }
 
 double Rng::exponential(double mean) {
-  assert(mean > 0.0);
+  BGPCMP_CHECK_GT(mean, 0.0, "exponential mean must be positive");
   return std::exponential_distribution<double>{1.0 / mean}(engine_);
 }
 
 double Rng::pareto(double x_m, double alpha) {
-  assert(x_m > 0.0 && alpha > 0.0);
+  BGPCMP_CHECK_GT(x_m, 0.0, "Pareto scale must be positive");
+  BGPCMP_CHECK_GT(alpha, 0.0, "Pareto shape must be positive");
   // Inverse-CDF sampling; (1 - u) avoids pow(0, ...) at u == 0.
   const double u = uniform();
   return x_m / std::pow(1.0 - u, 1.0 / alpha);
 }
 
 std::size_t Rng::index(std::size_t n) {
-  assert(n > 0);
+  BGPCMP_CHECK_GT(n, 0, "cannot pick an index from an empty range");
   return static_cast<std::size_t>(
       uniform_int(0, static_cast<std::int64_t>(n) - 1));
 }
 
 std::size_t Rng::weighted_index(std::span<const double> weights) {
-  assert(!weights.empty());
+  BGPCMP_CHECK(!weights.empty(), "weighted pick from an empty weight list");
   const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  assert(total > 0.0);
+  BGPCMP_CHECK_GT(total, 0.0, "weights must have a positive sum");
   double target = uniform(0.0, total);
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];
@@ -88,7 +90,7 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double s) {
-  assert(n > 0);
+  BGPCMP_CHECK_GT(n, 0, "Zipf sampler over zero ranks");
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
@@ -106,7 +108,7 @@ std::size_t ZipfSampler::sample(Rng& rng) const {
 }
 
 double ZipfSampler::pmf(std::size_t rank) const {
-  assert(rank < cdf_.size());
+  BGPCMP_CHECK_LT(rank, cdf_.size(), "Zipf rank out of range");
   return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
 }
 

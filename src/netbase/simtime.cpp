@@ -1,6 +1,6 @@
 #include "bgpcmp/netbase/simtime.h"
 
-#include <cassert>
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp {
 
@@ -25,7 +25,7 @@ std::string SimTime::str() const {
 }
 
 std::vector<TimeWindow> make_windows(SimTime start, SimTime duration, SimTime width) {
-  assert(width.seconds() > 0);
+  BGPCMP_CHECK_GT(width.seconds(), 0, "window width must be positive");
   std::vector<TimeWindow> out;
   const SimTime end = start + duration;
   for (SimTime t = start; t < end;) {

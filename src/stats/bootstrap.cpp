@@ -1,9 +1,9 @@
 #include "bgpcmp/stats/bootstrap.h"
 
 #include <algorithm>
-#include <cassert>
 #include <vector>
 
+#include "bgpcmp/netbase/check.h"
 #include "bgpcmp/stats/quantile.h"
 
 namespace bgpcmp::stats {
@@ -32,8 +32,8 @@ ConfidenceInterval interval_from(std::vector<double>& stats, double point,
 
 ConfidenceInterval bootstrap_median_ci(std::span<const double> values, Rng& rng,
                                        const BootstrapOptions& opts) {
-  assert(!values.empty());
-  assert(opts.resamples > 0);
+  BGPCMP_CHECK(!values.empty(), "bootstrap of an empty sample");
+  BGPCMP_CHECK_GT(opts.resamples, 0, "bootstrap needs at least one resample");
   std::vector<double> scratch;
   scratch.reserve(values.size());
   std::vector<double> medians;
@@ -47,8 +47,8 @@ ConfidenceInterval bootstrap_median_ci(std::span<const double> values, Rng& rng,
 ConfidenceInterval bootstrap_median_diff_ci(std::span<const double> a,
                                             std::span<const double> b, Rng& rng,
                                             const BootstrapOptions& opts) {
-  assert(!a.empty() && !b.empty());
-  assert(opts.resamples > 0);
+  BGPCMP_CHECK(!a.empty() && !b.empty(), "bootstrap difference needs both samples");
+  BGPCMP_CHECK_GT(opts.resamples, 0, "bootstrap needs at least one resample");
   std::vector<double> scratch;
   scratch.reserve(std::max(a.size(), b.size()));
   std::vector<double> diffs;

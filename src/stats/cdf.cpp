@@ -1,12 +1,13 @@
 #include "bgpcmp/stats/cdf.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::stats {
 
 void WeightedCdf::add(double value, double weight) {
-  assert(weight >= 0.0);
+  BGPCMP_CHECK_GE(weight, 0.0, "CDF weights must be non-negative");
   obs_.push_back(Weighted{value, weight});
   sorted_ = false;
 }
@@ -35,7 +36,7 @@ double WeightedCdf::total_weight() const {
 }
 
 double WeightedCdf::fraction_at_most(double x) const {
-  assert(!obs_.empty());
+  BGPCMP_CHECK(!obs_.empty(), "CDF has no observations");
   ensure_sorted();
   const double total = cum_weight_.back();
   if (total <= 0.0) return 0.0;
@@ -53,14 +54,15 @@ double WeightedCdf::fraction_above(double x) const {
 }
 
 double WeightedCdf::quantile(double q) const {
-  assert(!obs_.empty());
+  BGPCMP_CHECK(!obs_.empty(), "CDF has no observations");
   ensure_sorted();
   return weighted_quantile(obs_, q);
 }
 
 std::vector<SeriesPoint> WeightedCdf::cdf_series(double lo, double hi,
                                                  std::size_t points) const {
-  assert(points >= 2 && hi > lo);
+  BGPCMP_CHECK_GE(points, 2, "a CDF series needs at least two points");
+  BGPCMP_CHECK_GT(hi, lo, "CDF series range must be non-empty");
   std::vector<SeriesPoint> out;
   out.reserve(points);
   for (std::size_t i = 0; i < points; ++i) {
@@ -79,13 +81,13 @@ std::vector<SeriesPoint> WeightedCdf::ccdf_series(double lo, double hi,
 }
 
 double WeightedCdf::min() const {
-  assert(!obs_.empty());
+  BGPCMP_CHECK(!obs_.empty(), "CDF has no observations");
   ensure_sorted();
   return obs_.front().value;
 }
 
 double WeightedCdf::max() const {
-  assert(!obs_.empty());
+  BGPCMP_CHECK(!obs_.empty(), "CDF has no observations");
   ensure_sorted();
   return obs_.back().value;
 }

@@ -1,12 +1,13 @@
 #include "bgpcmp/stats/correlation.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::stats {
 
 double pearson(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size());
+  BGPCMP_CHECK_EQ(x.size(), y.size(), "correlation needs paired samples");
   if (x.size() < 2) return 0.0;
   const auto n = static_cast<double>(x.size());
   double mx = 0.0;

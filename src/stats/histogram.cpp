@@ -1,21 +1,22 @@
 #include "bgpcmp/stats/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0.0) {
-  assert(hi > lo);
-  assert(bins > 0);
+  BGPCMP_CHECK_GT(hi, lo, "histogram range must be non-empty");
+  BGPCMP_CHECK_GT(bins, 0, "histogram needs at least one bin");
 }
 
 void Histogram::add(double value, double weight) {
-  assert(weight >= 0.0);
+  BGPCMP_CHECK_GE(weight, 0.0, "histogram weights must be non-negative");
   if (value < lo_) {
     underflow_ += weight;
     return;

@@ -1,8 +1,9 @@
 #include "bgpcmp/stats/summary.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstdio>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::stats {
 
@@ -26,24 +27,24 @@ void Summary::add_all(std::span<const double> values) {
 }
 
 double Summary::mean() const {
-  assert(count_ > 0);
+  BGPCMP_CHECK_GT(count_, 0, "summary has no samples");
   return mean_;
 }
 
 double Summary::variance() const {
-  assert(count_ > 1);
+  BGPCMP_CHECK_GT(count_, 1, "sample variance needs at least two samples");
   return m2_ / static_cast<double>(count_ - 1);
 }
 
 double Summary::stddev() const { return std::sqrt(variance()); }
 
 double Summary::min() const {
-  assert(count_ > 0);
+  BGPCMP_CHECK_GT(count_, 0, "summary has no samples");
   return min_;
 }
 
 double Summary::max() const {
-  assert(count_ > 0);
+  BGPCMP_CHECK_GT(count_, 0, "summary has no samples");
   return max_;
 }
 

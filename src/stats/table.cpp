@@ -1,8 +1,9 @@
 #include "bgpcmp/stats/table.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::stats {
 
@@ -15,7 +16,8 @@ std::string fmt(double v, int precision) {
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
 void Table::add_row(std::vector<std::string> cells) {
-  assert(cells.size() == headers_.size());
+  BGPCMP_CHECK_EQ(cells.size(), headers_.size(),
+                  "row width must match the table header");
   rows_.push_back(std::move(cells));
 }
 
@@ -61,14 +63,14 @@ std::string render_series(const std::string& x_label,
                           const std::vector<std::string>& series_names,
                           const std::vector<std::vector<SeriesPoint>>& series,
                           int precision) {
-  assert(series_names.size() == series.size());
-  assert(!series.empty());
+  BGPCMP_CHECK_EQ(series_names.size(), series.size(), "one name per series");
+  BGPCMP_CHECK(!series.empty(), "rendering zero series");
   std::vector<std::string> headers{x_label};
   headers.insert(headers.end(), series_names.begin(), series_names.end());
   Table t{std::move(headers)};
   const std::size_t n = series.front().size();
   for (const auto& s : series) {
-    assert(s.size() == n);
+    BGPCMP_CHECK_EQ(s.size(), n, "all series must share one x-grid");
     (void)s;
   }
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,7 +1,8 @@
 #include "bgpcmp/topology/as_graph.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::topo {
 
@@ -28,8 +29,8 @@ std::string_view link_kind_name(LinkKind k) {
 AsIndex AsGraph::add_as(Asn asn, AsClass cls, std::string name,
                         std::vector<CityId> presence, CityId hub,
                         double backbone_inflation) {
-  assert(asn.valid());
-  assert(!presence.empty());
+  BGPCMP_CHECK(asn.valid(), "an AS needs a valid ASN");
+  BGPCMP_CHECK(!presence.empty(), "an AS must be present in at least one city");
   AsNode node;
   node.asn = asn;
   node.cls = cls;
@@ -42,9 +43,10 @@ AsIndex AsGraph::add_as(Asn asn, AsClass cls, std::string name,
 }
 
 EdgeId AsGraph::connect_transit(AsIndex provider, AsIndex customer) {
-  assert(provider < nodes_.size() && customer < nodes_.size());
-  assert(provider != customer);
-  assert(!find_edge(provider, customer));
+  BGPCMP_CHECK_LT(provider, nodes_.size(), "transit provider out of range");
+  BGPCMP_CHECK_LT(customer, nodes_.size(), "transit customer out of range");
+  BGPCMP_CHECK_NE(provider, customer, "an AS cannot be its own transit provider");
+  BGPCMP_CHECK(!find_edge(provider, customer), "duplicate transit edge");
   edges_.push_back(AsEdge{provider, customer, Relationship::ProviderCustomer, {}});
   const auto id = static_cast<EdgeId>(edges_.size() - 1);
   nodes_[provider].edges.push_back(id);
@@ -53,9 +55,10 @@ EdgeId AsGraph::connect_transit(AsIndex provider, AsIndex customer) {
 }
 
 EdgeId AsGraph::connect_peering(AsIndex a, AsIndex b) {
-  assert(a < nodes_.size() && b < nodes_.size());
-  assert(a != b);
-  assert(!find_edge(a, b));
+  BGPCMP_CHECK_LT(a, nodes_.size(), "peering endpoint out of range");
+  BGPCMP_CHECK_LT(b, nodes_.size(), "peering endpoint out of range");
+  BGPCMP_CHECK_NE(a, b, "an AS cannot peer with itself");
+  BGPCMP_CHECK(!find_edge(a, b), "duplicate peering edge");
   edges_.push_back(AsEdge{a, b, Relationship::PeerPeer, {}});
   const auto id = static_cast<EdgeId>(edges_.size() - 1);
   nodes_[a].edges.push_back(id);
@@ -65,12 +68,14 @@ EdgeId AsGraph::connect_peering(AsIndex a, AsIndex b) {
 
 LinkId AsGraph::add_link(EdgeId edge, CityId city, LinkKind kind,
                          GigabitsPerSecond capacity) {
-  assert(edge < edges_.size());
+  BGPCMP_CHECK_LT(edge, edges_.size(), "edge out of range");
   const AsEdge& e = edges_[edge];
-  assert(has_presence(e.a, city) && has_presence(e.b, city));
+  BGPCMP_CHECK(has_presence(e.a, city) && has_presence(e.b, city),
+               "link endpoints must both be present in the link city");
   // Transit links only on provider-customer edges; peering links only on
   // peer-peer edges.
-  assert((kind == LinkKind::Transit) == (e.rel == Relationship::ProviderCustomer));
+  BGPCMP_CHECK((kind == LinkKind::Transit) == (e.rel == Relationship::ProviderCustomer),
+               "transit links pair with provider-customer edges, peering with peer-peer");
   (void)e;
   links_.push_back(InterconnectLink{edge, city, kind, capacity});
   const auto id = static_cast<LinkId>(links_.size() - 1);
@@ -79,7 +84,7 @@ LinkId AsGraph::add_link(EdgeId edge, CityId city, LinkKind kind,
 }
 
 std::vector<Neighbor> AsGraph::neighbors(AsIndex i) const {
-  assert(i < nodes_.size());
+  BGPCMP_CHECK_LT(i, nodes_.size(), "AS index out of range");
   std::vector<Neighbor> out;
   out.reserve(nodes_[i].edges.size());
   for (const EdgeId e : nodes_[i].edges) {
@@ -90,13 +95,13 @@ std::vector<Neighbor> AsGraph::neighbors(AsIndex i) const {
 
 AsIndex AsGraph::other_end(EdgeId e, AsIndex i) const {
   const AsEdge& edge = edges_.at(e);
-  assert(edge.a == i || edge.b == i);
+  BGPCMP_CHECK(edge.a == i || edge.b == i, "edge is not incident to this AS");
   return edge.a == i ? edge.b : edge.a;
 }
 
 NeighborRole AsGraph::role_of_other(EdgeId e, AsIndex i) const {
   const AsEdge& edge = edges_.at(e);
-  assert(edge.a == i || edge.b == i);
+  BGPCMP_CHECK(edge.a == i || edge.b == i, "edge is not incident to this AS");
   if (edge.rel == Relationship::PeerPeer) return NeighborRole::Peer;
   // a is the provider: from a's view the other (b) is a customer.
   return edge.a == i ? NeighborRole::Customer : NeighborRole::Provider;

@@ -1,7 +1,8 @@
 #include "bgpcmp/topology/build_util.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::topo {
 
@@ -72,7 +73,8 @@ EdgeId add_transit_edge(AsGraph& graph, const CityDb& cities, AsIndex provider,
 EdgeId add_peering_edge(AsGraph& graph, const CityDb& cities, AsIndex a, AsIndex b,
                         LinkKind kind, GigabitsPerSecond capacity,
                         std::size_t max_links) {
-  assert(kind != LinkKind::Transit);
+  BGPCMP_CHECK_NE(kind, LinkKind::Transit,
+                  "peering helpers cannot create transit links");
   if (const auto existing = graph.find_edge(a, b)) return *existing;
   auto link_cities = shared_presence_cities(graph, cities, a, b);
   if (link_cities.empty()) return kNoEdge;
@@ -86,11 +88,13 @@ EdgeId add_peering_edge(AsGraph& graph, const CityDb& cities, AsIndex a, AsIndex
 
 EdgeId add_peering_link_at(AsGraph& graph, AsIndex a, AsIndex b, CityId city,
                            LinkKind kind, GigabitsPerSecond capacity) {
-  assert(kind != LinkKind::Transit);
+  BGPCMP_CHECK_NE(kind, LinkKind::Transit,
+                  "peering helpers cannot create transit links");
   EdgeId e;
   if (const auto existing = graph.find_edge(a, b)) {
     e = *existing;
-    assert(graph.edge(e).rel == Relationship::PeerPeer);
+    BGPCMP_CHECK_EQ(graph.edge(e).rel, Relationship::PeerPeer,
+                    "IXP links must ride peer-peer edges");
     // Don't duplicate a link of the same kind at the same city.
     for (const LinkId l : graph.edge(e).links) {
       if (graph.link(l).city == city && graph.link(l).kind == kind) return e;

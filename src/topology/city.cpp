@@ -1,8 +1,9 @@
 #include "bgpcmp/topology/city.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::topo {
 
@@ -239,7 +240,7 @@ Kilometers CityDb::distance(CityId a, CityId b) const {
 }
 
 CityId CityDb::nearest(GeoPoint point) const {
-  assert(!cities_.empty());
+  BGPCMP_CHECK(!cities_.empty(), "city database is empty");
   CityId best = 0;
   double best_km = std::numeric_limits<double>::max();
   for (std::size_t i = 0; i < cities_.size(); ++i) {

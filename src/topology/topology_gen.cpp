@@ -1,9 +1,9 @@
 #include "bgpcmp/topology/topology_gen.h"
 
+#include "bgpcmp/netbase/check.h"
 #include "bgpcmp/topology/build_util.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <set>
 #include <string>
@@ -188,7 +188,7 @@ Internet build_internet(const InternetConfig& config) {
     const std::size_t ci = rng_eb.weighted_index(country_weights);
     const std::string_view country = countries[ci];
     std::vector<CityId> country_cities = db.in_country(country);
-    assert(!country_cities.empty());
+    BGPCMP_CHECK(!country_cities.empty(), "every country must have at least one city");
     // Weighted hub: the biggest metro of the country.
     CityId hub = country_cities.front();
     for (const CityId c : country_cities) {

@@ -1,7 +1,8 @@
 #include "bgpcmp/traffic/clients.h"
 
-#include <cassert>
 #include <string>
+
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::traffic {
 
@@ -48,7 +49,7 @@ ClientBase ClientBase::generate(const Internet& internet,
   if (config.include_stubs) {
     for (const AsIndex as : internet.stubs) add_for(as, 1);
   }
-  assert(!out.prefixes_.empty());
+  BGPCMP_CHECK(!out.prefixes_.empty(), "client base generated no prefixes");
   return out;
 }
 

@@ -1,6 +1,5 @@
 #include "bgpcmp/traffic/demand.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace bgpcmp::traffic {

@@ -1,10 +1,10 @@
 #include "bgpcmp/wan/backbone.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <queue>
 
+#include "bgpcmp/netbase/check.h"
 #include "bgpcmp/netbase/geo.h"
 
 namespace bgpcmp::wan {
@@ -54,7 +54,7 @@ Backbone::Backbone(const CityDb* cities, std::vector<CityId> sites,
                    const BackboneConfig& config,
                    const std::vector<Corridor>& corridors)
     : cities_(cities), sites_(std::move(sites)), config_(config) {
-  assert(!sites_.empty());
+  BGPCMP_CHECK(!sites_.empty(), "backbone has no sites");
   std::sort(sites_.begin(), sites_.end());
   sites_.erase(std::unique(sites_.begin(), sites_.end()), sites_.end());
   adj_.resize(sites_.size());
@@ -137,7 +137,9 @@ std::optional<std::size_t> Backbone::site_index(CityId city) const {
 }
 
 void Backbone::add_link(std::size_t a, std::size_t b) {
-  assert(a < sites_.size() && b < sites_.size() && a != b);
+  BGPCMP_CHECK_LT(a, sites_.size(), "backbone site out of range");
+  BGPCMP_CHECK_LT(b, sites_.size(), "backbone site out of range");
+  BGPCMP_CHECK_NE(a, b, "backbone segment endpoints must differ");
   for (const auto& [other, km] : adj_[a]) {
     if (other == b) return;  // already linked
   }

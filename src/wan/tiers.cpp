@@ -1,6 +1,6 @@
 #include "bgpcmp/wan/tiers.h"
 
-#include <cassert>
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::wan {
 
@@ -21,7 +21,7 @@ CloudTiers::CloudTiers(const Internet* internet, const ContentProvider* provider
       provider_(provider),
       backbone_(internet->cities, pop_cities(*provider), config.backbone) {
   const auto dc_metro = internet_->city_db().find(config.dc_city);
-  assert(dc_metro && "dc_city must exist in the city database");
+  BGPCMP_CHECK(dc_metro, "dc_city must exist in the city database");
   dc_pop_ = provider_->nearest_pop(internet_->city_db(), *dc_metro);
   dc_city_ = provider_->pop(dc_pop_).city;
 
@@ -47,7 +47,7 @@ TierRoute CloudTiers::realize(const bgp::RouteTable& table,
   if (!out.access_path.valid()) return out;
 
   const auto entry_pop = provider_->pop_in(out.access_path.entry_city);
-  assert(entry_pop && "cloud entry must land at a PoP");
+  BGPCMP_CHECK(entry_pop, "cloud entry must land at a PoP");
   out.entry_pop = *entry_pop;
   out.intermediate_ases = static_cast<int>(as_path.size()) - 2;
   out.direct_entry = out.intermediate_ases == 0;
@@ -58,7 +58,8 @@ TierRoute CloudTiers::realize(const bgp::RouteTable& table,
     out.wan_rtt = *wan * 2.0;
   } else {
     // Standard tier enters at the DC PoP itself; no WAN leg.
-    assert(out.access_path.entry_city == dc_city_);
+    BGPCMP_CHECK_EQ(out.access_path.entry_city, dc_city_,
+                    "standard-tier access path must enter at the DC city");
   }
   return out;
 }
@@ -73,7 +74,7 @@ TierRoute CloudTiers::standard(const traffic::ClientPrefix& client) const {
 
 Milliseconds CloudTiers::rtt(const TierRoute& route, const lat::LatencyModel& latency,
                              SimTime t, const traffic::ClientPrefix& client) const {
-  assert(route.valid());
+  BGPCMP_CHECK(route.valid(), "cannot compute the RTT of an invalid tier route");
   const auto access =
       latency.rtt(route.access_path, t, client.access, client.origin_as, client.city);
   return access.total() + route.wan_rtt;
@@ -81,7 +82,8 @@ Milliseconds CloudTiers::rtt(const TierRoute& route, const lat::LatencyModel& la
 
 Kilometers CloudTiers::ingress_distance(const TierRoute& route,
                                         const traffic::ClientPrefix& client) const {
-  assert(route.valid());
+  BGPCMP_CHECK(route.valid(),
+               "cannot measure ingress distance of an invalid tier route");
   return internet_->city_db().distance(client.city, route.access_path.entry_city);
 }
 

@@ -1,0 +1,133 @@
+#include "bgpcmp/netbase/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "bgpcmp/netbase/simtime.h"
+
+namespace bgpcmp {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Check, PassingChecksAreSilent) {
+  BGPCMP_CHECK(true);
+  BGPCMP_CHECK(1 + 1 == 2, "never printed");
+  BGPCMP_CHECK_EQ(3, 3);
+  BGPCMP_CHECK_NE(3, 4);
+  BGPCMP_CHECK_LT(3, 4);
+  BGPCMP_CHECK_LE(4, 4);
+  BGPCMP_CHECK_GT(4, 3);
+  BGPCMP_CHECK_GE(4, 4, "with a message");
+}
+
+TEST(Check, ThrowModeCarriesExpressionLocationAndContext) {
+  ScopedCheckThrows guard;
+  try {
+    BGPCMP_CHECK(1 == 2, "context value ", 42);
+    FAIL() << "check did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(contains(what, "1 == 2")) << what;
+    EXPECT_TRUE(contains(what, "check_test.cpp")) << what;
+    EXPECT_TRUE(contains(what, "context value 42")) << what;
+  }
+}
+
+TEST(Check, ComparisonFailurePrintsBothOperandValues) {
+  ScopedCheckThrows guard;
+  const double mean = -1.5;
+  try {
+    BGPCMP_CHECK_GT(mean, 0.0, "exponential mean must be positive");
+    FAIL() << "check did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(contains(what, "mean > 0.0")) << what;
+    EXPECT_TRUE(contains(what, "-1.5")) << what;
+    EXPECT_TRUE(contains(what, "exponential mean must be positive")) << what;
+  }
+}
+
+TEST(Check, EveryComparisonMacroThrowsOnViolation) {
+  ScopedCheckThrows guard;
+  EXPECT_THROW(BGPCMP_CHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(BGPCMP_CHECK_NE(2, 2), CheckError);
+  EXPECT_THROW(BGPCMP_CHECK_LT(2, 2), CheckError);
+  EXPECT_THROW(BGPCMP_CHECK_LE(3, 2), CheckError);
+  EXPECT_THROW(BGPCMP_CHECK_GT(2, 2), CheckError);
+  EXPECT_THROW(BGPCMP_CHECK_GE(1, 2), CheckError);
+}
+
+TEST(Check, FailThrowsWithMessage) {
+  ScopedCheckThrows guard;
+  try {
+    BGPCMP_FAIL("forwarding loop in route table");
+  } catch (const CheckError& e) {
+    EXPECT_TRUE(contains(e.what(), "forwarding loop in route table")) << e.what();
+    return;
+  }
+  FAIL() << "BGPCMP_FAIL did not throw";
+}
+
+TEST(Check, OperandsEvaluateExactlyOnce) {
+  int calls = 0;
+  const auto next = [&calls] { return ++calls; };
+  BGPCMP_CHECK_GE(next(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, MixedSignIntegerComparisonsAreValueCorrect) {
+  ScopedCheckThrows guard;
+  // Naive == converts -1 to SIZE_MAX and calls these equal; std::cmp_equal
+  // compares values.
+  EXPECT_THROW(BGPCMP_CHECK_EQ(static_cast<std::size_t>(-1), -1), CheckError);
+  // Naive > converts -1 to a huge unsigned and fails; value-wise 1 > -1.
+  BGPCMP_CHECK_GT(std::size_t{1}, -1);
+}
+
+TEST(Check, BoolsPrintAsTrueFalse) {
+  ScopedCheckThrows guard;
+  try {
+    BGPCMP_CHECK_EQ(true, false);
+    FAIL() << "check did not throw";
+  } catch (const CheckError& e) {
+    EXPECT_TRUE(contains(e.what(), "true == false")) << e.what();
+  }
+}
+
+TEST(Check, StrMethodTypesPrintViaStr) {
+  ScopedCheckThrows guard;
+  const SimTime lhs = SimTime::hours(1.0);
+  const SimTime rhs = SimTime::hours(2.0);
+  try {
+    BGPCMP_CHECK_EQ(lhs, rhs);
+    FAIL() << "check did not throw";
+  } catch (const CheckError& e) {
+    EXPECT_TRUE(contains(e.what(), lhs.str())) << e.what();
+    EXPECT_TRUE(contains(e.what(), rhs.str())) << e.what();
+  }
+}
+
+TEST(Check, NestedScopesRestoreTheOuterThrowingHandler) {
+  ScopedCheckThrows outer;
+  {
+    ScopedCheckThrows inner;
+    EXPECT_THROW(BGPCMP_CHECK(false), CheckError);
+  }
+  // inner's destructor restored outer's handler, so checks still throw.
+  EXPECT_THROW(BGPCMP_CHECK(false), CheckError);
+}
+
+TEST(Check, DescribeHelpers) {
+  EXPECT_EQ(check_detail::describe(42), "42");
+  EXPECT_EQ(check_detail::describe(std::string{"abc"}), "abc");
+  EXPECT_EQ(check_detail::describe(true), "true");
+  EXPECT_EQ(check_detail::describe(SimTime::hours(1.0)), SimTime::hours(1.0).str());
+}
+
+}  // namespace
+}  // namespace bgpcmp

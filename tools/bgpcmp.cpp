@@ -37,9 +37,9 @@ Args parse(int argc, char** argv) {
   if (argc > 1) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
+    if (a.starts_with("--")) {
       const std::string key = a.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (i + 1 < argc && !std::string(argv[i + 1]).starts_with("--")) {
         args.flags[key] = argv[++i];
       } else {
         args.flags[key] = "";

@@ -1,0 +1,104 @@
+// determinism_audit — the reproducibility gate.
+//
+// Builds every registered scenario twice from the same config and compares
+// the FNV-1a hash of all emitted result tables. Any divergence means the
+// model leaked nondeterminism (unordered-container iteration order, pointer
+// keys, uninitialized reads, wall-clock time, an unseeded RNG) and fails the
+// audit. scripts/check.sh and CI run this; parallelism PRs must keep it green.
+//
+//   determinism_audit                 audit the whole registry
+//   determinism_audit --list          list registered scenarios
+//   determinism_audit --scenario X    audit one scenario
+//   determinism_audit --skip-studies  world tables only (fast)
+//   determinism_audit --dump DIR      write per-run tables for diffing
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bgpcmp/core/fingerprint.h"
+#include "bgpcmp/core/scenario_registry.h"
+#include "bgpcmp/stats/table.h"
+
+using namespace bgpcmp;
+
+namespace {
+
+void dump(const std::string& dir, std::string_view scenario, int run,
+          const std::string& tables) {
+  const std::string path =
+      dir + "/" + std::string(scenario) + ".run" + std::to_string(run) + ".txt";
+  std::ofstream out{path};
+  out << tables;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool skip_studies = false;
+  std::string only;
+  std::string dump_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const auto& s : core::scenario_registry()) {
+        std::printf("%-16s %s\n", std::string(s.name).c_str(),
+                    std::string(s.description).c_str());
+      }
+      return 0;
+    }
+    if (arg == "--skip-studies") {
+      skip_studies = true;
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      only = argv[++i];
+    } else if (arg == "--dump" && i + 1 < argc) {
+      dump_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: determinism_audit [--list] [--scenario NAME] "
+                   "[--skip-studies] [--dump DIR]\n");
+      return 2;
+    }
+  }
+  if (!only.empty() && core::find_scenario(only) == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", only.c_str());
+    return 2;
+  }
+
+  stats::Table report{{"scenario", "studies", "run 1", "run 2", "verdict"}};
+  int failures = 0;
+  for (const auto& s : core::scenario_registry()) {
+    if (!only.empty() && s.name != only) continue;
+    core::FingerprintOptions options;
+    options.run_studies = s.fingerprint_studies && !skip_studies;
+    const auto config = s.config();
+    const auto tables1 = core::render_result_tables(config, options);
+    const auto tables2 = core::render_result_tables(config, options);
+    const auto hash1 = core::fnv1a64(tables1);
+    const auto hash2 = core::fnv1a64(tables2);
+    const bool ok = tables1 == tables2;
+    if (!ok) ++failures;
+    if (!dump_dir.empty()) {
+      dump(dump_dir, s.name, 1, tables1);
+      dump(dump_dir, s.name, 2, tables2);
+    }
+    char h1[17];
+    char h2[17];
+    std::snprintf(h1, sizeof h1, "%016llx", static_cast<unsigned long long>(hash1));
+    std::snprintf(h2, sizeof h2, "%016llx", static_cast<unsigned long long>(hash2));
+    report.add_row({std::string(s.name), options.run_studies ? "yes" : "no", h1, h2,
+                    ok ? "deterministic" : "DIVERGED"});
+  }
+  std::fputs(report.render().c_str(), stdout);
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d scenario(s) diverged between identical runs\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
