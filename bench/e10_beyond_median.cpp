@@ -9,12 +9,14 @@
 #include "bgpcmp/core/scenario.h"
 #include "bgpcmp/core/study_wan.h"
 #include "bgpcmp/core/tail.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/measure/campaign.h"
 #include "bgpcmp/stats/table.h"
 
 using namespace bgpcmp;
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   core::PopStudyConfig study_cfg;
   study_cfg.days = argc > 1 ? std::stod(argv[1]) : 3.0;
 

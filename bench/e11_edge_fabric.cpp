@@ -20,6 +20,7 @@
 #include "bgpcmp/cdn/edge_fabric_controller.h"
 #include "bgpcmp/core/report.h"
 #include "bgpcmp/core/scenario.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/stats/cdf.h"
 #include "bgpcmp/stats/table.h"
 
@@ -38,6 +39,7 @@ struct PolicyStats {
 }  // namespace
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   const double days = argc > 1 ? std::stod(argv[1]) : 2.0;
   std::fputs(core::banner("E11: static BGP vs Edge Fabric vs latency oracle")
                  .c_str(),

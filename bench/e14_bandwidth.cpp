@@ -16,12 +16,14 @@
 #include "bgpcmp/cdn/edge_fabric.h"
 #include "bgpcmp/core/report.h"
 #include "bgpcmp/core/scenario.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/measure/http.h"
 #include "bgpcmp/stats/cdf.h"
 
 using namespace bgpcmp;
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   const double days = argc > 1 ? std::stod(argv[1]) : 2.0;
   std::fputs(core::banner("E14: available bandwidth — BGP vs best alternate "
                           "(the paper's unshown figure)")

@@ -8,11 +8,13 @@
 
 #include "bgpcmp/core/footprint.h"
 #include "bgpcmp/core/report.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/stats/table.h"
 
 using namespace bgpcmp;
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   core::FootprintConfig cfg;
   cfg.study.days = argc > 1 ? std::stod(argv[1]) : 2.0;
 

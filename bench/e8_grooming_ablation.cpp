@@ -5,11 +5,13 @@
 
 #include "bgpcmp/core/grooming_study.h"
 #include "bgpcmp/core/report.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/stats/table.h"
 
 using namespace bgpcmp;
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   core::GroomingStudyConfig cfg;
   if (argc > 1) cfg.sample_clients = std::stoi(argv[1]);
 

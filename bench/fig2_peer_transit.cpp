@@ -11,10 +11,12 @@
 #include "bgpcmp/core/report.h"
 #include "bgpcmp/core/scenario.h"
 #include "bgpcmp/core/study_pop.h"
+#include "bgpcmp/exec/thread_pool.h"
 
 using namespace bgpcmp;
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   core::PopStudyConfig study_cfg;
   if (argc > 1) study_cfg.days = std::stod(argv[1]);
 

@@ -11,10 +11,12 @@
 #include "bgpcmp/core/report.h"
 #include "bgpcmp/core/scenario.h"
 #include "bgpcmp/core/study_anycast.h"
+#include "bgpcmp/exec/thread_pool.h"
 
 using namespace bgpcmp;
 
-int main() {
+int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   std::fputs(core::banner("Figure 4: DNS redirection vs anycast (CDF of weighted "
                           "/24s)")
                  .c_str(),

@@ -13,11 +13,13 @@
 #include "bgpcmp/core/report.h"
 #include "bgpcmp/core/scenario.h"
 #include "bgpcmp/core/study_wan.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/stats/table.h"
 
 using namespace bgpcmp;
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   core::WanStudyConfig cfg;
   if (argc > 1) cfg.campaign.days = std::stod(argv[1]);
 

@@ -5,6 +5,8 @@
 #include "bgpcmp/bgp/propagation.h"
 #include "bgpcmp/bgp/rib.h"
 #include "bgpcmp/core/scenario.h"
+#include "bgpcmp/exec/thread_pool.h"
+#include "bgpcmp/latency/congestion.h"
 #include "bgpcmp/latency/path_model.h"
 #include "bgpcmp/stats/cdf.h"
 #include "bgpcmp/stats/quantile.h"
@@ -104,6 +106,59 @@ void BM_CdfSeries(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CdfSeries)->Unit(benchmark::kMicrosecond);
+
+// WeightedCdf::quantile binary-searches the cumulative weights its sorted
+// state maintains; the figure loops call it per rendered point, so it must
+// not re-sort per call the way freestanding weighted_quantile does.
+void BM_CdfQuantile(benchmark::State& state) {
+  Rng rng{321};
+  stats::WeightedCdf cdf;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    cdf.add(rng.normal(0, 5), rng.uniform(0.1, 2.0));
+  }
+  double q = 0.0;
+  for (auto _ : state) {
+    q += 0.001;
+    if (q > 1.0) q = 0.0;
+    benchmark::DoNotOptimize(cdf.quantile(q));
+  }
+}
+BENCHMARK(BM_CdfQuantile)->Range(64, 65536)->Unit(benchmark::kNanosecond);
+
+// Utilization lookups binary-search the per-link congestion event list; the
+// range covers E5-scale horizons (70 days ~ a few hundred events per link at
+// the default rates), where the old linear scan paid O(events) per sample.
+void BM_CongestionLookup(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  lat::CongestionConfig cfg;
+  cfg.horizon_days = static_cast<double>(state.range(0));
+  cfg.event_rate_per_day = 4.0;  // dense event lists stress the lookup
+  const lat::CongestionField field{&sc.internet.graph, sc.internet.cities, cfg, 99};
+  std::int64_t t = 0;
+  const std::int64_t horizon_s =
+      static_cast<std::int64_t>(cfg.horizon_days * 24.0 * 3600.0);
+  for (auto _ : state) {
+    t = (t + 977) % horizon_s;  // stride coprime to the horizon
+    benchmark::DoNotOptimize(field.link_utilization(0, SimTime{t}));
+  }
+}
+BENCHMARK(BM_CongestionLookup)->Arg(12)->Arg(70)->Unit(benchmark::kNanosecond);
+
+// The exec layer itself: fan a trivially-parallel loop out over the pool.
+// Compares pool dispatch overhead against the inline single-thread path.
+void BM_ParallelFor(benchmark::State& state) {
+  exec::ThreadPool pool{static_cast<int>(state.range(0))};
+  std::vector<double> out(4096);
+  for (auto _ : state) {
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      double acc = static_cast<double>(i);
+      for (int k = 0; k < 200; ++k) acc = acc * 1.0000001 + 0.5;
+      out[i] = acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelFor)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -21,6 +21,11 @@ ctest --test-dir build --output-on-failure
 # Reproducibility gate: every registered scenario, studies included.
 build/tools/determinism_audit
 
+# Thread-count independence: rendering with a 1-thread pool and an 8-thread
+# pool must produce byte-identical tables, or parallel code leaked scheduling
+# order into results.
+build/tools/determinism_audit --compare-threads 8
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "== $(basename "$b")"

@@ -3,6 +3,12 @@
 // Studies evaluate routes toward hundreds of client origins, many sharing an
 // origin AS; the cache computes each table once. Tables are stable because
 // the graph is immutable after construction.
+//
+// SINGLE-THREAD ONLY: toward() populates the map lazily with no
+// synchronization. Studies that fan out over the exec thread pool must
+// finish all toward() calls in their sequential planning phase (as
+// run_pop_study does) or give each worker its own cache; do not share a
+// RouteCache across concurrent callers.
 #pragma once
 
 #include <map>

@@ -2,15 +2,28 @@
 
 #include <algorithm>
 
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::cdn {
 
 AnycastCdn::AnycastCdn(const Internet* internet, const ContentProvider* provider)
     : internet_(internet), provider_(provider) {
-  unicast_tables_.resize(provider_->pops().size());
-  unicast_specs_.resize(provider_->pops().size());
+  warm_unicast_tables();
   set_anycast_spec(bgp::OriginSpec::everywhere(provider_->as_index()));
+}
+
+void AnycastCdn::warm_unicast_tables() {
+  const std::size_t n = provider_->pops().size();
+  unicast_specs_.clear();
+  unicast_specs_.reserve(n);
+  for (PopId pop = 0; pop < n; ++pop) {
+    unicast_specs_.push_back(
+        bgp::OriginSpec::scoped(provider_->as_index(), provider_->pop(pop).links));
+  }
+  unicast_tables_ = exec::parallel_map(n, [this](std::size_t pop) {
+    return bgp::compute_routes(internet_->graph, unicast_specs_[pop]);
+  });
 }
 
 void AnycastCdn::set_anycast_spec(bgp::OriginSpec spec) {
@@ -36,16 +49,6 @@ AnycastCdn::AnycastRoute AnycastCdn::anycast_route(
   return out;
 }
 
-const bgp::RouteTable& AnycastCdn::unicast_table(PopId pop) const {
-  auto& slot = unicast_tables_.at(pop);
-  if (!slot) {
-    unicast_specs_[pop] = bgp::OriginSpec::scoped(provider_->as_index(),
-                                                  provider_->pop(pop).links);
-    slot = bgp::compute_routes(internet_->graph, *unicast_specs_[pop]);
-  }
-  return *slot;
-}
-
 void AnycastCdn::set_failed_pops(std::set<PopId> failed) {
   failed_pops_ = std::move(failed);
 }
@@ -53,11 +56,11 @@ void AnycastCdn::set_failed_pops(std::set<PopId> failed) {
 lat::GeoPath AnycastCdn::unicast_route(const traffic::ClientPrefix& client,
                                        PopId pop) const {
   if (failed_pops_.contains(pop)) return {};  // dead front-end: no answers
-  const bgp::RouteTable& table = unicast_table(pop);
+  const bgp::RouteTable& table = unicast_tables_.at(pop);
   if (!table.reachable(client.origin_as)) return {};
   const auto as_path = table.path(client.origin_as);
   lat::GeoPathOptions opts;
-  opts.origin_scope = &*unicast_specs_[pop];
+  opts.origin_scope = &unicast_specs_[pop];
   return lat::build_geo_path(internet_->graph, internet_->city_db(), as_path,
                              client.city, provider_->pop(pop).city, opts);
 }

@@ -20,8 +20,11 @@ namespace bgpcmp::cdn {
 
 class AnycastCdn {
  public:
-  /// `internet` and `provider` must outlive the CDN. Routes are computed on
-  /// construction with an unscoped (ungroomed) anycast announcement.
+  /// `internet` and `provider` must outlive the CDN. Routes — the anycast
+  /// table and every front-end's unicast table — are computed on
+  /// construction with an unscoped (ungroomed) anycast announcement; the
+  /// per-PoP tables fan out over the exec thread pool. After construction
+  /// all route queries are read-only and safe to call concurrently.
   AnycastCdn(const Internet* internet, const ContentProvider* provider);
 
   /// Re-announce the anycast prefix with a groomed spec (prepends,
@@ -60,15 +63,19 @@ class AnycastCdn {
                                                      std::size_t count) const;
 
  private:
-  const bgp::RouteTable& unicast_table(PopId pop) const;
+  /// Compute every front-end's scoped unicast table, one parallel task per
+  /// PoP. Called once from the constructor; replaces the old lazy per-call
+  /// population, which mutated mutable caches from const methods and raced
+  /// under concurrent unicast_route callers.
+  void warm_unicast_tables();
 
   const Internet* internet_;
   const ContentProvider* provider_;
   bgp::OriginSpec anycast_spec_;
   std::set<PopId> failed_pops_;
   std::optional<bgp::RouteTable> anycast_table_;
-  mutable std::vector<std::optional<bgp::RouteTable>> unicast_tables_;
-  mutable std::vector<std::optional<bgp::OriginSpec>> unicast_specs_;
+  std::vector<bgp::RouteTable> unicast_tables_;  ///< indexed by PopId
+  std::vector<bgp::OriginSpec> unicast_specs_;   ///< indexed by PopId
 };
 
 }  // namespace bgpcmp::cdn

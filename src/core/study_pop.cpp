@@ -6,6 +6,7 @@
 
 #include "bgpcmp/bgp/route_cache.h"
 #include "bgpcmp/cdn/edge_fabric.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/latency/rtt_sampler.h"
 #include "bgpcmp/stats/quantile.h"
 
@@ -84,13 +85,16 @@ PopStudyResult run_pop_study(const Scenario& scenario, const PopStudyConfig& con
     if (plan.routes.size() >= 2) plans.push_back(std::move(plan));
   }
 
-  // Measure: spray sessions over each route in every window.
+  // Measure: spray sessions over each route in every window. Plans are
+  // independent by construction — each forks its own RNG stream keyed by
+  // <prefix, pop> and reads only immutable scenario state (the congestion
+  // field's lazy access cache is internally synchronized) — so they fan out
+  // over the exec pool, collected in plan order. Output is byte-identical
+  // for any thread count; tools/determinism_audit --compare-threads checks.
   const lat::RttSampler sampler;
-  Rng root{config.seed};
-  result.series.reserve(plans.size());
-  std::vector<double> samples0;
-  std::vector<double> samples_alt;
-  for (const auto& plan : plans) {
+  const Rng root{config.seed};
+  result.series = exec::parallel_map(plans.size(), [&](std::size_t plan_index) {
+    const PairPlan& plan = plans[plan_index];
     const auto& client = scenario.clients.at(plan.prefix);
     Rng rng = root.fork("pair-" + std::to_string(plan.prefix) + "-" +
                         std::to_string(plan.pop));
@@ -131,15 +135,13 @@ PopStudyResult run_pop_study(const Scenario& scenario, const PopStudyConfig& con
       for (std::size_t r = 2; r < n_routes; ++r) {
         if (series.medians[r][w] < series.medians[best_alt][w]) best_alt = r;
       }
-      samples0 = route_samples[0];
-      samples_alt = route_samples[best_alt];
-      const auto ci = stats::bootstrap_median_diff_ci(samples0, samples_alt, rng,
-                                                      config.bootstrap);
+      const auto ci = stats::bootstrap_median_diff_ci(
+          route_samples[0], route_samples[best_alt], rng, config.bootstrap);
       series.ci_lower[w] = static_cast<float>(ci.lower);
       series.ci_upper[w] = static_cast<float>(ci.upper);
     }
-    result.series.push_back(std::move(series));
-  }
+    return series;
+  });
   return result;
 }
 

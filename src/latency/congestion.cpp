@@ -25,15 +25,29 @@ std::vector<CongestionEvent> generate_events(Rng& rng, double rate_per_day,
     const double mag = magnitude_mean * rng.lognormal(0.0, 0.5);
     events.push_back(CongestionEvent{SimTime::hours(t_hours),
                                      SimTime::hours(t_hours + dur), mag});
+    // The next event starts after this one ends, so the list is sorted by
+    // start with disjoint intervals — the invariant active_magnitude's
+    // binary search relies on.
     t_hours += dur + rng.exponential(24.0 / rate_per_day);
+    BGPCMP_CHECK_GE(t_hours, events.back().end.hours_f(),
+                    "congestion events must stay disjoint and start-sorted");
   }
   return events;
 }
 
+/// Total magnitude of events covering `t`. Events are sorted by start and
+/// disjoint, so only the last event starting at or before `t` can cover it;
+/// binary-search that candidate instead of scanning the whole horizon
+/// (E5-scale fields hold thousands of events per process).
 double active_magnitude(const std::vector<CongestionEvent>& events, SimTime t) {
+  auto it = std::upper_bound(
+      events.begin(), events.end(), t,
+      [](SimTime tt, const CongestionEvent& e) { return tt < e.start; });
   double total = 0.0;
-  for (const auto& e : events) {
-    if (e.start <= t && t < e.end) total += e.magnitude;
+  while (it != events.begin()) {
+    --it;
+    if (it->end <= t) break;  // earlier events end earlier still (disjoint)
+    total += it->magnitude;   // start <= t < end: covering
   }
   return total;
 }
@@ -100,6 +114,11 @@ double CongestionField::link_utilization(LinkId link, SimTime t) const {
 const CongestionField::AccessProcess& CongestionField::access_process(
     AsIndex as, CityId city) const {
   const auto key = std::make_pair(as, city);
+  // Serialize cache population: concurrent RTT queries for the same fresh
+  // key must not both emplace (the old unguarded insert was a data race).
+  // Generation happens at most once per key and is a pure function of the
+  // seed, so holding the lock across it costs one miss per key.
+  const std::lock_guard<std::mutex> lock{access_mutex_};
   auto it = access_cache_.find(key);
   if (it != access_cache_.end()) return it->second;
   Rng rng = Rng{seed_}.fork("access-" + std::to_string(as) + "-" +

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "bgpcmp/netbase/rng.h"
@@ -58,7 +59,9 @@ struct CongestionConfig {
   double access_diurnal_peak_ms = 2.0;  ///< evening-peak extra delay
 };
 
-/// A transient overload interval.
+/// A transient overload interval. Event lists are always sorted by start
+/// with disjoint intervals (each event ends before the next begins), which
+/// lets utilization queries binary-search instead of scanning the horizon.
 struct CongestionEvent {
   SimTime start;
   SimTime end;
@@ -110,6 +113,9 @@ class CongestionField {
     double local_hour_offset = 0.0;
   };
 
+  /// Thread-safe lazy lookup: derives the (access AS, city) process from the
+  /// seed on first use. The returned reference stays valid for the field's
+  /// lifetime (map nodes are stable and never erased).
   const AccessProcess& access_process(AsIndex as, CityId city) const;
 
   const AsGraph* graph_;
@@ -118,6 +124,10 @@ class CongestionField {
   std::uint64_t seed_;
   std::vector<LinkProcess> links_;
   std::vector<double> load_scale_;
+  // The access cache is memoization of a pure function of (seed, key), so a
+  // single mutex around find/emplace keeps concurrent RTT queries exact:
+  // whichever thread populates a key, the entry is identical.
+  mutable std::mutex access_mutex_;
   mutable std::map<std::pair<AsIndex, CityId>, AccessProcess> access_cache_;
 };
 

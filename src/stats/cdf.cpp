@@ -13,6 +13,9 @@ void WeightedCdf::add(double value, double weight) {
 }
 
 void WeightedCdf::add_all(std::span<const Weighted> obs) {
+  for (const auto& o : obs) {
+    BGPCMP_CHECK_GE(o.weight, 0.0, "CDF weights must be non-negative");
+  }
   obs_.insert(obs_.end(), obs.begin(), obs.end());
   sorted_ = false;
 }
@@ -55,8 +58,20 @@ double WeightedCdf::fraction_above(double x) const {
 
 double WeightedCdf::quantile(double q) const {
   BGPCMP_CHECK(!obs_.empty(), "CDF has no observations");
+  BGPCMP_CHECK_GE(q, 0.0, "quantile rank out of range");
+  BGPCMP_CHECK_LE(q, 1.0, "quantile rank out of range");
   ensure_sorted();
-  return weighted_quantile(obs_, q);
+  // Binary-search the cumulative weights ensure_sorted() maintains rather
+  // than re-sorting a copy of every observation per call (the old path was
+  // O(n log n) + an allocation per quantile, in every figure's rendering
+  // loop). Matches weighted_quantile exactly: the first observation whose
+  // cumulative weight reaches q * total, values bit-identical.
+  const double total = cum_weight_.back();
+  BGPCMP_CHECK_GT(total, 0.0, "weighted quantile needs positive total weight");
+  const double target = q * total;
+  auto it = std::lower_bound(cum_weight_.begin(), cum_weight_.end(), target);
+  if (it == cum_weight_.end()) --it;  // q == 1 under floating-point slop
+  return obs_[static_cast<std::size_t>(it - cum_weight_.begin())].value;
 }
 
 std::vector<SeriesPoint> WeightedCdf::cdf_series(double lo, double hi,

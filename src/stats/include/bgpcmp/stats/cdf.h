@@ -19,6 +19,10 @@ struct SeriesPoint {
   double y = 0.0;
 };
 
+// Not thread-safe: the query methods lazily (re)build sorted state through
+// mutable members. CDFs are built and rendered by one thread (typically the
+// main thread aggregating a study's output); share across threads only
+// behind external synchronization.
 class WeightedCdf {
  public:
   WeightedCdf() = default;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "../testutil.h"
 
 namespace bgpcmp::cdn {
@@ -46,6 +49,45 @@ TEST_F(AnycastCdnTest, UnicastRouteTargetsRequestedPop) {
     // Entry must use a link landed at that PoP (the scoped session).
     EXPECT_EQ(path.entry_city, sc_.provider.pop(pop).city);
   }
+}
+
+TEST_F(AnycastCdnTest, ConcurrentUnicastRouteMatchesSequential) {
+  // Regression for the lazy unicast_table() cache: two threads racing on a
+  // cold PoP entry used to mutate the same optional unsynchronized. Tables
+  // are now warmed eagerly in the constructor, so concurrent unicast_route
+  // calls are pure reads; this must stay clean under the tsan preset.
+  struct Probe {
+    traffic::PrefixId client;
+    PopId pop;
+  };
+  std::vector<Probe> probes;
+  for (traffic::PrefixId id = 0; id < sc_.clients.size(); id += 2) {
+    for (const PopId pop : cdn_.nearby_front_ends(sc_.clients.at(id), 3)) {
+      probes.push_back(Probe{id, pop});
+    }
+  }
+  AnycastCdn fresh{&sc_.internet, &sc_.provider};
+  std::vector<double> expected;
+  expected.reserve(probes.size());
+  for (const auto& p : probes) {
+    const auto path = cdn_.unicast_route(sc_.clients.at(p.client), p.pop);
+    expected.push_back(path.valid() ? path.inflated_distance().value() : -1.0);
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> got(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (const auto& p : probes) {
+        const auto path = fresh.unicast_route(sc_.clients.at(p.client), p.pop);
+        got[w].push_back(path.valid() ? path.inflated_distance().value() : -1.0);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& stream : got) EXPECT_EQ(stream, expected);
 }
 
 TEST_F(AnycastCdnTest, NearbyFrontEndsSortedByDistance) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "bgpcmp/exec/thread_pool.h"
 
 namespace bgpcmp::core {
 namespace {
@@ -131,6 +132,27 @@ TEST(PopStudy, DeterministicGivenSeed) {
   for (std::size_t i = 0; i < a.series.size(); i += 11) {
     EXPECT_EQ(a.series[i].prefix, b.series[i].prefix);
     EXPECT_EQ(a.series[i].medians, b.series[i].medians);
+  }
+}
+
+TEST(PopStudy, IdenticalAcrossThreadCounts) {
+  // The per-plan measurement loop fans out over the exec pool; every value
+  // (medians, volume, bootstrap CIs) must be bit-identical whether the study
+  // ran on one thread or several — the PR's determinism contract.
+  PopStudyConfig cfg = quick_config();
+  cfg.days = 0.25;
+  exec::set_thread_count(1);
+  const auto seq = run_pop_study(test::small_scenario(), cfg);
+  exec::set_thread_count(4);
+  const auto par = run_pop_study(test::small_scenario(), cfg);
+  exec::set_thread_count(0);
+  ASSERT_EQ(seq.series.size(), par.series.size());
+  for (std::size_t i = 0; i < seq.series.size(); ++i) {
+    EXPECT_EQ(seq.series[i].prefix, par.series[i].prefix);
+    EXPECT_EQ(seq.series[i].medians, par.series[i].medians);
+    EXPECT_EQ(seq.series[i].volume, par.series[i].volume);
+    EXPECT_EQ(seq.series[i].ci_lower, par.series[i].ci_lower);
+    EXPECT_EQ(seq.series[i].ci_upper, par.series[i].ci_upper);
   }
 }
 

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "bgpcmp/topology/topology_gen.h"
 
 namespace bgpcmp::lat {
@@ -145,6 +150,82 @@ TEST_F(CongestionTest, AccessDelayNonNegativeAndShared) {
   const SimTime t = SimTime::hours(33.3);
   EXPECT_DOUBLE_EQ(field_.access_delay(as, city, t).value(),
                    field_.access_delay(as, city, t).value());
+}
+
+TEST_F(CongestionTest, EventLookupHonorsHalfOpenIntervals) {
+  // Direct LinkProcess probe of the binary-searched event lookup: one event
+  // over [10h, 11h) with magnitude 0.5, diurnal swing disabled so
+  // utilization is exactly base + active magnitude.
+  CongestionConfig cfg;
+  cfg.diurnal_amplitude = 0.0;
+  const LinkProcess proc{0.2, 0.0, 0.0,
+                         {CongestionEvent{SimTime::hours(10.0),
+                                          SimTime::hours(11.0), 0.5}}};
+  EXPECT_DOUBLE_EQ(proc.utilization(SimTime::hours(9.5), 1.0, cfg), 0.2);
+  EXPECT_DOUBLE_EQ(proc.utilization(SimTime::hours(10.0), 1.0, cfg), 0.7);  // start in
+  EXPECT_DOUBLE_EQ(proc.utilization(SimTime::hours(10.5), 1.0, cfg), 0.7);
+  EXPECT_DOUBLE_EQ(proc.utilization(SimTime::hours(11.0), 1.0, cfg), 0.2);  // end out
+  EXPECT_DOUBLE_EQ(proc.utilization(SimTime::hours(11.5), 1.0, cfg), 0.2);
+}
+
+TEST_F(CongestionTest, EventLookupFindsTheRightEventInLongLists) {
+  // A dense E5-scale list: 500 disjoint events [2k, 2k+1) hours with
+  // distinguishable magnitudes. The lookup must return exactly the covering
+  // event's magnitude at any probe, same as the old linear scan.
+  CongestionConfig cfg;
+  cfg.diurnal_amplitude = 0.0;
+  std::vector<CongestionEvent> events;
+  for (int k = 0; k < 500; ++k) {
+    events.push_back(CongestionEvent{SimTime::hours(2.0 * k),
+                                     SimTime::hours(2.0 * k + 1.0),
+                                     0.001 * (k % 700)});
+  }
+  const LinkProcess proc{0.0, 0.0, 0.0, events};
+  for (int k = 0; k < 500; k += 7) {
+    const double in_event =
+        proc.utilization(SimTime::hours(2.0 * k + 0.25), 1.0, cfg);
+    const double in_gap =
+        proc.utilization(SimTime::hours(2.0 * k + 1.5), 1.0, cfg);
+    EXPECT_DOUBLE_EQ(in_event, std::clamp(0.001 * (k % 700), 0.0, 0.99));
+    EXPECT_DOUBLE_EQ(in_gap, 0.0);
+  }
+  // Probes outside the generated horizon on both sides.
+  EXPECT_DOUBLE_EQ(proc.utilization(SimTime::hours(-5.0), 1.0, cfg), 0.0);
+  EXPECT_DOUBLE_EQ(proc.utilization(SimTime::hours(5000.0), 1.0, cfg), 0.0);
+}
+
+TEST_F(CongestionTest, ConcurrentAccessDelayMatchesSequentialStream) {
+  // Regression for the access_process() data race: the cache was populated
+  // from a const method with no synchronization. Query a fresh field from
+  // four threads at once — colliding on cold keys — and require the exact
+  // RTT stream a sequential field produces. Runs under the tsan preset.
+  std::vector<std::pair<topo::AsIndex, topo::CityId>> keys;
+  for (const auto as : net_.eyeballs) {
+    keys.emplace_back(as, net_.graph.node(as).presence[0]);
+  }
+  std::vector<double> expected;
+  for (const auto& [as, city] : keys) {
+    for (double h = 0.25; h < 36.0; h += 1.5) {
+      expected.push_back(field_.access_delay(as, city, SimTime::hours(h)).value());
+    }
+  }
+
+  const CongestionField fresh{&net_.graph, net_.cities, cfg_, 1234};
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> got(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (const auto& [as, city] : keys) {
+        for (double h = 0.25; h < 36.0; h += 1.5) {
+          got[w].push_back(fresh.access_delay(as, city, SimTime::hours(h)).value());
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& stream : got) EXPECT_EQ(stream, expected);
 }
 
 TEST_F(CongestionTest, AccessProcessesIndependentAcrossAses) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "bgpcmp/netbase/rng.h"
+#include "bgpcmp/stats/quantile.h"
 
 namespace bgpcmp::stats {
 namespace {
@@ -44,6 +47,44 @@ TEST(WeightedCdf, QuantileInverts) {
   EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 1.0);
   EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
   EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 3.0);
+}
+
+TEST(WeightedCdf, QuantileMatchesFreestandingWeightedQuantile) {
+  // Golden contract for the binary-searched quantile: bit-identical to the
+  // freestanding weighted_quantile (which re-sorts per call) for every q.
+  // Figure outputs are fingerprinted, so "close" is not enough.
+  Rng rng{77};
+  std::vector<Weighted> obs;
+  WeightedCdf cdf;
+  for (int i = 0; i < 2000; ++i) {
+    // Duplicates and ties included: i % 97 collapses many equal values.
+    const double value = rng.normal(40.0, 12.0) + static_cast<double>(i % 97);
+    const double weight = rng.uniform(0.05, 3.0);
+    obs.push_back(Weighted{value, weight});
+    cdf.add(value, weight);
+  }
+  for (double q = 0.0; q <= 1.0; q += 0.001) {
+    EXPECT_EQ(cdf.quantile(q), weighted_quantile(obs, q)) << "q=" << q;
+  }
+}
+
+TEST(WeightedCdf, QuantileMatchesFreestandingOnTinyAndSkewedInputs) {
+  // Degenerate shapes where an off-by-one in the cumulative-weight search
+  // would show: single observation, all-equal values, one dominating weight.
+  const std::vector<std::vector<Weighted>> cases = {
+      {{5.0, 2.0}},
+      {{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}},
+      {{10.0, 1e-6}, {20.0, 1e6}, {30.0, 1e-6}},
+      {{-3.0, 0.5}, {0.0, 0.0}, {7.0, 0.5}},  // zero-weight observation
+  };
+  for (const auto& obs : cases) {
+    WeightedCdf cdf;
+    cdf.add_all(obs);
+    for (const double q : {0.0, 1e-9, 0.25, 0.5, 0.75, 1.0 - 1e-9, 1.0}) {
+      EXPECT_EQ(cdf.quantile(q), weighted_quantile(obs, q))
+          << "n=" << obs.size() << " q=" << q;
+    }
+  }
 }
 
 TEST(WeightedCdf, MinMax) {

@@ -8,6 +8,9 @@
 //   bgpcmp trace <ASN> <city> <city>           geographic path across one AS
 //   bgpcmp lookup <ip>                         who serves this address
 //
+// Every subcommand accepts --threads N (or the BGPCMP_THREADS environment
+// variable) to size the exec thread pool used for route warm-up.
+//
 // Every subcommand builds the same deterministic world the benches use, so
 // output here explains bench results line by line.
 #include <cstdio>
@@ -19,6 +22,7 @@
 #include "bgpcmp/bgp/table_dump.h"
 #include "bgpcmp/cdn/anycast_cdn.h"
 #include "bgpcmp/core/scenario.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/latency/path_model.h"
 #include "bgpcmp/stats/table.h"
 
@@ -241,6 +245,7 @@ int cmd_trace(const core::Scenario& sc, const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   const Args args = parse(argc, argv);
   if (args.command.empty()) {
     std::fputs("usage: bgpcmp <topology|route|rib|catchment|pops|trace|lookup> "

@@ -11,12 +11,20 @@
 //   determinism_audit --scenario X    audit one scenario
 //   determinism_audit --skip-studies  world tables only (fast)
 //   determinism_audit --dump DIR      write per-run tables for diffing
+//   determinism_audit --threads N     size the exec pool for both runs
+//   determinism_audit --compare-threads N
+//                                     render run 1 with a 1-thread pool and
+//                                     run 2 with an N-thread pool: any
+//                                     divergence means parallel code leaked
+//                                     scheduling into results
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
 #include "bgpcmp/core/fingerprint.h"
 #include "bgpcmp/core/scenario_registry.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/stats/table.h"
 
 using namespace bgpcmp;
@@ -40,7 +48,9 @@ void dump(const std::string& dir, std::string_view scenario, int run,
 }  // namespace
 
 int main(int argc, char** argv) {
+  exec::apply_thread_flag(argc, argv);
   bool skip_studies = false;
+  int compare_threads = 0;  // 0: same pool for both runs
   std::string only;
   std::string dump_dir;
   for (int i = 1; i < argc; ++i) {
@@ -58,10 +68,17 @@ int main(int argc, char** argv) {
       only = argv[++i];
     } else if (arg == "--dump" && i + 1 < argc) {
       dump_dir = argv[++i];
+    } else if (arg == "--compare-threads" && i + 1 < argc) {
+      compare_threads = std::atoi(argv[++i]);
+      if (compare_threads < 2) {
+        std::fprintf(stderr, "--compare-threads needs an integer >= 2\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: determinism_audit [--list] [--scenario NAME] "
-                   "[--skip-studies] [--dump DIR]\n");
+                   "[--skip-studies] [--dump DIR] [--threads N] "
+                   "[--compare-threads N]\n");
       return 2;
     }
   }
@@ -70,6 +87,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (compare_threads > 0) {
+    std::printf("comparing runs at threads=1 vs threads=%d\n", compare_threads);
+  }
   stats::Table report{{"scenario", "studies", "run 1", "run 2", "verdict"}};
   int failures = 0;
   for (const auto& s : core::scenario_registry()) {
@@ -77,7 +97,9 @@ int main(int argc, char** argv) {
     core::FingerprintOptions options;
     options.run_studies = s.fingerprint_studies && !skip_studies;
     const auto config = s.config();
+    if (compare_threads > 0) exec::set_thread_count(1);
     const auto tables1 = core::render_result_tables(config, options);
+    if (compare_threads > 0) exec::set_thread_count(compare_threads);
     const auto tables2 = core::render_result_tables(config, options);
     const auto hash1 = core::fnv1a64(tables1);
     const auto hash2 = core::fnv1a64(tables2);
