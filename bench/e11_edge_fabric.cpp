@@ -48,8 +48,17 @@ int main(int argc, char** argv) {
   const auto& g = scenario->internet.graph;
   const auto& db = scenario->internet.city_db();
 
-  // Plan every prefix: ranked options + realized paths.
+  // Plan every prefix: warm all origin tables over the pool, then rank
+  // options + realize paths against the read-only cache.
   bgp::RouteCache tables{&g};
+  {
+    std::vector<bgp::AsIndex> origins;
+    origins.reserve(scenario->clients.size());
+    for (const auto& client : scenario->clients.prefixes()) {
+      origins.push_back(client.origin_as);
+    }
+    tables.warm(origins, exec::global_pool());
+  }
   std::vector<cdn::EdgeFabricController::PrefixPlan> plans;
   std::vector<std::vector<lat::GeoPath>> paths;  // parallel to plans
   for (traffic::PrefixId id = 0; id < scenario->clients.size(); ++id) {

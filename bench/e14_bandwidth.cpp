@@ -33,8 +33,16 @@ int main(int argc, char** argv) {
   const auto& g = scenario->internet.graph;
   const auto& db = scenario->internet.city_db();
 
-  // Plan routes exactly like the Fig 1 study.
+  // Plan routes exactly like the Fig 1 study: warm, then plan read-only.
   bgp::RouteCache tables{&g};
+  {
+    std::vector<bgp::AsIndex> origins;
+    origins.reserve(scenario->clients.size());
+    for (const auto& client : scenario->clients.prefixes()) {
+      origins.push_back(client.origin_as);
+    }
+    tables.warm(origins, exec::global_pool());
+  }
   struct Plan {
     traffic::PrefixId prefix;
     std::vector<lat::GeoPath> paths;  // [0] = BGP preferred

@@ -4,10 +4,12 @@
 
 #include "bgpcmp/bgp/propagation.h"
 #include "bgpcmp/bgp/rib.h"
+#include "bgpcmp/bgp/route_cache.h"
 #include "bgpcmp/core/scenario.h"
 #include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/latency/congestion.h"
 #include "bgpcmp/latency/path_model.h"
+#include "bgpcmp/stats/bootstrap.h"
 #include "bgpcmp/stats/cdf.h"
 #include "bgpcmp/stats/quantile.h"
 
@@ -41,6 +43,56 @@ void BM_RoutePropagation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoutePropagation)->Unit(benchmark::kMicrosecond);
+
+// The retired full-scan fixpoint, kept as the golden reference the worklist
+// is pinned against; the gap between this and BM_RoutePropagation is the
+// worklist + CSR win.
+void BM_RoutePropagationReference(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto origins = sc.internet.eyeballs;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto table = bgp::compute_routes_reference(
+        sc.internet.graph, bgp::OriginSpec::everywhere(origins[i++ % origins.size()]));
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_RoutePropagationReference)->Unit(benchmark::kMicrosecond);
+
+// Warm every eyeball origin's table through the two-phase cache at pool
+// width Arg. On the single-CPU reference container widths >1 mostly measure
+// dispatch overhead; the byte-identical-at-any-width contract is what the
+// tests pin.
+void BM_RouteCacheWarm(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto origins = sc.internet.eyeballs;
+  sc.internet.graph.edge_index();  // exclude the one-time CSR build
+  exec::ThreadPool pool{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    bgp::RouteCache cache{&sc.internet.graph};
+    cache.warm(origins, pool);
+    benchmark::DoNotOptimize(cache.size());
+  }
+}
+BENCHMARK(BM_RouteCacheWarm)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// fig1's actual hot loop: the CI of (BGP - best alternate) medians, called
+// once per <pair, window>.
+void BM_BootstrapMedianDiffCi(benchmark::State& state) {
+  Rng rng{1234};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.normal(50, 10));
+    b.push_back(rng.normal(48, 10));
+  }
+  stats::BootstrapOptions opts;
+  for (auto _ : state) {
+    const auto ci = stats::bootstrap_median_diff_ci(a, b, rng, opts);
+    benchmark::DoNotOptimize(ci.point);
+  }
+}
+BENCHMARK(BM_BootstrapMedianDiffCi)->Unit(benchmark::kMicrosecond);
 
 void BM_CandidateRoutes(benchmark::State& state) {
   const auto& sc = shared_scenario();

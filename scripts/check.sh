@@ -18,6 +18,12 @@ cmake -B build "${generator[@]}"
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
+# Propagation golden suite under AddressSanitizer: the worklist propagation
+# must stay pinned byte-identical to the reference with heap checking on.
+cmake --preset asan
+cmake --build build-asan -j "$(nproc)" --target bgp_test
+build-asan/tests/bgp_test --gtest_filter='Propagation*:RouteCache*'
+
 # Reproducibility gate: every registered scenario, studies included.
 build/tools/determinism_audit
 

@@ -1,8 +1,8 @@
 // Network-wide BGP route propagation under Gao-Rexford policy.
 //
-// Three-stage fixpoint computation of the routes every AS selects toward one
-// origin: (1) customer routes climb provider edges from the origin's customer
-// cone; (2) peer routes extend one peer hop off customer routes; (3) provider
+// Three-stage computation of the routes every AS selects toward one origin:
+// (1) customer routes climb provider edges from the origin's customer cone;
+// (2) peer routes extend one peer hop off customer routes; (3) provider
 // routes descend customer edges from any routed AS. Within a preference
 // class, shorter paths win; ties break on lowest next-hop ASN, mirroring
 // BGP's deterministic tie-breaking. The result is guaranteed valley-free.
@@ -13,9 +13,19 @@
 
 namespace bgpcmp::bgp {
 
-/// Compute the routing table toward `origin`. O(passes * edges); topologies
-/// in this library converge in a handful of passes.
+/// Compute the routing table toward `origin` with a worklist relaxation over
+/// the graph's CSR incident-edge index: each stage seeds from the origin and
+/// relaxes only the edges of ASes whose route just improved, so a table costs
+/// near-linear work in touched edges. Relaxation within a class is monotone
+/// in (length, next-hop ASN), so the result is the unique least fixpoint —
+/// byte-identical to compute_routes_reference regardless of visit order.
 [[nodiscard]] RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin);
+
+/// Full-scan fixpoint implementation: every stage rescans all edges per pass,
+/// O(passes * edges). Kept as the golden reference the worklist algorithm is
+/// pinned against in tests; not for production paths.
+[[nodiscard]] RouteTable compute_routes_reference(const AsGraph& graph,
+                                                  const OriginSpec& origin);
 
 /// Convenience: origin announced on all sessions.
 [[nodiscard]] RouteTable compute_routes(const AsGraph& graph, AsIndex origin);

@@ -1,40 +1,72 @@
-// Memoized route computation.
+// Memoized route computation with a parallel warm phase.
 //
 // Studies evaluate routes toward hundreds of client origins, many sharing an
 // origin AS; the cache computes each table once. Tables are stable because
 // the graph is immutable after construction.
 //
-// SINGLE-THREAD ONLY: toward() populates the map lazily with no
-// synchronization. Studies that fan out over the exec thread pool must
-// finish all toward() calls in their sequential planning phase (as
-// run_pop_study does) or give each worker its own cache; do not share a
-// RouteCache across concurrent callers.
+// Warm/read contract: call warm() with every origin the study will query —
+// serially or across a thread pool, tables land in index-addressed slots so
+// the result is byte-identical at any pool width (docs/PARALLELISM.md) —
+// then query toward() / find() freely from concurrent readers. toward() on a
+// cache miss still computes lazily, which is only safe single-threaded; the
+// concurrent phase of a study must touch warmed origins only (find() checks).
 #pragma once
 
-#include <map>
+#include <optional>
+#include <span>
+#include <vector>
 
 #include "bgpcmp/bgp/propagation.h"
+
+namespace bgpcmp::exec {
+class ThreadPool;
+}  // namespace bgpcmp::exec
 
 namespace bgpcmp::bgp {
 
 class RouteCache {
  public:
-  explicit RouteCache(const AsGraph* graph) : graph_(graph) {}
+  explicit RouteCache(const AsGraph* graph)
+      : graph_(graph), slots_(graph->as_count()) {}
 
-  /// The routing table toward `origin` (computed on first use).
+  /// Compute the tables for every distinct uncached origin, serially. Slots
+  /// are keyed by origin index, so warming never moves existing tables.
+  void warm(std::span<const AsIndex> origins);
+
+  /// Same, but fans the distinct uncached origins out over `pool` via
+  /// parallel_map. Byte-identical to the serial overload at any pool width.
+  void warm(std::span<const AsIndex> origins, exec::ThreadPool& pool);
+
+  /// The routing table toward `origin`, computed on first use. Lazy misses
+  /// mutate the cache — single-threaded callers only; parallel phases must
+  /// stick to origins covered by an earlier warm().
   const RouteTable& toward(AsIndex origin) {
-    auto it = tables_.find(origin);
-    if (it == tables_.end()) {
-      it = tables_.emplace(origin, compute_routes(*graph_, origin)).first;
+    std::optional<RouteTable>& slot = slots_.at(origin);
+    if (!slot.has_value()) {
+      slot.emplace(compute_routes(*graph_, origin));
+      ++cached_;
     }
-    return it->second;
+    return *slot;
   }
 
-  [[nodiscard]] std::size_t size() const { return tables_.size(); }
+  /// The warmed table toward `origin`, or nullptr if it was never computed.
+  /// Read-only: safe from concurrent readers after warming.
+  [[nodiscard]] const RouteTable* find(AsIndex origin) const {
+    const std::optional<RouteTable>& slot = slots_.at(origin);
+    return slot.has_value() ? &*slot : nullptr;
+  }
+
+  /// Number of origins with a computed table.
+  [[nodiscard]] std::size_t size() const { return cached_; }
 
  private:
+  /// Origins from `origins` that have no cached table yet, deduplicated,
+  /// in first-appearance order.
+  [[nodiscard]] std::vector<AsIndex> missing(std::span<const AsIndex> origins) const;
+
   const AsGraph* graph_;
-  std::map<AsIndex, RouteTable> tables_;
+  std::vector<std::optional<RouteTable>> slots_;  ///< keyed by origin index
+  std::size_t cached_ = 0;
 };
 
 }  // namespace bgpcmp::bgp

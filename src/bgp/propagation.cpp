@@ -44,11 +44,170 @@ std::uint32_t best_len(const Tables& t, AsIndex as, AsIndex origin) {
   return kInf;
 }
 
+/// FIFO worklist over AS indices with membership dedup: pushing an AS that is
+/// already queued is a no-op, so each relaxation wave visits a node once.
+class Worklist {
+ public:
+  explicit Worklist(std::size_t n) : queued_(n, 0) {}
+
+  void push(AsIndex i) {
+    if (queued_[i] != 0) return;
+    queued_[i] = 1;
+    items_.push_back(i);
+  }
+
+  [[nodiscard]] bool empty() const { return head_ == items_.size(); }
+
+  AsIndex pop() {
+    const AsIndex i = items_[head_++];
+    queued_[i] = 0;
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    }
+    return i;
+  }
+
+ private:
+  std::vector<std::uint8_t> queued_;
+  std::vector<AsIndex> items_;
+  std::size_t head_ = 0;
+};
+
+/// Selection: LocalPref class order, already tie-broken within class.
+RouteTable select_best(const AsGraph& graph, const Tables& t, AsIndex o) {
+  const std::size_t n = graph.as_count();
+  std::vector<BestRoute> best(n);
+  for (AsIndex i = 0; i < n; ++i) {
+    if (i == o) {
+      best[i] = BestRoute{RouteClass::Origin, 0, kNoAs, kNoEdge};
+    } else if (t.cust[i].valid()) {
+      best[i] = BestRoute{RouteClass::Customer,
+                          static_cast<std::uint16_t>(t.cust[i].len),
+                          t.cust[i].next_hop, t.cust[i].via_edge};
+    } else if (t.peer[i].valid()) {
+      best[i] = BestRoute{RouteClass::Peer, static_cast<std::uint16_t>(t.peer[i].len),
+                          t.peer[i].next_hop, t.peer[i].via_edge};
+    } else if (t.prov[i].valid()) {
+      best[i] = BestRoute{RouteClass::Provider,
+                          static_cast<std::uint16_t>(t.prov[i].len),
+                          t.prov[i].next_hop, t.prov[i].via_edge};
+    }
+  }
+  return RouteTable{&graph, o, std::move(best)};
+}
+
+void check_origin(const AsGraph& graph, const OriginSpec& origin) {
+  BGPCMP_CHECK_NE(origin.origin, kNoAs, "announcement needs a real origin AS");
+  BGPCMP_CHECK_LT(origin.origin, graph.as_count(), "origin AS out of range");
+}
+
 }  // namespace
 
 RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin) {
-  BGPCMP_CHECK_NE(origin.origin, kNoAs, "announcement needs a real origin AS");
-  BGPCMP_CHECK_LT(origin.origin, graph.as_count(), "origin AS out of range");
+  check_origin(graph, origin);
+  const topo::EdgeIndex& idx = graph.edge_index();
+  const std::size_t n = graph.as_count();
+  Tables t;
+  t.cust.resize(n);
+  t.peer.resize(n);
+  t.prov.resize(n);
+
+  const AsIndex o = origin.origin;
+  Worklist wl{n};
+
+  // Stage 1: customer routes. An AS has one iff the origin is in its customer
+  // cone. Seed the origin's announcements up its provider edges, then relax
+  // each improved AS's provider edges until the wave dies out. Relaxation is
+  // monotone in (length, next-hop ASN), so any processing order converges to
+  // the same least fixpoint the reference full-scan computes.
+  for (const EdgeId e : idx.up_edges(o)) {
+    if (!origin.announces_on(graph, e)) continue;
+    const AsIndex provider = graph.edge(e).a;
+    const auto cand = static_cast<std::uint32_t>(1 + origin.prepend_on(e));
+    if (better(graph, cand, o, t.cust[provider])) {
+      t.cust[provider] = ClassState{cand, o, e};
+      wl.push(provider);
+    }
+  }
+  while (!wl.empty()) {
+    const AsIndex x = wl.pop();
+    const std::uint32_t len = t.cust[x].len;
+    for (const EdgeId e : idx.up_edges(x)) {
+      const AsIndex provider = graph.edge(e).a;
+      if (provider == o) continue;  // origin doesn't learn its own prefix
+      if (better(graph, len + 1, x, t.cust[provider])) {
+        t.cust[provider] = ClassState{len + 1, x, e};
+        wl.push(provider);
+      }
+    }
+  }
+
+  // Stage 2: peer routes. Valley-freeness allows exactly one peer hop, and
+  // only off a customer route (or the origin itself), so one sweep over the
+  // peer edges of customer-routed ASes suffices.
+  for (const EdgeId e : idx.peer_edges(o)) {
+    if (!origin.announces_on(graph, e)) continue;
+    const AsIndex to = graph.other_end(e, o);
+    const auto cand = static_cast<std::uint32_t>(1 + origin.prepend_on(e));
+    if (better(graph, cand, o, t.peer[to])) t.peer[to] = ClassState{cand, o, e};
+  }
+  for (AsIndex x = 0; x < n; ++x) {
+    if (!t.cust[x].valid()) continue;  // peers export only customer routes
+    const std::uint32_t len = t.cust[x].len;
+    for (const EdgeId e : idx.peer_edges(x)) {
+      const AsIndex to = graph.other_end(e, x);
+      if (to == o) continue;
+      if (better(graph, len + 1, x, t.peer[to])) {
+        t.peer[to] = ClassState{len + 1, x, e};
+      }
+    }
+  }
+
+  // Stage 3: provider routes. A provider exports its *selected* route (class
+  // preference first, so possibly not its shortest) to customers. The exports
+  // of the origin and of customer-/peer-routed ASes are already final — seed
+  // those once; only ASes whose selection is provider-learned can improve
+  // later, so only they re-enter the worklist.
+  const auto relax_down = [&](AsIndex from, std::uint32_t cand, EdgeId e) {
+    const AsIndex customer = graph.edge(e).b;
+    if (customer == o) return;
+    if (better(graph, cand, from, t.prov[customer])) {
+      t.prov[customer] = ClassState{cand, from, e};
+      if (!t.cust[customer].valid() && !t.peer[customer].valid()) {
+        wl.push(customer);
+      }
+    }
+  };
+  for (const EdgeId e : idx.down_edges(o)) {
+    if (!origin.announces_on(graph, e)) continue;
+    relax_down(o, static_cast<std::uint32_t>(1 + origin.prepend_on(e)), e);
+  }
+  for (AsIndex x = 0; x < n; ++x) {
+    if (x == o) continue;
+    std::uint32_t len;
+    if (t.cust[x].valid()) {
+      len = t.cust[x].len;
+    } else if (t.peer[x].valid()) {
+      len = t.peer[x].len;
+    } else {
+      continue;
+    }
+    for (const EdgeId e : idx.down_edges(x)) relax_down(x, len + 1, e);
+  }
+  while (!wl.empty()) {
+    const AsIndex x = wl.pop();
+    // x is provider-routed (guarded at push), so its selected length is
+    // t.prov[x].len — the best_len the reference implementation reads.
+    const std::uint32_t len = t.prov[x].len;
+    for (const EdgeId e : idx.down_edges(x)) relax_down(x, len + 1, e);
+  }
+
+  return select_best(graph, t, o);
+}
+
+RouteTable compute_routes_reference(const AsGraph& graph, const OriginSpec& origin) {
+  check_origin(graph, origin);
   const std::size_t n = graph.as_count();
   Tables t;
   t.cust.resize(n);
@@ -141,25 +300,7 @@ RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin) {
     }
   }
 
-  // Selection: LocalPref class order, already tie-broken within class.
-  std::vector<BestRoute> best(n);
-  for (AsIndex i = 0; i < n; ++i) {
-    if (i == o) {
-      best[i] = BestRoute{RouteClass::Origin, 0, kNoAs, kNoEdge};
-    } else if (t.cust[i].valid()) {
-      best[i] = BestRoute{RouteClass::Customer,
-                          static_cast<std::uint16_t>(t.cust[i].len),
-                          t.cust[i].next_hop, t.cust[i].via_edge};
-    } else if (t.peer[i].valid()) {
-      best[i] = BestRoute{RouteClass::Peer, static_cast<std::uint16_t>(t.peer[i].len),
-                          t.peer[i].next_hop, t.peer[i].via_edge};
-    } else if (t.prov[i].valid()) {
-      best[i] = BestRoute{RouteClass::Provider,
-                          static_cast<std::uint16_t>(t.prov[i].len),
-                          t.prov[i].next_hop, t.prov[i].via_edge};
-    }
-  }
-  return RouteTable{&graph, o, std::move(best)};
+  return select_best(graph, t, o);
 }
 
 RouteTable compute_routes(const AsGraph& graph, AsIndex origin) {

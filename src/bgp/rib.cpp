@@ -13,7 +13,10 @@ std::vector<CandidateRoute> candidate_routes_at(const AsGraph& graph,
   BGPCMP_CHECK_EQ(origin_spec.origin, table.origin(),
                   "RIB dump must use the table's own origin spec");
   std::vector<CandidateRoute> out;
-  for (const topo::Neighbor& nb : graph.neighbors(viewer)) {
+  // CSR walk in node-insertion order: same neighbors, same output order as
+  // the allocating neighbors() call this replaced.
+  for (const topo::EdgeId e : graph.edges_of(viewer)) {
+    topo::Neighbor nb{graph.other_end(e, viewer), e, graph.role_of_other(e, viewer)};
     CandidateRoute cand;
     cand.neighbor = nb.as;
     cand.edge = nb.edge;

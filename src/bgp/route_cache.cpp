@@ -1,0 +1,40 @@
+#include "bgpcmp/bgp/route_cache.h"
+
+#include "bgpcmp/exec/thread_pool.h"
+
+namespace bgpcmp::bgp {
+
+std::vector<AsIndex> RouteCache::missing(std::span<const AsIndex> origins) const {
+  std::vector<std::uint8_t> seen(slots_.size(), 0);
+  std::vector<AsIndex> out;
+  for (const AsIndex o : origins) {
+    if (slots_.at(o).has_value() || seen[o] != 0) continue;
+    seen[o] = 1;
+    out.push_back(o);
+  }
+  return out;
+}
+
+void RouteCache::warm(std::span<const AsIndex> origins) {
+  for (const AsIndex o : missing(origins)) {
+    slots_[o].emplace(compute_routes(*graph_, o));
+    ++cached_;
+  }
+}
+
+void RouteCache::warm(std::span<const AsIndex> origins, exec::ThreadPool& pool) {
+  const std::vector<AsIndex> todo = missing(origins);
+  if (todo.empty()) return;
+  // Build the CSR index before the fan-out so workers share one snapshot
+  // instead of racing to construct it (the race is benign but wasteful).
+  graph_->edge_index();
+  std::vector<RouteTable> tables =
+      exec::parallel_map(pool, todo.size(),
+                         [&](std::size_t i) { return compute_routes(*graph_, todo[i]); });
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    slots_[todo[i]].emplace(std::move(tables[i]));
+    ++cached_;
+  }
+}
+
+}  // namespace bgpcmp::bgp

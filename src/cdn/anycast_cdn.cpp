@@ -21,6 +21,9 @@ void AnycastCdn::warm_unicast_tables() {
     unicast_specs_.push_back(
         bgp::OriginSpec::scoped(provider_->as_index(), provider_->pop(pop).links));
   }
+  // Build the CSR index before the fan-out so the workers share one snapshot
+  // (warm-then-plan, docs/PARALLELISM.md); tables land in per-PoP slots.
+  internet_->graph.edge_index();
   unicast_tables_ = exec::parallel_map(n, [this](std::size_t pop) {
     return bgp::compute_routes(internet_->graph, unicast_specs_[pop]);
   });

@@ -22,9 +22,9 @@ FootprintResult run_footprint_ablation(const ScenarioConfig& base,
     const topo::AsIndex cp = scenario->provider.as_index();
     std::size_t peer_edges = 0;
     const double load_scale = 1.0 + config.load_shift * (1.0 - fraction);
-    for (const auto& nb : graph.neighbors(cp)) {
-      if (nb.role == topo::NeighborRole::Peer) ++peer_edges;
-      for (const auto l : graph.edge(nb.edge).links) {
+    for (const auto e : graph.edges_of(cp)) {
+      if (graph.role_of_other(e, cp) == topo::NeighborRole::Peer) ++peer_edges;
+      for (const auto l : graph.edge(e).links) {
         scenario->congestion.set_load_scale(l, load_scale);
       }
     }

@@ -49,25 +49,34 @@ PopStudyResult run_pop_study(const Scenario& scenario, const PopStudyConfig& con
     result.windows.push_back(grid[i]);
   }
 
-  // Route tables per client origin AS (shared across that AS's prefixes).
+  // Route tables per client origin AS (shared across that AS's prefixes):
+  // warm every distinct origin over the pool, then plan against the
+  // read-only cache — the warm-then-plan pattern from docs/PARALLELISM.md.
   bgp::RouteCache tables{&graph};
+  std::vector<topo::AsIndex> origins;
+  origins.reserve(scenario.clients.size());
+  for (const auto& client : scenario.clients.prefixes()) {
+    origins.push_back(client.origin_as);
+  }
+  tables.warm(origins, exec::global_pool());
 
-  // Plan every <PoP, prefix> pair with at least two egress routes.
-  std::vector<PairPlan> plans;
-  for (traffic::PrefixId id = 0; id < scenario.clients.size(); ++id) {
+  // Plan every <PoP, prefix> pair with at least two egress routes. Each pair
+  // reads only the immutable scenario and the warmed cache, so planning fans
+  // out too; under-routed pairs come back empty and are dropped in order.
+  auto planned = exec::parallel_map(scenario.clients.size(), [&](std::size_t id) {
     const auto& client = scenario.clients.at(id);
     const cdn::PopId pop =
         scenario.provider.serving_pop(graph, db, client.origin_as, client.city);
-    const auto& table = tables.toward(client.origin_as);
+    const bgp::RouteTable* table = tables.find(client.origin_as);
     auto options = cdn::edge_fabric::rank_by_policy(
-        graph, scenario.provider.egress_options(graph, table, pop));
-    if (options.size() < 2) continue;
+        graph, scenario.provider.egress_options(graph, *table, pop));
+    PairPlan plan;
+    if (options.size() < 2) return plan;
     if (options.size() > static_cast<std::size_t>(config.top_k_routes)) {
       options.resize(static_cast<std::size_t>(config.top_k_routes));
     }
-    PairPlan plan;
     plan.pop = pop;
-    plan.prefix = id;
+    plan.prefix = static_cast<traffic::PrefixId>(id);
     for (const auto& opt : options) {
       auto path = cdn::edge_fabric::egress_path(graph, db, scenario.provider.as_index(),
                                                 scenario.provider.pop(pop), opt,
@@ -82,6 +91,11 @@ PopStudyResult run_pop_study(const Scenario& scenario, const PopStudyConfig& con
       plan.routes.push_back(info);
       plan.paths.push_back(std::move(path));
     }
+    if (plan.routes.size() < 2) plan.routes.clear();
+    return plan;
+  });
+  std::vector<PairPlan> plans;
+  for (auto& plan : planned) {
     if (plan.routes.size() >= 2) plans.push_back(std::move(plan));
   }
 

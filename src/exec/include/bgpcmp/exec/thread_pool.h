@@ -13,8 +13,8 @@
 //     does not advance the parent), never from a generator shared across
 //     items;
 //   * lazily-populated caches reached from the body are internally
-//     synchronized (CongestionField) or pre-warmed (AnycastCdn) — see the
-//     single-thread-only note on bgp::RouteCache.
+//     synchronized (CongestionField) or pre-warmed (AnycastCdn,
+//     bgp::RouteCache::warm) before the fan-out.
 //
 // Calls from inside a pool worker run inline on the calling thread: nested
 // parallelism never deadlocks the fixed-size pool, and the outermost loop

@@ -1,6 +1,7 @@
 #include "bgpcmp/topology/as_graph.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "bgpcmp/netbase/check.h"
 
@@ -26,6 +27,98 @@ std::string_view link_kind_name(LinkKind k) {
   return "unknown";
 }
 
+EdgeIndex::EdgeIndex(const AsGraph& graph) {
+  const std::size_t n = graph.as_count();
+  offsets_.resize(n + 1, 0);
+  up_end_.resize(n);
+  down_end_.resize(n);
+  std::uint32_t cursor = 0;
+  for (AsIndex i = 0; i < n; ++i) {
+    offsets_[i] = cursor;
+    cursor += static_cast<std::uint32_t>(graph.node(i).edges.size());
+  }
+  offsets_[n] = cursor;
+  incident_.resize(cursor);
+  grouped_.resize(cursor);
+  for (AsIndex i = 0; i < n; ++i) {
+    const auto& edges = graph.node(i).edges;
+    std::uint32_t at = offsets_[i];
+    // Insertion-order layout, then the grouped layout in three passes so each
+    // group preserves insertion order within itself.
+    for (const EdgeId e : edges) incident_[at++] = e;
+    at = offsets_[i];
+    for (const EdgeId e : edges) {
+      const AsEdge& edge = graph.edge(e);
+      if (edge.rel == Relationship::ProviderCustomer && edge.b == i) {
+        grouped_[at++] = e;
+      }
+    }
+    up_end_[i] = at;
+    for (const EdgeId e : edges) {
+      const AsEdge& edge = graph.edge(e);
+      if (edge.rel == Relationship::ProviderCustomer && edge.a == i) {
+        grouped_[at++] = e;
+      }
+    }
+    down_end_[i] = at;
+    for (const EdgeId e : edges) {
+      if (graph.edge(e).rel == Relationship::PeerPeer) grouped_[at++] = e;
+    }
+    BGPCMP_CHECK_EQ(at, offsets_[i + 1], "incident edges must classify exactly");
+  }
+}
+
+const EdgeIndex& AsGraph::edge_index() const {
+  auto cached = edge_index_cache_.load(std::memory_order_acquire);
+  if (!cached) {
+    auto built = std::make_shared<const EdgeIndex>(*this);
+    std::shared_ptr<const EdgeIndex> expected;
+    if (edge_index_cache_.compare_exchange_strong(expected, built,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+      cached = std::move(built);
+    } else {
+      cached = std::move(expected);  // a concurrent builder won; same content
+    }
+  }
+  return *cached;
+}
+
+AsGraph::AsGraph(const AsGraph& other)
+    : nodes_(other.nodes_),
+      edges_(other.edges_),
+      links_(other.links_),
+      edge_index_cache_(other.edge_index_cache_.load(std::memory_order_acquire)) {}
+
+AsGraph& AsGraph::operator=(const AsGraph& other) {
+  if (this == &other) return *this;
+  nodes_ = other.nodes_;
+  edges_ = other.edges_;
+  links_ = other.links_;
+  edge_index_cache_.store(other.edge_index_cache_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  return *this;
+}
+
+AsGraph::AsGraph(AsGraph&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      edges_(std::move(other.edges_)),
+      links_(std::move(other.links_)),
+      edge_index_cache_(other.edge_index_cache_.load(std::memory_order_acquire)) {
+  other.edge_index_cache_.store(nullptr, std::memory_order_release);
+}
+
+AsGraph& AsGraph::operator=(AsGraph&& other) noexcept {
+  if (this == &other) return *this;
+  nodes_ = std::move(other.nodes_);
+  edges_ = std::move(other.edges_);
+  links_ = std::move(other.links_);
+  edge_index_cache_.store(other.edge_index_cache_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  other.edge_index_cache_.store(nullptr, std::memory_order_release);
+  return *this;
+}
+
 AsIndex AsGraph::add_as(Asn asn, AsClass cls, std::string name,
                         std::vector<CityId> presence, CityId hub,
                         double backbone_inflation) {
@@ -39,6 +132,7 @@ AsIndex AsGraph::add_as(Asn asn, AsClass cls, std::string name,
   node.presence = std::move(presence);
   node.backbone_inflation = backbone_inflation;
   nodes_.push_back(std::move(node));
+  edge_index_cache_.store(nullptr, std::memory_order_release);
   return static_cast<AsIndex>(nodes_.size() - 1);
 }
 
@@ -51,6 +145,7 @@ EdgeId AsGraph::connect_transit(AsIndex provider, AsIndex customer) {
   const auto id = static_cast<EdgeId>(edges_.size() - 1);
   nodes_[provider].edges.push_back(id);
   nodes_[customer].edges.push_back(id);
+  edge_index_cache_.store(nullptr, std::memory_order_release);
   return id;
 }
 
@@ -63,6 +158,7 @@ EdgeId AsGraph::connect_peering(AsIndex a, AsIndex b) {
   const auto id = static_cast<EdgeId>(edges_.size() - 1);
   nodes_[a].edges.push_back(id);
   nodes_[b].edges.push_back(id);
+  edge_index_cache_.store(nullptr, std::memory_order_release);
   return id;
 }
 

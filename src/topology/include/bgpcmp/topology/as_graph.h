@@ -8,7 +8,9 @@
 // every latency in the study.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -91,8 +93,58 @@ struct Neighbor {
   NeighborRole role = NeighborRole::Peer;
 };
 
+class AsGraph;
+
+/// CSR (compressed-sparse-row) snapshot of every AS's incident edges.
+///
+/// Two flat layouts share one offset table: `edges_of(i)` walks the edges in
+/// the same order as `AsGraph::node(i).edges` (so swapping it in for
+/// `neighbors()` cannot reorder any downstream output), while the grouped
+/// arrays split each row into up/down/peer sub-ranges so route propagation
+/// relaxes exactly the edge class a worklist step needs. Self-contained:
+/// valid for as long as the topology it was built from is unchanged.
+class EdgeIndex {
+ public:
+  explicit EdgeIndex(const AsGraph& graph);
+
+  /// All edges incident to `i`, in `AsGraph::node(i).edges` order.
+  [[nodiscard]] std::span<const EdgeId> edges_of(AsIndex i) const {
+    return {incident_.data() + offsets_[i], incident_.data() + offsets_[i + 1]};
+  }
+  /// Edges on which `i` is the customer (the far endpoint is a provider).
+  [[nodiscard]] std::span<const EdgeId> up_edges(AsIndex i) const {
+    return {grouped_.data() + offsets_[i], grouped_.data() + up_end_[i]};
+  }
+  /// Edges on which `i` is the provider (the far endpoint is a customer).
+  [[nodiscard]] std::span<const EdgeId> down_edges(AsIndex i) const {
+    return {grouped_.data() + up_end_[i], grouped_.data() + down_end_[i]};
+  }
+  /// Peer-peer edges incident to `i`.
+  [[nodiscard]] std::span<const EdgeId> peer_edges(AsIndex i) const {
+    return {grouped_.data() + down_end_[i], grouped_.data() + offsets_[i + 1]};
+  }
+
+  [[nodiscard]] std::size_t as_count() const { return offsets_.size() - 1; }
+
+ private:
+  std::vector<std::uint32_t> offsets_;   ///< n+1 row starts into both layouts
+  std::vector<std::uint32_t> up_end_;    ///< absolute end of each row's up group
+  std::vector<std::uint32_t> down_end_;  ///< absolute end of each row's down group
+  std::vector<EdgeId> incident_;         ///< per AS, edge-insertion order
+  std::vector<EdgeId> grouped_;          ///< per AS: [up | down | peer]
+};
+
 class AsGraph {
  public:
+  AsGraph() = default;
+  // Copies and moves carry the cached edge index along (it is an immutable
+  // snapshot of the same topology); a moved-from graph drops its cache.
+  AsGraph(const AsGraph& other);
+  AsGraph& operator=(const AsGraph& other);
+  AsGraph(AsGraph&& other) noexcept;
+  AsGraph& operator=(AsGraph&& other) noexcept;
+  ~AsGraph() = default;
+
   /// Add an AS. `presence` must be non-empty; the first city is the hub
   /// unless `hub` is given.
   AsIndex add_as(Asn asn, AsClass cls, std::string name, std::vector<CityId> presence,
@@ -118,8 +170,22 @@ class AsGraph {
   [[nodiscard]] std::span<const AsEdge> edges() const { return edges_; }
   [[nodiscard]] std::span<const InterconnectLink> links() const { return links_; }
 
-  /// Neighbors of `i` with their roles (one entry per edge).
+  /// Neighbors of `i` with their roles (one entry per edge). Allocates;
+  /// hot loops should walk `edge_index().edges_of(i)` instead.
   [[nodiscard]] std::vector<Neighbor> neighbors(AsIndex i) const;
+
+  /// The CSR incident-edge index, built lazily on first use and cached
+  /// until the next topology mutation (add_as / connect_*). Safe to call
+  /// concurrently on an immutable graph: losers of the one-time build race
+  /// adopt the winner's identical snapshot. Hot loops should grab the
+  /// reference once rather than re-resolving per call; the reference stays
+  /// valid until the next mutation.
+  [[nodiscard]] const EdgeIndex& edge_index() const;
+
+  /// Convenience for one-off walks: edge_index().edges_of(i).
+  [[nodiscard]] std::span<const EdgeId> edges_of(AsIndex i) const {
+    return edge_index().edges_of(i);
+  }
 
   /// The other endpoint of `e` relative to `i`.
   [[nodiscard]] AsIndex other_end(EdgeId e, AsIndex i) const;
@@ -142,6 +208,10 @@ class AsGraph {
   std::vector<AsNode> nodes_;
   std::vector<AsEdge> edges_;
   std::vector<InterconnectLink> links_;
+  /// Lazily-built CSR snapshot; null until first edge_index() call and after
+  /// every incidence-changing mutation. Atomic so concurrent first reads of
+  /// an immutable graph are race-free (see edge_index()).
+  mutable std::atomic<std::shared_ptr<const EdgeIndex>> edge_index_cache_{nullptr};
 };
 
 }  // namespace bgpcmp::topo

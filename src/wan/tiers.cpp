@@ -1,5 +1,6 @@
 #include "bgpcmp/wan/tiers.h"
 
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::wan {
@@ -28,8 +29,16 @@ CloudTiers::CloudTiers(const Internet* internet, const ContentProvider* provider
   premium_spec_ = bgp::OriginSpec::everywhere(provider_->as_index());
   standard_spec_ =
       bgp::OriginSpec::scoped(provider_->as_index(), provider_->pop(dc_pop_).links);
-  premium_table_ = bgp::compute_routes(internet_->graph, premium_spec_);
-  standard_table_ = bgp::compute_routes(internet_->graph, standard_spec_);
+  // The two tier tables are independent: build the CSR index once up front,
+  // then compute them across the pool (index-addressed, so byte-identical at
+  // any width — see docs/PARALLELISM.md warm-then-plan).
+  internet_->graph.edge_index();
+  auto built = exec::parallel_map(2, [&](std::size_t i) {
+    return bgp::compute_routes(internet_->graph,
+                               i == 0 ? premium_spec_ : standard_spec_);
+  });
+  premium_table_ = std::move(built[0]);
+  standard_table_ = std::move(built[1]);
 }
 
 TierRoute CloudTiers::realize(const bgp::RouteTable& table,

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <thread>
+#include <vector>
+
 #include "bgpcmp/bgp/validate.h"
 #include "bgpcmp/topology/topology_gen.h"
 
@@ -11,6 +15,20 @@ namespace {
 using topo::AsClass;
 using topo::AsGraph;
 using topo::LinkKind;
+
+/// Field-by-field equality of two tables: class, length, next hop, and the
+/// edge the route was learned on must all match — the "byte-identical"
+/// golden the worklist algorithm is pinned to.
+void expect_identical(const RouteTable& got, const RouteTable& want,
+                      const AsGraph& g) {
+  ASSERT_EQ(got.size(), want.size());
+  for (topo::AsIndex i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.at(i).cls, want.at(i).cls) << g.node(i).name;
+    EXPECT_EQ(got.at(i).length, want.at(i).length) << g.node(i).name;
+    EXPECT_EQ(got.at(i).next_hop, want.at(i).next_hop) << g.node(i).name;
+    EXPECT_EQ(got.at(i).via_edge, want.at(i).via_edge) << g.node(i).name;
+  }
+}
 
 /// Hand-built textbook topology:
 ///
@@ -194,6 +212,42 @@ TEST_F(PropagationTest, UnreachableWhenFullyCut) {
   }
 }
 
+TEST_F(PropagationTest, WorklistMatchesReferenceForEveryOrigin) {
+  for (topo::AsIndex origin = 0; origin < g_.as_count(); ++origin) {
+    const OriginSpec spec = OriginSpec::everywhere(origin);
+    expect_identical(compute_routes(g_, spec), compute_routes_reference(g_, spec),
+                     g_);
+  }
+}
+
+TEST_F(PropagationTest, WorklistMatchesReferenceUnderSpecVariants) {
+  // Suppression, prepending, and scoped announcements all reroute traffic;
+  // the worklist must track the reference through each.
+  OriginSpec suppressed = OriginSpec::everywhere(eba_);
+  suppressed.suppress.insert(e_eba_ebb_);
+  OriginSpec prepended = OriginSpec::everywhere(eba_);
+  prepended.prepend[e_tra_eba_] = 4;
+  const OriginSpec scoped = OriginSpec::scoped(eba_, g_.edge(e_tra_eba_).links);
+  for (const OriginSpec& spec : {suppressed, prepended, scoped}) {
+    expect_identical(compute_routes(g_, spec), compute_routes_reference(g_, spec),
+                     g_);
+  }
+}
+
+TEST_F(PropagationTest, ConcurrentComputeOnColdGraphIsRaceFree) {
+  // First-touch of the lazy CSR index from many threads: losers of the build
+  // race must adopt the winner's snapshot (tsan guards this path in CI). g_
+  // is cold here — no compute has run in this fixture instance yet.
+  std::vector<std::optional<RouteTable>> slots(4);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    threads.emplace_back([&, t] { slots[t].emplace(compute_routes(g_, eba_)); });
+  }
+  for (auto& th : threads) th.join();
+  const auto want = compute_routes_reference(g_, OriginSpec::everywhere(eba_));
+  for (const auto& slot : slots) expect_identical(*slot, want, g_);
+}
+
 /// Property suite over generated Internets: valley-freeness and consistency
 /// hold for every origin in every seed.
 class PropagationProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -218,6 +272,21 @@ TEST_P(PropagationProperty, GeneratedInternetInvariants) {
     ++checked;
   }
   EXPECT_GT(checked, 3);
+}
+
+TEST_P(PropagationProperty, WorklistMatchesReferenceGolden) {
+  topo::InternetConfig cfg;
+  cfg.seed = GetParam();
+  cfg.tier1_count = 5;
+  cfg.transit_count = 14;
+  cfg.eyeball_count = 30;
+  cfg.stub_count = 15;
+  const auto net = topo::build_internet(cfg);
+  for (topo::AsIndex origin = 0; origin < net.graph.as_count(); origin += 5) {
+    const OriginSpec spec = OriginSpec::everywhere(origin);
+    expect_identical(compute_routes(net.graph, spec),
+                     compute_routes_reference(net.graph, spec), net.graph);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropagationProperty,

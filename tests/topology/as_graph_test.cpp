@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "bgpcmp/topology/topology_gen.h"
+
 namespace bgpcmp::topo {
 namespace {
 
@@ -98,6 +103,94 @@ TEST_F(AsGraphTest, OfClass) {
   EXPECT_EQ(g_.of_class(AsClass::Tier1).size(), 1u);
   EXPECT_EQ(g_.of_class(AsClass::Eyeball).size(), 2u);
   EXPECT_TRUE(g_.of_class(AsClass::Content).empty());
+}
+
+TEST_F(AsGraphTest, EdgeIndexMatchesInsertionOrder) {
+  const EdgeIndex& idx = g_.edge_index();
+  for (AsIndex i = 0; i < g_.as_count(); ++i) {
+    const auto row = idx.edges_of(i);
+    const auto& expected = g_.node(i).edges;
+    ASSERT_EQ(row.size(), expected.size());
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expected.begin()));
+  }
+}
+
+TEST_F(AsGraphTest, EdgeIndexGroupsClassifyByRole) {
+  const EdgeIndex& idx = g_.edge_index();
+  // P is provider on both transit edges; A is customer on pa_ and peer on ab_.
+  EXPECT_TRUE(idx.up_edges(p_).empty());
+  ASSERT_EQ(idx.down_edges(p_).size(), 2u);
+  EXPECT_EQ(idx.down_edges(p_)[0], pa_);
+  EXPECT_EQ(idx.down_edges(p_)[1], pb_);
+  ASSERT_EQ(idx.up_edges(a_).size(), 1u);
+  EXPECT_EQ(idx.up_edges(a_)[0], pa_);
+  EXPECT_TRUE(idx.down_edges(a_).empty());
+  ASSERT_EQ(idx.peer_edges(a_).size(), 1u);
+  EXPECT_EQ(idx.peer_edges(a_)[0], ab_);
+}
+
+TEST_F(AsGraphTest, EdgeIndexInvalidatedByMutation) {
+  EXPECT_EQ(g_.edge_index().as_count(), 3u);
+  const AsIndex c = g_.add_as(Asn{400}, AsClass::Stub, "C", {0});
+  const EdgeId pc = g_.connect_transit(p_, c);
+  const EdgeIndex& idx = g_.edge_index();
+  EXPECT_EQ(idx.as_count(), 4u);
+  ASSERT_EQ(idx.up_edges(c).size(), 1u);
+  EXPECT_EQ(idx.up_edges(c)[0], pc);
+  EXPECT_EQ(idx.down_edges(p_).size(), 3u);
+}
+
+TEST_F(AsGraphTest, CopySharesEdgeIndexSnapshot) {
+  const EdgeIndex& idx = g_.edge_index();
+  const AsGraph copy{g_};
+  // The copy is the same topology, so it carries the same immutable snapshot.
+  EXPECT_EQ(&copy.edge_index(), &idx);
+  // Mutating the copy drops only the copy's cache.
+  AsGraph mutated{g_};
+  mutated.add_as(Asn{500}, AsClass::Stub, "D", {0});
+  EXPECT_NE(&mutated.edge_index(), &idx);
+  EXPECT_EQ(&g_.edge_index(), &idx);
+}
+
+TEST(EdgeIndexGenerated, RoundTripsAgainstEdgeIteration) {
+  InternetConfig cfg;
+  cfg.seed = 11;
+  cfg.tier1_count = 4;
+  cfg.transit_count = 10;
+  cfg.eyeball_count = 20;
+  cfg.stub_count = 10;
+  const auto net = build_internet(cfg);
+  const AsGraph& g = net.graph;
+  const EdgeIndex& idx = g.edge_index();
+  ASSERT_EQ(idx.as_count(), g.as_count());
+  std::size_t total = 0;
+  for (AsIndex i = 0; i < g.as_count(); ++i) {
+    const auto row = idx.edges_of(i);
+    const auto& expected = g.node(i).edges;
+    ASSERT_EQ(row.size(), expected.size()) << "AS " << g.node(i).name;
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expected.begin()));
+    total += row.size();
+    // The grouped layout partitions the row, each edge under its role.
+    std::vector<EdgeId> grouped;
+    for (const EdgeId e : idx.up_edges(i)) {
+      EXPECT_EQ(g.role_of_other(e, i), NeighborRole::Provider);
+      grouped.push_back(e);
+    }
+    for (const EdgeId e : idx.down_edges(i)) {
+      EXPECT_EQ(g.role_of_other(e, i), NeighborRole::Customer);
+      grouped.push_back(e);
+    }
+    for (const EdgeId e : idx.peer_edges(i)) {
+      EXPECT_EQ(g.role_of_other(e, i), NeighborRole::Peer);
+      grouped.push_back(e);
+    }
+    std::vector<EdgeId> want{expected.begin(), expected.end()};
+    std::sort(grouped.begin(), grouped.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(grouped, want);
+  }
+  // Every edge appears exactly twice (once per endpoint).
+  EXPECT_EQ(total, 2 * g.edge_count());
 }
 
 TEST(AsGraphNames, ClassAndKindNames) {
