@@ -37,13 +37,16 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seeds[] = {1, 7, 42, 2026, 31337};
   const std::size_t n_seeds = std::size(seeds);
-  // Each seed rebuilds a full world and re-runs both studies — the sweep's
-  // cost is five independent rebuilds, so worlds fan out over the exec pool
-  // (the per-plan loops inside each study then run inline on that worker).
-  // Results are collected in seed order: output is identical at any width.
+  // Each seed's world is built once through the WorldCache and shared by both
+  // provider scenarios (the Microsoft-like run below reuses the same
+  // InternetConfig, so its make_cached is a hit, not a second build). Worlds
+  // fan out over the exec pool — the cache's per-key futures keep distinct
+  // seeds building concurrently. Results are collected in seed order: output
+  // is identical at any width.
   const auto rows = exec::parallel_map(n_seeds, [&](std::size_t s) {
     const std::uint64_t seed = seeds[s];
-    auto scenario = core::Scenario::make(core::ScenarioConfig::with_master_seed(seed));
+    auto scenario =
+        core::Scenario::make_cached(core::ScenarioConfig::with_master_seed(seed));
     core::PopStudyConfig pcfg;
     pcfg.days = days;
     const auto pop = core::run_pop_study(*scenario, pcfg);
@@ -56,7 +59,7 @@ int main(int argc, char** argv) {
     // The Fig 3 population on a Microsoft-like provider in the same world.
     auto ms_cfg = core::ScenarioConfig::microsoft_like();
     ms_cfg.internet = scenario->config.internet;  // same Internet, 2015 CDN
-    auto ms = core::Scenario::make(ms_cfg);
+    auto ms = core::Scenario::make_cached(ms_cfg);  // cache hit: same world key
     cdn::AnycastCdn cdn{&ms->internet, &ms->provider};
     core::AnycastStudyConfig acfg;
     acfg.beacon_rounds = 2;

@@ -12,6 +12,7 @@
 #include "bgpcmp/stats/bootstrap.h"
 #include "bgpcmp/stats/cdf.h"
 #include "bgpcmp/stats/quantile.h"
+#include "bgpcmp/topology/world_cache.h"
 
 namespace {
 
@@ -22,15 +23,38 @@ const core::Scenario& shared_scenario() {
   return *scenario;
 }
 
+// World construction at 1x/4x/10x AS counts. The indexed build (presence set,
+// edge-pair map, ASN map, region/country tables, per-city IXP buckets) must
+// hold the 4x/1x time ratio far below the quadratic regime the old linear
+// scans produced; scripts/check.sh smoke-gates the 4x point.
 void BM_BuildInternet(benchmark::State& state) {
   topo::InternetConfig cfg;
   cfg.seed = 7;
+  const auto mult = static_cast<std::size_t>(state.range(0));
+  cfg.tier1_count *= mult;
+  cfg.transit_count *= mult;
+  cfg.eyeball_count *= mult;
+  cfg.stub_count *= mult;
   for (auto _ : state) {
     auto net = topo::build_internet(cfg);
     benchmark::DoNotOptimize(net.graph.link_count());
   }
 }
-BENCHMARK(BM_BuildInternet)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildInternet)->Arg(1)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// A WorldCache hit: everything but the shared_ptr copy should be amortized
+// away — the contrast with BM_BuildInternet/1 is the memoization win.
+void BM_WorldCacheHit(benchmark::State& state) {
+  topo::WorldCache cache;
+  topo::InternetConfig cfg;
+  cfg.seed = 7;
+  (void)cache.get(cfg);  // prime
+  for (auto _ : state) {
+    auto world = cache.get(cfg);
+    benchmark::DoNotOptimize(world->graph.link_count());
+  }
+}
+BENCHMARK(BM_WorldCacheHit)->Unit(benchmark::kMicrosecond);
 
 void BM_RoutePropagation(benchmark::State& state) {
   const auto& sc = shared_scenario();

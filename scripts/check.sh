@@ -32,6 +32,20 @@ build/tools/determinism_audit
 # order into results.
 build/tools/determinism_audit --compare-threads 8
 
+# Scale smoke: the 4x-AS-count world (two builds + fingerprints) must stay in
+# interactive time. The indexed generator does this in well under a second;
+# reintroducing a linear scan into the build loops (the old quadratic regime
+# was ~30x slower) blows the bound by an order of magnitude, so a generous
+# cap still catches it on slow machines.
+start_ns=$(date +%s%N)
+build/tools/determinism_audit --scenario topology_4x
+elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+echo "topology_4x audit: ${elapsed_ms} ms (bound 5000)"
+if [ "$elapsed_ms" -ge 5000 ]; then
+  echo "4x-scale build_internet regressed toward the quadratic regime" >&2
+  exit 1
+fi
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "== $(basename "$b")"

@@ -32,6 +32,18 @@ struct BeaconResult {
   [[nodiscard]] PopId best_unicast_pop() const;
 };
 
+/// The deterministic half of one beacon: routes resolved and base RTTs
+/// computed, no noise drawn yet. Safe to build in parallel (one plan per
+/// item) and replay serially through sample() to keep the draw order of the
+/// historical all-in-one measure().
+struct BeaconPlan {
+  traffic::PrefixId client = 0;
+  bool reachable = false;        ///< anycast route valid; false => zero draws
+  PopId catchment = kNoPop;
+  Milliseconds anycast_base{0.0};
+  std::vector<std::pair<PopId, Milliseconds>> unicast_base;  ///< valid FEs only
+};
+
 class OdinBeacons {
  public:
   OdinBeacons(const AnycastCdn* cdn, const lat::LatencyModel* latency,
@@ -40,9 +52,18 @@ class OdinBeacons {
 
   /// Run one beacon for a client at time `t`. Returns false (and leaves
   /// `result` partially filled) only if the client cannot reach the anycast
-  /// prefix at all.
+  /// prefix at all. Equivalent to sample(plan(client, t), rng, result).
   [[nodiscard]] bool measure(traffic::PrefixId client, SimTime t, Rng& rng,
                              BeaconResult& result) const;
+
+  /// Deterministic half of a beacon: resolve routes and base RTTs, drawing no
+  /// randomness. Thread-safe against concurrent plan() calls.
+  [[nodiscard]] BeaconPlan plan(traffic::PrefixId client, SimTime t) const;
+
+  /// Apply fetch noise to a plan, drawing exactly the sequence measure()
+  /// would for the same beacon. Returns measure()'s verdict.
+  [[nodiscard]] bool sample(const BeaconPlan& plan, Rng& rng,
+                            BeaconResult& result) const;
 
   [[nodiscard]] const OdinConfig& config() const { return config_; }
 

@@ -26,30 +26,48 @@ PopId BeaconResult::best_unicast_pop() const {
   return best;
 }
 
-bool OdinBeacons::measure(traffic::PrefixId client_id, SimTime t, Rng& rng,
-                          BeaconResult& result) const {
+BeaconPlan OdinBeacons::plan(traffic::PrefixId client_id, SimTime t) const {
   const traffic::ClientPrefix& client = clients_->at(client_id);
-  result.client = client_id;
-  result.unicast.clear();
+  BeaconPlan plan;
+  plan.client = client_id;
 
   const auto anycast = cdn_->anycast_route(client);
-  if (!anycast.valid()) return false;
-  result.catchment = anycast.pop;
-  const auto base_any =
-      latency_->rtt(anycast.path, t, client.access, client.origin_as, client.city);
-  result.anycast =
-      sampler_.sample_min_rtt(base_any.total(), config_.probes_per_target, rng);
+  if (!anycast.valid()) return plan;
+  plan.reachable = true;
+  plan.catchment = anycast.pop;
+  plan.anycast_base =
+      latency_->rtt(anycast.path, t, client.access, client.origin_as, client.city)
+          .total();
 
   for (const PopId pop :
        cdn_->nearby_front_ends(client, config_.unicast_candidates)) {
     const auto path = cdn_->unicast_route(client, pop);
     if (!path.valid()) continue;
-    const auto base =
-        latency_->rtt(path, t, client.access, client.origin_as, client.city);
+    plan.unicast_base.emplace_back(
+        pop,
+        latency_->rtt(path, t, client.access, client.origin_as, client.city).total());
+  }
+  return plan;
+}
+
+bool OdinBeacons::sample(const BeaconPlan& plan, Rng& rng,
+                         BeaconResult& result) const {
+  result.client = plan.client;
+  result.unicast.clear();
+  if (!plan.reachable) return false;
+  result.catchment = plan.catchment;
+  result.anycast =
+      sampler_.sample_min_rtt(plan.anycast_base, config_.probes_per_target, rng);
+  for (const auto& [pop, base] : plan.unicast_base) {
     result.unicast.emplace_back(
-        pop, sampler_.sample_min_rtt(base.total(), config_.probes_per_target, rng));
+        pop, sampler_.sample_min_rtt(base, config_.probes_per_target, rng));
   }
   return !result.unicast.empty();
+}
+
+bool OdinBeacons::measure(traffic::PrefixId client_id, SimTime t, Rng& rng,
+                          BeaconResult& result) const {
+  return sample(plan(client_id, t), rng, result);
 }
 
 }  // namespace bgpcmp::cdn

@@ -1,5 +1,6 @@
 #include "bgpcmp/core/fingerprint.h"
 
+#include <cstdio>
 #include <map>
 #include <utility>
 
@@ -21,14 +22,18 @@ namespace {
 constexpr std::size_t kSamplePrefixes = 32;
 constexpr double kSampleHours[] = {0.5, 7.25, 13.0, 21.75};
 
-void append_topology(const Scenario& sc, std::string& out) {
-  const auto& g = sc.internet.graph;
-  out += banner("topology");
-  out += "ases=" + std::to_string(g.as_count()) +
+/// The "ases=... ixps=N" counts prefix shared by the scenario and
+/// topology-only renderings (the scenario one appends " clients=N" before the
+/// newline, so existing fingerprints are unchanged).
+std::string topology_counts(const topo::Internet& internet) {
+  const auto& g = internet.graph;
+  return "ases=" + std::to_string(g.as_count()) +
          " edges=" + std::to_string(g.edge_count()) +
          " links=" + std::to_string(g.link_count()) +
-         " ixps=" + std::to_string(sc.internet.ixps.size()) +
-         " clients=" + std::to_string(sc.clients.size()) + "\n";
+         " ixps=" + std::to_string(internet.ixps.size());
+}
+
+std::string per_class_table(const topo::AsGraph& g) {
   stats::Table t{{"class", "count", "mean degree", "mean presence"}};
   for (const auto cls :
        {topo::AsClass::Tier1, topo::AsClass::Transit, topo::AsClass::Eyeball,
@@ -45,7 +50,14 @@ void append_topology(const Scenario& sc, std::string& out) {
     t.add_row({std::string(topo::as_class_name(cls)), std::to_string(members.size()),
                stats::fmt(degree / n, 3), stats::fmt(presence / n, 3)});
   }
-  out += t.render();
+  return t.render();
+}
+
+void append_topology(const Scenario& sc, std::string& out) {
+  out += banner("topology");
+  out += topology_counts(sc.internet) +
+         " clients=" + std::to_string(sc.clients.size()) + "\n";
+  out += per_class_table(sc.internet.graph);
 }
 
 void append_routes(const Scenario& sc, std::string& out) {
@@ -177,6 +189,20 @@ std::uint64_t fnv1a64(std::string_view data) {
 
 std::string render_result_tables(const ScenarioConfig& config,
                                  const FingerprintOptions& options) {
+  if (options.topology_only) {
+    // World generation only — no provider, clients, or studies. The canonical
+    // structural hash stands in for the table dumps a full scenario gets.
+    const auto internet = topo::build_internet(config.internet);
+    std::string out;
+    out += banner("topology (world only)");
+    out += topology_counts(internet) + "\n";
+    out += per_class_table(internet.graph);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(topo::internet_fingerprint(internet)));
+    out += "world fingerprint=" + std::string(buf) + "\n";
+    return out;
+  }
   const auto scenario = Scenario::make(config);
   const cdn::AnycastCdn cdn{&scenario->internet, &scenario->provider};
   std::string out;

@@ -24,6 +24,11 @@ namespace bgpcmp::core {
 struct FingerprintOptions {
   /// Also run scaled-down pop/anycast/wan studies (slower, deeper coverage).
   bool run_studies = true;
+  /// Render only the generated world: build_internet without a provider,
+  /// clients, or studies. Exercises (and times) pure topology generation at
+  /// scales where a full scenario would be too slow to audit; implies no
+  /// studies.
+  bool topology_only = false;
 };
 
 /// Build a fresh world from `config` and render its canonical result tables.

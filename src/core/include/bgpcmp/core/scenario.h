@@ -46,6 +46,13 @@ class Scenario {
  public:
   static std::unique_ptr<Scenario> make(const ScenarioConfig& config = {});
 
+  /// Like make(), but sources the Internet from topo::WorldCache::global():
+  /// repeated scenarios over the same InternetConfig (seed sweeps, benches,
+  /// multiple provider presets on one world) copy a cached snapshot instead
+  /// of regenerating it. The determinism audit must keep using make() — it
+  /// compares two independent builds by design.
+  static std::unique_ptr<Scenario> make_cached(const ScenarioConfig& config = {});
+
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
@@ -58,7 +65,7 @@ class Scenario {
   ScenarioConfig config;
 
  private:
-  Scenario(ScenarioConfig cfg);
+  Scenario(ScenarioConfig cfg, topo::Internet world);
 };
 
 }  // namespace bgpcmp::core

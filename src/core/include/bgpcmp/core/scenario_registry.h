@@ -19,6 +19,10 @@ struct RegisteredScenario {
   /// on this scenario, not just the world tables. Study runs dominate the
   /// auditor's runtime, so seed-sweep entries keep this off.
   bool fingerprint_studies = true;
+  /// Fingerprint only the generated world (FingerprintOptions::topology_only):
+  /// no provider, clients, or studies. Lets scaled-up topologies sit under
+  /// the determinism gate without a full scenario's cost.
+  bool topology_only = false;
 };
 
 /// All registered scenarios, in a fixed, documented order.

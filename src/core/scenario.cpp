@@ -1,6 +1,7 @@
 #include "bgpcmp/core/scenario.h"
 
 #include "bgpcmp/netbase/rng.h"
+#include "bgpcmp/topology/world_cache.h"
 
 namespace bgpcmp::core {
 
@@ -47,8 +48,8 @@ ScenarioConfig ScenarioConfig::google_like() {
   return cfg;
 }
 
-Scenario::Scenario(ScenarioConfig cfg)
-    : internet(topo::build_internet(cfg.internet)),
+Scenario::Scenario(ScenarioConfig cfg, topo::Internet world)
+    : internet(std::move(world)),
       provider(cdn::ContentProvider::attach(internet, cfg.provider)),
       clients(traffic::ClientBase::generate(internet, cfg.clients)),
       demand(&clients, internet.cities, cfg.demand),
@@ -58,7 +59,16 @@ Scenario::Scenario(ScenarioConfig cfg)
       config(std::move(cfg)) {}
 
 std::unique_ptr<Scenario> Scenario::make(const ScenarioConfig& config) {
-  return std::unique_ptr<Scenario>(new Scenario(config));
+  return std::unique_ptr<Scenario>(
+      new Scenario(config, topo::build_internet(config.internet)));
+}
+
+std::unique_ptr<Scenario> Scenario::make_cached(const ScenarioConfig& config) {
+  // Copy the immutable snapshot: attaching the provider mutates the graph.
+  // The copy inherits the snapshot's pre-warmed CSR edge index and drops it
+  // on its first mutation.
+  auto world = topo::WorldCache::global().get(config.internet);
+  return std::unique_ptr<Scenario>(new Scenario(config, topo::Internet(*world)));
 }
 
 }  // namespace bgpcmp::core

@@ -8,7 +8,16 @@ namespace {
 ScenarioConfig master_seed_7() { return ScenarioConfig::with_master_seed(7); }
 ScenarioConfig master_seed_456() { return ScenarioConfig::with_master_seed(456); }
 
-constexpr std::array<RegisteredScenario, 5> kRegistry{{
+ScenarioConfig topology_4x() {
+  ScenarioConfig cfg;
+  cfg.internet.tier1_count *= 4;
+  cfg.internet.transit_count *= 4;
+  cfg.internet.eyeball_count *= 4;
+  cfg.internet.stub_count *= 4;
+  return cfg;
+}
+
+constexpr std::array<RegisteredScenario, 6> kRegistry{{
     {"facebook_like", "Study 1: PNI-rich edge provider (default config)",
      &ScenarioConfig::facebook_like, /*fingerprint_studies=*/true},
     {"microsoft_like", "Study 2: 2015-era anycast CDN, sparse peering",
@@ -19,6 +28,8 @@ constexpr std::array<RegisteredScenario, 5> kRegistry{{
      &master_seed_7, /*fingerprint_studies=*/false},
     {"master_seed_456", "seed-sweep world derived from master seed 456",
      &master_seed_456, /*fingerprint_studies=*/false},
+    {"topology_4x", "4x-scale world, topology generation only",
+     &topology_4x, /*fingerprint_studies=*/false, /*topology_only=*/true},
 }};
 
 }  // namespace

@@ -31,10 +31,17 @@ class Prober {
       : latency_(latency), config_(config) {}
 
   /// `count` pings over `path`; min RTT of the ones that survive loss.
+  /// Equivalent to ping_from_base() on the path's deterministic base RTT.
   [[nodiscard]] PingResult ping(const lat::GeoPath& path, SimTime t,
                                 const lat::AccessProfile& profile,
                                 topo::AsIndex access_as, topo::CityId access_city,
                                 int count, Rng& rng) const;
+
+  /// The noise half of ping(): draw `count` loss/jitter samples around an
+  /// already-computed base RTT. Lets campaigns compute bases in parallel and
+  /// replay draws serially with an unchanged rng stream.
+  [[nodiscard]] PingResult ping_from_base(Milliseconds base, int count,
+                                          Rng& rng) const;
 
   /// Hop list with cumulative RTTs at each AS boundary — what the §3.3 study
   /// used to locate where traffic enters the cloud network.

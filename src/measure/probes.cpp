@@ -9,9 +9,13 @@ namespace bgpcmp::measure {
 PingResult Prober::ping(const lat::GeoPath& path, SimTime t,
                         const lat::AccessProfile& profile, topo::AsIndex access_as,
                         topo::CityId access_city, int count, Rng& rng) const {
+  const auto base = latency_->rtt(path, t, profile, access_as, access_city).total();
+  return ping_from_base(base, count, rng);
+}
+
+PingResult Prober::ping_from_base(Milliseconds base, int count, Rng& rng) const {
   PingResult out;
   out.sent = count;
-  const auto base = latency_->rtt(path, t, profile, access_as, access_city).total();
   Milliseconds best{0.0};
   for (int i = 0; i < count; ++i) {
     if (rng.chance(config_.loss_rate)) continue;

@@ -88,6 +88,9 @@ AsGraph::AsGraph(const AsGraph& other)
     : nodes_(other.nodes_),
       edges_(other.edges_),
       links_(other.links_),
+      presence_set_(other.presence_set_),
+      edge_by_pair_(other.edge_by_pair_),
+      index_by_asn_(other.index_by_asn_),
       edge_index_cache_(other.edge_index_cache_.load(std::memory_order_acquire)) {}
 
 AsGraph& AsGraph::operator=(const AsGraph& other) {
@@ -95,6 +98,9 @@ AsGraph& AsGraph::operator=(const AsGraph& other) {
   nodes_ = other.nodes_;
   edges_ = other.edges_;
   links_ = other.links_;
+  presence_set_ = other.presence_set_;
+  edge_by_pair_ = other.edge_by_pair_;
+  index_by_asn_ = other.index_by_asn_;
   edge_index_cache_.store(other.edge_index_cache_.load(std::memory_order_acquire),
                           std::memory_order_release);
   return *this;
@@ -104,6 +110,9 @@ AsGraph::AsGraph(AsGraph&& other) noexcept
     : nodes_(std::move(other.nodes_)),
       edges_(std::move(other.edges_)),
       links_(std::move(other.links_)),
+      presence_set_(std::move(other.presence_set_)),
+      edge_by_pair_(std::move(other.edge_by_pair_)),
+      index_by_asn_(std::move(other.index_by_asn_)),
       edge_index_cache_(other.edge_index_cache_.load(std::memory_order_acquire)) {
   other.edge_index_cache_.store(nullptr, std::memory_order_release);
 }
@@ -113,6 +122,9 @@ AsGraph& AsGraph::operator=(AsGraph&& other) noexcept {
   nodes_ = std::move(other.nodes_);
   edges_ = std::move(other.edges_);
   links_ = std::move(other.links_);
+  presence_set_ = std::move(other.presence_set_);
+  edge_by_pair_ = std::move(other.edge_by_pair_);
+  index_by_asn_ = std::move(other.index_by_asn_);
   edge_index_cache_.store(other.edge_index_cache_.load(std::memory_order_acquire),
                           std::memory_order_release);
   other.edge_index_cache_.store(nullptr, std::memory_order_release);
@@ -132,8 +144,19 @@ AsIndex AsGraph::add_as(Asn asn, AsClass cls, std::string name,
   node.presence = std::move(presence);
   node.backbone_inflation = backbone_inflation;
   nodes_.push_back(std::move(node));
+  const auto idx = static_cast<AsIndex>(nodes_.size() - 1);
+  for (const CityId c : nodes_.back().presence) {
+    presence_set_.insert(presence_key(idx, c));
+  }
+  index_by_asn_.emplace(asn.value(), idx);  // first add of an ASN wins
   edge_index_cache_.store(nullptr, std::memory_order_release);
-  return static_cast<AsIndex>(nodes_.size() - 1);
+  return idx;
+}
+
+void AsGraph::add_presence(AsIndex i, CityId city) {
+  BGPCMP_CHECK_LT(i, nodes_.size(), "AS index out of range");
+  if (!presence_set_.insert(presence_key(i, city)).second) return;
+  nodes_[i].presence.push_back(city);
 }
 
 EdgeId AsGraph::connect_transit(AsIndex provider, AsIndex customer) {
@@ -145,6 +168,7 @@ EdgeId AsGraph::connect_transit(AsIndex provider, AsIndex customer) {
   const auto id = static_cast<EdgeId>(edges_.size() - 1);
   nodes_[provider].edges.push_back(id);
   nodes_[customer].edges.push_back(id);
+  edge_by_pair_.emplace(pair_key(provider, customer), id);
   edge_index_cache_.store(nullptr, std::memory_order_release);
   return id;
 }
@@ -158,6 +182,7 @@ EdgeId AsGraph::connect_peering(AsIndex a, AsIndex b) {
   const auto id = static_cast<EdgeId>(edges_.size() - 1);
   nodes_[a].edges.push_back(id);
   nodes_[b].edges.push_back(id);
+  edge_by_pair_.emplace(pair_key(a, b), id);
   edge_index_cache_.store(nullptr, std::memory_order_release);
   return id;
 }
@@ -205,26 +230,20 @@ NeighborRole AsGraph::role_of_other(EdgeId e, AsIndex i) const {
 
 std::optional<EdgeId> AsGraph::find_edge(AsIndex a, AsIndex b) const {
   if (a >= nodes_.size() || b >= nodes_.size()) return std::nullopt;
-  const auto& smaller = nodes_[a].edges.size() <= nodes_[b].edges.size()
-                            ? nodes_[a].edges
-                            : nodes_[b].edges;
-  for (const EdgeId e : smaller) {
-    const AsEdge& edge = edges_[e];
-    if ((edge.a == a && edge.b == b) || (edge.a == b && edge.b == a)) return e;
-  }
-  return std::nullopt;
+  const auto it = edge_by_pair_.find(pair_key(a, b));
+  if (it == edge_by_pair_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool AsGraph::has_presence(AsIndex i, CityId city) const {
-  const auto& p = nodes_.at(i).presence;
-  return std::find(p.begin(), p.end(), city) != p.end();
+  BGPCMP_CHECK_LT(i, nodes_.size(), "AS index out of range");
+  return presence_set_.count(presence_key(i, city)) != 0;
 }
 
 std::optional<AsIndex> AsGraph::find_asn(Asn asn) const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].asn == asn) return static_cast<AsIndex>(i);
-  }
-  return std::nullopt;
+  const auto it = index_by_asn_.find(asn.value());
+  if (it == index_by_asn_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<AsIndex> AsGraph::of_class(AsClass c) const {

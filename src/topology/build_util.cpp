@@ -29,27 +29,49 @@ std::vector<CityId> spread_subset(const CityDb& cities, std::vector<CityId> cand
   if (candidates.size() <= k) return candidates;
   std::vector<CityId> chosen;
   chosen.push_back(candidates.front());
+  // Greedy farthest-point with the classic incremental min-distance array:
+  // each candidate carries its distance to the nearest chosen city, refreshed
+  // against only the newest pick. min() over the same set of exact doubles in
+  // any grouping is the same double, so selections match the historical
+  // recompute-from-scratch loop bit for bit.
+  constexpr double kTaken = -1.0;  // candidate already chosen
+  std::vector<double> min_d(candidates.size());
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    min_d[ci] = candidates[ci] == candidates.front()
+                    ? kTaken
+                    : cities.distance(candidates[ci], candidates.front()).value();
+  }
   while (chosen.size() < k) {
-    CityId best = kNoCity;
+    std::size_t best = 0;
     double best_min = -1.0;
-    for (const CityId c : candidates) {
-      if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) continue;
-      double min_d = 1e18;
-      for (const CityId s : chosen) {
-        min_d = std::min(min_d, cities.distance(c, s).value());
-      }
-      if (min_d > best_min) {
-        best_min = min_d;
-        best = c;
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (min_d[ci] > best_min) {
+        best_min = min_d[ci];
+        best = ci;
       }
     }
-    chosen.push_back(best);
+    if (best_min == kTaken) {  // every candidate value already chosen
+      chosen.push_back(kNoCity);
+      continue;
+    }
+    chosen.push_back(candidates[best]);
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (min_d[ci] == kTaken) continue;
+      // Skip by value, not index: candidate lists can carry duplicate cities
+      // and the historical loop excluded every copy of a chosen city.
+      if (candidates[ci] == candidates[best]) {
+        min_d[ci] = kTaken;
+        continue;
+      }
+      min_d[ci] =
+          std::min(min_d[ci], cities.distance(candidates[ci], candidates[best]).value());
+    }
   }
   return chosen;
 }
 
 void ensure_presence(AsGraph& graph, AsIndex as, CityId city) {
-  if (!graph.has_presence(as, city)) graph.node_mut(as).presence.push_back(city);
+  graph.add_presence(as, city);
 }
 
 EdgeId add_transit_edge(AsGraph& graph, const CityDb& cities, AsIndex provider,

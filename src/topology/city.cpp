@@ -235,8 +235,18 @@ std::vector<CityId> CityDb::in_country(std::string_view country) const {
   return out;
 }
 
-Kilometers CityDb::distance(CityId a, CityId b) const {
-  return great_circle_distance(at(a).location, at(b).location);
+CityDb::CityDb(std::vector<City> cities) : cities_(std::move(cities)) {
+  // Dense pairwise distance matrix (~170^2 doubles for the world database).
+  // Both triangles are computed independently so each lookup returns the
+  // bit-exact double the direct great_circle_distance call used to produce.
+  const std::size_t n = cities_.size();
+  dist_km_.resize(n * n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      dist_km_[a * n + b] =
+          great_circle_distance(cities_[a].location, cities_[b].location).value();
+    }
+  }
 }
 
 CityId CityDb::nearest(GeoPoint point) const {

@@ -14,6 +14,8 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bgpcmp/netbase/asn.h"
@@ -154,6 +156,10 @@ class AsGraph {
   EdgeId connect_transit(AsIndex provider, AsIndex customer);
   /// Create a peer-peer edge (no links yet).
   EdgeId connect_peering(AsIndex a, AsIndex b);
+  /// Extend an AS into a city (no-op if already present). The only way to
+  /// grow a presence footprint after add_as, so the presence index stays in
+  /// sync. Does not invalidate the CSR edge index (incidence is unchanged).
+  void add_presence(AsIndex i, CityId city);
   /// Attach a physical link to an edge at a city. Both ASes must be present
   /// in that city.
   LinkId add_link(EdgeId edge, CityId city, LinkKind kind, GigabitsPerSecond capacity);
@@ -163,7 +169,6 @@ class AsGraph {
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }
 
   [[nodiscard]] const AsNode& node(AsIndex i) const { return nodes_.at(i); }
-  [[nodiscard]] AsNode& node_mut(AsIndex i) { return nodes_.at(i); }
   [[nodiscard]] const AsEdge& edge(EdgeId e) const { return edges_.at(e); }
   [[nodiscard]] const InterconnectLink& link(LinkId l) const { return links_.at(l); }
   [[nodiscard]] std::span<const AsNode> nodes() const { return nodes_; }
@@ -192,22 +197,43 @@ class AsGraph {
   /// Role the *other* endpoint plays relative to `i` on edge `e`.
   [[nodiscard]] NeighborRole role_of_other(EdgeId e, AsIndex i) const;
 
-  /// Edge between a and b if one exists.
+  /// Edge between a and b if one exists. O(1): hash lookup on the unordered
+  /// endpoint pair, maintained incrementally by connect_transit/connect_peering.
   [[nodiscard]] std::optional<EdgeId> find_edge(AsIndex a, AsIndex b) const;
 
-  /// True if the AS has a router in the city.
+  /// True if the AS has a router in the city. O(1): hash lookup on the
+  /// (AS, city) pair, maintained incrementally by add_as/add_presence.
   [[nodiscard]] bool has_presence(AsIndex i, CityId city) const;
 
-  /// Lookup by ASN (linear scan; graphs are built once, queried by index).
+  /// Lookup by ASN. O(1); if the same ASN was added twice the first (lowest
+  /// index) wins, matching the historical linear-scan semantics.
   [[nodiscard]] std::optional<AsIndex> find_asn(Asn asn) const;
 
   /// All AS indices of a given class.
   [[nodiscard]] std::vector<AsIndex> of_class(AsClass c) const;
 
  private:
+  /// Key for presence_set_: (AS index, city) packed into one word.
+  [[nodiscard]] static std::uint64_t presence_key(AsIndex i, CityId city) {
+    return (static_cast<std::uint64_t>(i) << 16) | city;
+  }
+  /// Key for edge_by_pair_: the unordered endpoint pair, min-first.
+  [[nodiscard]] static std::uint64_t pair_key(AsIndex a, AsIndex b) {
+    const AsIndex lo = a < b ? a : b;
+    const AsIndex hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
   std::vector<AsNode> nodes_;
   std::vector<AsEdge> edges_;
   std::vector<InterconnectLink> links_;
+  // Incremental lookup indices, kept in sync by the mutating methods above.
+  // Unlike the CSR snapshot below they are never invalidated wholesale —
+  // every mutation updates them in place, so reads are always O(1) even
+  // mid-construction (build_internet queries the half-built graph heavily).
+  std::unordered_set<std::uint64_t> presence_set_;          ///< presence_key()
+  std::unordered_map<std::uint64_t, EdgeId> edge_by_pair_;  ///< pair_key()
+  std::unordered_map<std::uint32_t, AsIndex> index_by_asn_;
   /// Lazily-built CSR snapshot; null until first edge_index() call and after
   /// every incidence-changing mutation. Atomic so concurrent first reads of
   /// an immutable graph are race-free (see edge_index()).

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bgpcmp/netbase/check.h"
 #include "bgpcmp/netbase/geo.h"
 
 namespace bgpcmp::topo {
@@ -63,15 +64,24 @@ class CityDb {
   /// All cities in a country (by country name).
   [[nodiscard]] std::vector<CityId> in_country(std::string_view country) const;
 
-  [[nodiscard]] Kilometers distance(CityId a, CityId b) const;
+  /// Great-circle distance between two metros. Served from a dense matrix
+  /// precomputed at construction (the generator's farthest-point spreading
+  /// calls this millions of times at scale); values are the exact doubles
+  /// `great_circle_distance` produces for the same pair.
+  [[nodiscard]] Kilometers distance(CityId a, CityId b) const {
+    BGPCMP_CHECK_LT(a, cities_.size(), "city id out of range");
+    BGPCMP_CHECK_LT(b, cities_.size(), "city id out of range");
+    return Kilometers{dist_km_[static_cast<std::size_t>(a) * cities_.size() + b]};
+  }
 
   /// Id of the city nearest to `point`.
   [[nodiscard]] CityId nearest(GeoPoint point) const;
 
-  explicit CityDb(std::vector<City> cities) : cities_(std::move(cities)) {}
+  explicit CityDb(std::vector<City> cities);
 
  private:
   std::vector<City> cities_;
+  std::vector<double> dist_km_;  ///< row-major size() x size() distance matrix
 };
 
 }  // namespace bgpcmp::topo

@@ -51,6 +51,9 @@ struct InternetConfig {
   double stub_capacity = 40.0;
 };
 
+/// Sentinel in Internet::ixp_by_city for "no IXP in this city".
+inline constexpr std::uint32_t kNoIxpSlot = 0xffffffff;
+
 /// A generated Internet: graph plus index lists by class and the IXPs.
 struct Internet {
   const CityDb* cities = nullptr;
@@ -60,13 +63,35 @@ struct Internet {
   std::vector<AsIndex> transits;
   std::vector<AsIndex> eyeballs;
   std::vector<AsIndex> stubs;
+  /// City -> slot into `ixps` (kNoIxpSlot if none). Built by
+  /// rebuild_ixp_index(); build_internet calls it before returning. Stale the
+  /// moment `ixps` is mutated — rebuild after any such edit.
+  std::vector<std::uint32_t> ixp_by_city;
 
   [[nodiscard]] const CityDb& city_db() const { return *cities; }
-  /// The IXP hosted in `city`, if any.
+  /// The IXP hosted in `city`, if any. O(1) once the index is built; falls
+  /// back to a scan of `ixps` for hand-assembled instances without one.
   [[nodiscard]] const Ixp* ixp_in(CityId city) const;
+  /// Rebuild ixp_by_city from `ixps` (first IXP per city wins, matching the
+  /// historical scan order).
+  void rebuild_ixp_index();
 };
 
 [[nodiscard]] Internet build_internet(const InternetConfig& config);
+
+/// Canonical FNV-1a fingerprint over every structural field of a generated
+/// world: nodes (ASN, class, name, hub, inflation, presence, incident edges),
+/// edges, links, IXPs with memberships, and the per-class index lists. Two
+/// worlds hash equal iff generation was byte-identical — this is what the
+/// golden tests and the topology-only determinism-audit scenario pin.
+[[nodiscard]] std::uint64_t internet_fingerprint(const Internet& net);
+
+/// FNV-1a over every InternetConfig field EXCEPT the seed, in declaration
+/// order. WorldCache keys on (this, seed); keeping the seed out makes the
+/// cache key's two halves independent. Adding a config field requires
+/// extending this hash — the WorldCacheConfigFingerprint test counts fields
+/// as a tripwire.
+[[nodiscard]] std::uint64_t internet_config_fingerprint(const InternetConfig& config);
 
 /// Which cities a content provider deploys PoPs in: the `count` highest
 /// user-weight IXP cities, spread across regions proportionally to weight.

@@ -4,9 +4,13 @@
 #include "bgpcmp/topology/build_util.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 namespace bgpcmp::topo {
 
@@ -40,31 +44,154 @@ int sample_count(Rng& rng, double mean, int max) {
   return std::clamp(1 + extra, 1, max);
 }
 
-std::vector<CityId> cities_of_region(const CityDb& db, Region r) {
-  return db.in_region(r);
-}
+constexpr Region kRegions[] = {
+    Region::NorthAmerica, Region::SouthAmerica, Region::Europe, Region::Asia,
+    Region::Oceania,      Region::Africa,       Region::MiddleEast};
+constexpr std::size_t kRegionCount = std::size(kRegions);
+
+/// Per-region city lists and user-weight tables, computed once per build.
+/// `sample_region` used to rebuild all of this on every call (a full scan of
+/// the city database per transit AS); hoisting it preserves the exact
+/// summation order — per region, ascending CityId — so every weighted draw
+/// sees bit-identical weights.
+struct RegionTables {
+  std::array<std::vector<CityId>, kRegionCount> cities;
+  std::array<std::vector<double>, kRegionCount> city_weights;
+  std::array<double, kRegionCount> totals{};
+
+  explicit RegionTables(const CityDb& db) {
+    for (CityId c = 0; c < db.size(); ++c) {
+      const auto r = static_cast<std::size_t>(db.at(c).region);
+      cities[r].push_back(c);
+      city_weights[r].push_back(db.at(c).user_weight);
+      totals[r] += db.at(c).user_weight;
+    }
+  }
+};
+// kRegions must stay aligned with the Region declaration order so the
+// enum value doubles as the table index.
+static_assert(static_cast<std::size_t>(Region::NorthAmerica) == 0 &&
+              static_cast<std::size_t>(Region::MiddleEast) == kRegionCount - 1);
 
 /// Weighted sample of one region by total user weight.
-Region sample_region(const CityDb& db, Rng& rng) {
-  static constexpr Region kRegions[] = {
-      Region::NorthAmerica, Region::SouthAmerica, Region::Europe, Region::Asia,
-      Region::Oceania,      Region::Africa,       Region::MiddleEast};
-  double weights[std::size(kRegions)];
-  for (std::size_t i = 0; i < std::size(kRegions); ++i) {
-    double w = 0.0;
-    for (const CityId c : db.in_region(kRegions[i])) w += db.at(c).user_weight;
-    weights[i] = w;
-  }
-  return kRegions[rng.weighted_index(std::span<const double>{weights})];
+Region sample_region(const RegionTables& tables, Rng& rng) {
+  return kRegions[rng.weighted_index(std::span<const double>{tables.totals})];
 }
+
+/// Streaming FNV-1a 64 over raw bytes, with fixed-width encodings so the
+/// hash is layout- and platform-stable.
+class Fnv1a {
+ public:
+  void mix_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= b[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix_u64(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix_double(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    mix_u64(bits);
+  }
+  void mix_str(std::string_view s) {
+    mix_u64(s.size());
+    mix_bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
 
 }  // namespace
 
+std::uint64_t internet_fingerprint(const Internet& net) {
+  Fnv1a h;
+  const AsGraph& g = net.graph;
+  h.mix_u64(g.as_count());
+  h.mix_u64(g.edge_count());
+  h.mix_u64(g.link_count());
+  for (AsIndex i = 0; i < g.as_count(); ++i) {
+    const AsNode& n = g.node(i);
+    h.mix_u64(n.asn.value());
+    h.mix_u64(static_cast<std::uint64_t>(n.cls));
+    h.mix_str(n.name);
+    h.mix_u64(n.hub);
+    h.mix_double(n.backbone_inflation);
+    h.mix_u64(n.presence.size());
+    for (const CityId c : n.presence) h.mix_u64(c);
+    h.mix_u64(n.edges.size());
+    for (const EdgeId e : n.edges) h.mix_u64(e);
+  }
+  for (const AsEdge& e : g.edges()) {
+    h.mix_u64(e.a);
+    h.mix_u64(e.b);
+    h.mix_u64(static_cast<std::uint64_t>(e.rel));
+    h.mix_u64(e.links.size());
+    for (const LinkId l : e.links) h.mix_u64(l);
+  }
+  for (const InterconnectLink& l : g.links()) {
+    h.mix_u64(l.edge);
+    h.mix_u64(l.city);
+    h.mix_u64(static_cast<std::uint64_t>(l.kind));
+    h.mix_double(l.capacity.value());
+  }
+  h.mix_u64(net.ixps.size());
+  for (const Ixp& x : net.ixps) {
+    h.mix_str(x.name);
+    h.mix_u64(x.city);
+    h.mix_u64(x.members.size());
+    for (const AsIndex m : x.members) h.mix_u64(m);
+  }
+  for (const auto* v : {&net.tier1s, &net.transits, &net.eyeballs, &net.stubs}) {
+    h.mix_u64(v->size());
+    for (const AsIndex i : *v) h.mix_u64(i);
+  }
+  return h.value();
+}
+
+std::uint64_t internet_config_fingerprint(const InternetConfig& config) {
+  Fnv1a h;
+  h.mix_u64(static_cast<std::uint64_t>(config.tier1_count));
+  h.mix_u64(static_cast<std::uint64_t>(config.transit_count));
+  h.mix_u64(static_cast<std::uint64_t>(config.eyeball_count));
+  h.mix_u64(static_cast<std::uint64_t>(config.stub_count));
+  h.mix_u64(config.ixps_per_region);
+  h.mix_double(config.transit_tier1_providers_mean);
+  h.mix_double(config.transit_peer_prob);
+  h.mix_double(config.eyeball_transit_providers_mean);
+  h.mix_double(config.eyeball_tier1_provider_prob);
+  h.mix_double(config.eyeball_peering_openness);
+  h.mix_double(config.stub_dual_home_prob);
+  h.mix_double(config.tier1_link_capacity);
+  h.mix_double(config.transit_link_capacity);
+  h.mix_double(config.eyeball_transit_capacity);
+  h.mix_double(config.stub_capacity);
+  return h.value();
+}
+
 const Ixp* Internet::ixp_in(CityId city) const {
+  if (!ixp_by_city.empty()) {  // index built; O(1) path
+    if (city >= ixp_by_city.size() || ixp_by_city[city] == kNoIxpSlot) return nullptr;
+    return &ixps[ixp_by_city[city]];
+  }
+  // Hand-assembled Internets (tests) may not have called rebuild_ixp_index.
   for (const auto& x : ixps) {
     if (x.city == city) return &x;
   }
   return nullptr;
+}
+
+void Internet::rebuild_ixp_index() {
+  ixp_by_city.assign(cities == nullptr ? 0 : cities->size(), kNoIxpSlot);
+  for (std::size_t i = 0; i < ixps.size(); ++i) {
+    const CityId c = ixps[i].city;
+    BGPCMP_CHECK_LT(c, ixp_by_city.size(), "IXP city outside the city database");
+    // First IXP in a city wins, matching the historical scan order.
+    if (ixp_by_city[c] == kNoIxpSlot) ixp_by_city[c] = static_cast<std::uint32_t>(i);
+  }
 }
 
 Internet build_internet(const InternetConfig& config) {
@@ -80,6 +207,9 @@ Internet build_internet(const InternetConfig& config) {
   Rng rng_link = root.fork("links");
 
   const std::vector<CityId> ixp_cities = choose_ixp_cities(db, config.ixps_per_region);
+  std::vector<char> is_ixp_city(db.size(), 0);
+  for (const CityId c : ixp_cities) is_ixp_city[c] = 1;
+  const RegionTables regions(db);
 
   // Global hub metros used for long-haul interconnection between regional
   // players: the highest-weight IXP city of each region.
@@ -102,9 +232,7 @@ Internet build_internet(const InternetConfig& config) {
       if (rng_t1.chance(0.92)) presence.push_back(c);
     }
     for (CityId c = 0; c < db.size(); ++c) {
-      if (std::find(ixp_cities.begin(), ixp_cities.end(), c) != ixp_cities.end()) {
-        continue;
-      }
+      if (is_ixp_city[c]) continue;
       if (rng_t1.chance(0.30)) presence.push_back(c);
     }
     if (presence.empty()) presence = ixp_cities;
@@ -125,11 +253,9 @@ Internet build_internet(const InternetConfig& config) {
 
   // ---- Regional transit providers ---------------------------------------
   for (int i = 0; i < config.transit_count; ++i) {
-    const Region region = sample_region(db, rng_tr);
-    auto region_cities = cities_of_region(db, region);
-    std::vector<double> weights;
-    weights.reserve(region_cities.size());
-    for (const CityId c : region_cities) weights.push_back(db.at(c).user_weight);
+    const Region region = sample_region(regions, rng_tr);
+    const auto& region_cities = regions.cities[static_cast<std::size_t>(region)];
+    const auto& weights = regions.city_weights[static_cast<std::size_t>(region)];
     const std::size_t n_cities =
         std::min(region_cities.size(),
                  static_cast<std::size_t>(rng_tr.uniform_int(6, 14)));
@@ -170,30 +296,49 @@ Internet build_internet(const InternetConfig& config) {
 
   // ---- Eyeball access ISPs ----------------------------------------------
   // Countries weighted by their total user weight; big countries host
-  // multiple eyeballs.
+  // multiple eyeballs. Single pass over the city database: a hash map keyed
+  // by country name replaces the historical `std::find` over the growing
+  // countries vector, while first-appearance order — which the weighted draw
+  // below depends on — and the per-country accumulation order are unchanged.
   std::vector<std::string_view> countries;
   std::vector<double> country_weights;
+  std::vector<std::vector<CityId>> country_cities_tab;
+  std::unordered_map<std::string_view, std::size_t> country_slot;
   for (CityId c = 0; c < db.size(); ++c) {
     const auto& city = db.at(c);
-    auto it = std::find(countries.begin(), countries.end(), city.country);
-    if (it == countries.end()) {
+    const auto [it, inserted] = country_slot.emplace(city.country, countries.size());
+    if (inserted) {
       countries.push_back(city.country);
       country_weights.push_back(city.user_weight);
+      country_cities_tab.push_back({c});
     } else {
-      country_weights[static_cast<std::size_t>(it - countries.begin())] +=
-          city.user_weight;
+      country_weights[it->second] += city.user_weight;
+      country_cities_tab[it->second].push_back(c);
     }
+  }
+  // Hub per country: the biggest metro (first such city on ties, matching the
+  // historical per-eyeball max scan over db.in_country()).
+  std::vector<CityId> country_hub(countries.size());
+  for (std::size_t ci = 0; ci < countries.size(); ++ci) {
+    CityId hub = country_cities_tab[ci].front();
+    for (const CityId c : country_cities_tab[ci]) {
+      if (db.at(c).user_weight > db.at(hub).user_weight) hub = c;
+    }
+    country_hub[ci] = hub;
+  }
+  // Transit providers bucketed by home (hub) region, preserving net.transits
+  // order within each bucket; a transit's hub never changes after creation,
+  // so this is safe to snapshot even though footprints still grow.
+  std::array<std::vector<AsIndex>, kRegionCount> transits_by_region;
+  for (const AsIndex t : net.transits) {
+    const auto r = static_cast<std::size_t>(db.at(net.graph.node(t).hub).region);
+    transits_by_region[r].push_back(t);
   }
   for (int i = 0; i < config.eyeball_count; ++i) {
     const std::size_t ci = rng_eb.weighted_index(country_weights);
-    const std::string_view country = countries[ci];
-    std::vector<CityId> country_cities = db.in_country(country);
+    const std::vector<CityId>& country_cities = country_cities_tab[ci];
     BGPCMP_CHECK(!country_cities.empty(), "every country must have at least one city");
-    // Weighted hub: the biggest metro of the country.
-    CityId hub = country_cities.front();
-    for (const CityId c : country_cities) {
-      if (db.at(c).user_weight > db.at(hub).user_weight) hub = c;
-    }
+    const CityId hub = country_hub[ci];
     // Access ISPs in large countries are regional, not national: keep the
     // hub plus a subset of the other metros — big countries end up with a
     // mix of nationwide and regional eyeballs.
@@ -217,8 +362,7 @@ Internet build_internet(const InternetConfig& config) {
     std::vector<AsIndex> at_hub;
     std::vector<AsIndex> colocated;
     std::vector<AsIndex> regional;
-    for (const AsIndex t : net.transits) {
-      if (db.at(net.graph.node(t).hub).region != region) continue;
+    for (const AsIndex t : transits_by_region[static_cast<std::size_t>(region)]) {
       if (net.graph.has_presence(t, hub)) {
         at_hub.push_back(t);
         continue;
@@ -280,10 +424,8 @@ Internet build_internet(const InternetConfig& config) {
       // Remote metro: buy transit from a random regional transit, which
       // extends its footprint into the stub's city.
       const Region region = db.at(city).region;
-      std::vector<AsIndex> regional;
-      for (const AsIndex t : net.transits) {
-        if (db.at(net.graph.node(t).hub).region == region) regional.push_back(t);
-      }
+      const std::vector<AsIndex>& regional =
+          transits_by_region[static_cast<std::size_t>(region)];
       const AsIndex p = regional.empty()
                             ? net.tier1s[rng_st.index(net.tier1s.size())]
                             : regional[rng_st.index(regional.size())];
@@ -292,12 +434,24 @@ Internet build_internet(const InternetConfig& config) {
   }
 
   // ---- IXPs ----------------------------------------------------------------
+  // Presence is frozen at this point (every footprint mutation above went
+  // through add_presence), so snapshot a per-city membership index instead of
+  // probing all ASes per IXP city. Ascending AS order per city — with a
+  // node's duplicate presence entries collapsed — reproduces the historical
+  // full-scan visit order, and with it the openness draw sequence.
+  std::vector<std::vector<AsIndex>> ases_in_city(db.size());
+  for (AsIndex i = 0; i < net.graph.as_count(); ++i) {
+    for (const CityId c : net.graph.node(i).presence) {
+      auto& v = ases_in_city[c];
+      if (!v.empty() && v.back() == i) continue;  // duplicate presence entry
+      v.push_back(i);
+    }
+  }
   for (const CityId c : ixp_cities) {
     Ixp ixp;
     ixp.name = "IXP-" + std::string(db.at(c).name);
     ixp.city = c;
-    for (AsIndex i = 0; i < net.graph.as_count(); ++i) {
-      if (!net.graph.has_presence(i, c)) continue;
+    for (const AsIndex i : ases_in_city[c]) {
       const AsClass cls = net.graph.node(i).cls;
       const bool joins =
           cls == AsClass::Tier1 || cls == AsClass::Transit ||
@@ -332,6 +486,7 @@ Internet build_internet(const InternetConfig& config) {
     }
   }
 
+  net.rebuild_ixp_index();
   return net;
 }
 
@@ -345,10 +500,12 @@ std::vector<CityId> choose_pop_cities(const Internet& internet, std::size_t coun
     weights.push_back(db.at(ixp.city).user_weight);
   }
   std::vector<CityId> chosen;
+  std::vector<char> is_chosen(db.size(), 0);
   while (chosen.size() < std::min(count, candidates.size())) {
     const std::size_t i = rng.weighted_index(weights);
     if (weights[i] <= 0.0) continue;
     chosen.push_back(candidates[i]);
+    is_chosen[candidates[i]] = 1;
     weights[i] = 0.0;
   }
   // Hyperscale deployments outgrow the exchange metros: continue into the
@@ -356,9 +513,7 @@ std::vector<CityId> choose_pop_cities(const Internet& internet, std::size_t coun
   if (chosen.size() < count) {
     std::vector<CityId> rest;
     for (CityId c = 0; c < db.size(); ++c) {
-      if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) {
-        rest.push_back(c);
-      }
+      if (!is_chosen[c]) rest.push_back(c);
     }
     std::sort(rest.begin(), rest.end(), [&](CityId a, CityId b) {
       if (db.at(a).user_weight != db.at(b).user_weight) {

@@ -48,6 +48,25 @@ TEST(Scenario, PresetsDescribeDifferentProviders) {
   EXPECT_GT(gg.provider.pop_count, fb.provider.pop_count);
 }
 
+TEST(Scenario, MakeCachedMatchesMake) {
+  // The memoized path must hand out the same world and downstream state as a
+  // fresh build — provider links, clients, and congestion sizing included.
+  const auto cfg = test::small_scenario_config(11);
+  auto fresh = Scenario::make(cfg);
+  auto cached1 = Scenario::make_cached(cfg);
+  auto cached2 = Scenario::make_cached(cfg);
+  EXPECT_EQ(fresh->internet.graph.link_count(),
+            cached1->internet.graph.link_count());
+  EXPECT_EQ(fresh->clients.size(), cached1->clients.size());
+  EXPECT_EQ(cached1->internet.graph.link_count(),
+            cached2->internet.graph.link_count());
+  const SimTime t = SimTime::hours(7);
+  for (topo::LinkId l = 0; l < fresh->internet.graph.link_count(); l += 97) {
+    EXPECT_DOUBLE_EQ(fresh->congestion.link_utilization(l, t),
+                     cached1->congestion.link_utilization(l, t));
+  }
+}
+
 TEST(Scenario, RebuildIsDeterministic) {
   auto a = Scenario::make(test::small_scenario_config(9));
   auto b = Scenario::make(test::small_scenario_config(9));

@@ -99,6 +99,58 @@ TEST_F(AsGraphTest, FindAsn) {
   EXPECT_FALSE(g_.find_asn(Asn{999}));
 }
 
+TEST_F(AsGraphTest, FindAsnDuplicateKeepsFirst) {
+  // Historical scan semantics: the lowest index registered under an ASN wins.
+  const AsIndex dup = g_.add_as(Asn{100}, AsClass::Stub, "P2", {5});
+  EXPECT_NE(dup, p_);
+  EXPECT_EQ(g_.find_asn(Asn{100}), p_);
+}
+
+TEST_F(AsGraphTest, AddPresenceGrowsFootprintOnce) {
+  EXPECT_FALSE(g_.has_presence(a_, 7));
+  g_.add_presence(a_, 7);
+  EXPECT_TRUE(g_.has_presence(a_, 7));
+  ASSERT_EQ(g_.node(a_).presence.size(), 3u);
+  EXPECT_EQ(g_.node(a_).presence.back(), 7);
+  // Duplicate insertion is a no-op, like the historical linear-scan guard.
+  g_.add_presence(a_, 7);
+  EXPECT_EQ(g_.node(a_).presence.size(), 3u);
+}
+
+TEST_F(AsGraphTest, AddPresenceKeepsEdgeIndexSnapshot) {
+  // Presence is node metadata, not incidence: growing a footprint must not
+  // invalidate the CSR cache the route machinery holds.
+  const EdgeIndex& idx = g_.edge_index();
+  g_.add_presence(b_, 9);
+  EXPECT_EQ(&g_.edge_index(), &idx);
+}
+
+TEST_F(AsGraphTest, DuplicatePresenceInAddAsIsIndexed) {
+  // Presence vectors may legitimately contain duplicates (e.g. a hub city
+  // repeated); the membership index must still answer correctly.
+  const AsIndex c = g_.add_as(Asn{400}, AsClass::Transit, "C", {4, 4, 6});
+  EXPECT_TRUE(g_.has_presence(c, 4));
+  EXPECT_TRUE(g_.has_presence(c, 6));
+  EXPECT_FALSE(g_.has_presence(c, 5));
+  EXPECT_EQ(g_.node(c).presence.size(), 3u);
+}
+
+TEST_F(AsGraphTest, CopiedGraphAnswersIndexQueries) {
+  // The incremental indices travel with copies and keep answering after
+  // further mutation of the copy.
+  AsGraph copy{g_};
+  EXPECT_EQ(copy.find_edge(a_, b_), ab_);
+  EXPECT_EQ(copy.find_asn(Asn{200}), a_);
+  EXPECT_TRUE(copy.has_presence(p_, 2));
+  const AsIndex c = copy.add_as(Asn{400}, AsClass::Stub, "C", {8});
+  const EdgeId pc = copy.connect_transit(p_, c);
+  EXPECT_EQ(copy.find_edge(c, p_), pc);
+  EXPECT_EQ(copy.find_asn(Asn{400}), c);
+  // The original is unaffected.
+  EXPECT_FALSE(g_.find_asn(Asn{400}));
+  EXPECT_FALSE(g_.find_edge(p_, c));
+}
+
 TEST_F(AsGraphTest, OfClass) {
   EXPECT_EQ(g_.of_class(AsClass::Tier1).size(), 1u);
   EXPECT_EQ(g_.of_class(AsClass::Eyeball).size(), 2u);

@@ -1,0 +1,106 @@
+// Golden pins for generated worlds. The hashes below were captured from the
+// pre-indexing linear-scan generator; the indexed build (presence set,
+// edge-pair map, ASN map, hoisted region/country tables, bucketed IXP pass)
+// must reproduce them byte-for-byte — any drift means the refactor changed
+// the RNG draw sequence or the emitted structure, not just its cost.
+#include "bgpcmp/topology/topology_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace bgpcmp::topo {
+namespace {
+
+std::uint64_t hash_for_seed(std::uint64_t seed) {
+  InternetConfig cfg;
+  cfg.seed = seed;
+  return internet_fingerprint(build_internet(cfg));
+}
+
+TEST(TopologyFingerprint, DefaultConfigGolden) {
+  EXPECT_EQ(internet_fingerprint(build_internet(InternetConfig{})),
+            0xe3d99d92f5105bedULL);
+}
+
+TEST(TopologyFingerprint, SeedSweepGolden) {
+  EXPECT_EQ(hash_for_seed(1), 0xfa812d5eeeaf5c23ULL);
+  EXPECT_EQ(hash_for_seed(7), 0x1240f4851e1f5d72ULL);
+  EXPECT_EQ(hash_for_seed(42), 0xe3d99d92f5105bedULL);  // the default seed
+  EXPECT_EQ(hash_for_seed(2026), 0x3f8e60af377efc07ULL);
+  EXPECT_EQ(hash_for_seed(31337), 0xf28f423f3f36e11bULL);
+}
+
+TEST(TopologyFingerprint, FourXScaleGolden) {
+  // The scaled config the check.sh smoke gate and BM_BuildInternet/4 use.
+  InternetConfig cfg;
+  cfg.seed = 7;
+  cfg.tier1_count *= 4;
+  cfg.transit_count *= 4;
+  cfg.eyeball_count *= 4;
+  cfg.stub_count *= 4;
+  EXPECT_EQ(internet_fingerprint(build_internet(cfg)), 0xcb25d90c609db6c7ULL);
+}
+
+TEST(TopologyFingerprint, RebuildIsIdentical) {
+  InternetConfig cfg;
+  cfg.seed = 99;
+  cfg.tier1_count = 6;
+  cfg.transit_count = 20;
+  cfg.eyeball_count = 40;
+  cfg.stub_count = 20;
+  EXPECT_EQ(internet_fingerprint(build_internet(cfg)),
+            internet_fingerprint(build_internet(cfg)));
+}
+
+TEST(TopologyFingerprint, SensitiveToStructure) {
+  InternetConfig cfg;
+  cfg.seed = 99;
+  cfg.tier1_count = 6;
+  cfg.transit_count = 20;
+  cfg.eyeball_count = 40;
+  cfg.stub_count = 20;
+  auto net = build_internet(cfg);
+  const auto base = internet_fingerprint(net);
+  net.graph.add_presence(net.transits.front(), 0);
+  EXPECT_NE(internet_fingerprint(net), base);
+}
+
+TEST(IxpIndex, MatchesLinearScan) {
+  InternetConfig cfg;
+  cfg.seed = 3;
+  cfg.tier1_count = 6;
+  cfg.transit_count = 20;
+  cfg.eyeball_count = 40;
+  cfg.stub_count = 20;
+  const auto net = build_internet(cfg);
+  ASSERT_EQ(net.ixp_by_city.size(), net.city_db().size());
+  std::size_t hosted = 0;
+  for (CityId c = 0; c < net.city_db().size(); ++c) {
+    const Ixp* scan = nullptr;
+    for (const auto& ixp : net.ixps) {
+      if (ixp.city == c) {
+        scan = &ixp;
+        break;
+      }
+    }
+    EXPECT_EQ(net.ixp_in(c), scan) << "city " << c;
+    if (scan != nullptr) ++hosted;
+  }
+  EXPECT_EQ(hosted, net.ixps.size());  // generated worlds: one IXP per city
+}
+
+TEST(IxpIndex, FallsBackToScanWithoutIndex) {
+  // Hand-assembled Internets never call rebuild_ixp_index; ixp_in must still
+  // answer via the legacy scan.
+  Internet net;
+  net.ixps.push_back(Ixp{"IX-A", 5, {}});
+  net.ixps.push_back(Ixp{"IX-B", 9, {}});
+  ASSERT_TRUE(net.ixp_by_city.empty());
+  EXPECT_EQ(net.ixp_in(5), &net.ixps[0]);
+  EXPECT_EQ(net.ixp_in(9), &net.ixps[1]);
+  EXPECT_EQ(net.ixp_in(7), nullptr);
+}
+
+}  // namespace
+}  // namespace bgpcmp::topo
