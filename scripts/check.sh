@@ -7,6 +7,17 @@ cd "$(dirname "$0")/.."
 scripts/lint.sh
 scripts/format.sh --check
 
+# Semantic determinism/concurrency lint (docs/TOOLING.md, "Static
+# contracts"): self-test pins every rule, then the tree must scan clean.
+# Needs only a Python interpreter; skipped loudly when absent because CI
+# always runs it.
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/detlint/detlint.py --self-test tests/detlint_fixtures
+  python3 tools/detlint/detlint.py
+else
+  echo "check.sh: python3 not found; skipping detlint (CI enforces it)" >&2
+fi
+
 # Prefer Ninja, but fall back to the default generator when it is absent.
 # Never pass -G over an already-configured tree: CMake rejects a generator
 # change, and the cached one wins anyway.

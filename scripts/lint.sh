@@ -8,12 +8,17 @@
 #   R3  mt19937 outside src/netbase/rng.* — model code must take an Rng.
 #   R4  Wall-clock reads in model code (src/, tools/) — simulation time is
 #       SimTime; wall-clock in results breaks same-seed reproducibility.
-#   R5  Range-for over unordered containers in model code — iteration order
-#       is unspecified and must never shape emitted tables.
 #   R6  Bare assert() in src/ — invariants go through BGPCMP_CHECK* so they
 #       print diagnostics and survive Release builds.
 #
+# R5 (unordered-container iteration) graduated to tools/detlint rule D1,
+# which also catches iterator-based loops and .begin() escapes the old grep
+# could not see; detlint owns D1-D4 so no rule is checked twice with
+# different semantics. Run: python3 tools/detlint/detlint.py
+#
 # A line may opt out with a trailing comment: // lint:allow(<rule>)
+# tests/detlint_fixtures/ is excluded everywhere: its files are deliberate
+# rule violations pinning detlint's self-test.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +35,8 @@ report() { # rule, description, matches
 }
 
 src_like() {
-  git ls-files --cached --others --exclude-standard "$@" | grep -E '\.(cpp|h)$' || true
+  git ls-files --cached --others --exclude-standard "$@" \
+    | grep -E '\.(cpp|h)$' | grep -v '^tests/detlint_fixtures/' || true
 }
 
 ALL_FILES=$(src_like 'src/**' 'tools/**' 'bench/**' 'examples/**' 'tests/**')
@@ -60,8 +66,7 @@ report R3 "raw mt19937 outside the Rng wrapper; take an Rng instead" \
 report R4 "wall-clock read in model code; use SimTime" \
   "$(run_grep 'system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|localtime|gmtime|[^_[:alnum:]]time[[:space:]]*\((NULL|nullptr|0)\)' "$MODEL_FILES")"
 
-report R5 "iteration over an unordered container in model code; order is unspecified" \
-  "$(run_grep 'for[[:space:]]*\(.*:.*unordered' "$MODEL_FILES")"
+# R5 lives in tools/detlint (rule D1) — see the header comment.
 
 report R6 "bare assert() in src/; use BGPCMP_CHECK* (bgpcmp/netbase/check.h)" \
   "$(run_grep '(^|[^_[:alnum:]])assert[[:space:]]*\(' "$SRC_FILES" | grep -v 'static_assert' || true)"

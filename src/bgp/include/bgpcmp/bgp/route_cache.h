@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/netbase/thread_annotations.h"
 
 namespace bgpcmp::exec {
 class ThreadPool;
@@ -24,7 +25,10 @@ class ThreadPool;
 
 namespace bgpcmp::bgp {
 
-class RouteCache {
+// The lazy-miss side of toward() is single-thread-only by contract (the
+// BGPCMP_SINGLE_THREAD marker below is what tools/detlint checks); warmed
+// reads through find() are safe from any number of threads.
+class BGPCMP_SINGLE_THREAD RouteCache {
  public:
   explicit RouteCache(const AsGraph* graph)
       : graph_(graph), slots_(graph->as_count()) {}
@@ -43,6 +47,10 @@ class RouteCache {
   const RouteTable& toward(AsIndex origin) {
     std::optional<RouteTable>& slot = slots_.at(origin);
     if (!slot.has_value()) {
+      // A lazy miss mutates the cache: catch a second mutating thread even
+      // in builds without Clang TSA (hits above stay unchecked — they are
+      // pure reads and legal from any thread after warm()).
+      BGPCMP_ASSERT_SINGLE_THREAD(lazy_owner_, "RouteCache::toward cache miss");
       slot.emplace(compute_routes(*graph_, origin));
       ++cached_;
     }
@@ -67,6 +75,7 @@ class RouteCache {
   const AsGraph* graph_;
   std::vector<std::optional<RouteTable>> slots_;  ///< keyed by origin index
   std::size_t cached_ = 0;
+  OwningThread lazy_owner_;  ///< pins the thread taking lazy toward() misses
 };
 
 }  // namespace bgpcmp::bgp

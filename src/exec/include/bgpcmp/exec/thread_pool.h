@@ -19,6 +19,12 @@
 // Calls from inside a pool worker run inline on the calling thread: nested
 // parallelism never deadlocks the fixed-size pool, and the outermost loop
 // keeps all workers busy.
+//
+// The pool's own locking discipline is compiler-checked: its mutexes are
+// bgpcmp::Mutex with BGPCMP_GUARDED_BY annotations
+// (bgpcmp/netbase/thread_annotations.h), built with -Werror=thread-safety
+// under Clang, and the lazy-cache side of the contract is linted by
+// tools/detlint.
 #pragma once
 
 #include <cstddef>

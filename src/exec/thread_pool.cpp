@@ -5,11 +5,11 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "bgpcmp/netbase/check.h"
+#include "bgpcmp/netbase/thread_annotations.h"
 
 namespace bgpcmp::exec {
 
@@ -30,10 +30,10 @@ struct Batch {
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> finished{0};
-  std::mutex mutex;
-  std::condition_variable all_done;
-  std::exception_ptr error;
-  std::size_t error_index = 0;
+  Mutex mutex;
+  std::condition_variable_any all_done;
+  std::exception_ptr error BGPCMP_GUARDED_BY(mutex);
+  std::size_t error_index BGPCMP_GUARDED_BY(mutex) = 0;
 
   void run_chunks() {
     for (;;) {
@@ -44,7 +44,7 @@ struct Batch {
         try {
           body(i);
         } catch (...) {
-          const std::lock_guard<std::mutex> lock{mutex};
+          const MutexLock lock{mutex};
           if (!error || i < error_index) {
             error = std::current_exception();
             error_index = i;
@@ -58,7 +58,7 @@ struct Batch {
         // Lock before notifying so the submitter cannot check the predicate,
         // wake, and return between our fetch_add and notify_all; the batch
         // itself stays alive through this task's shared_ptr.
-        const std::lock_guard<std::mutex> lock{mutex};
+        const MutexLock lock{mutex};
         all_done.notify_all();
       }
     }
@@ -68,10 +68,10 @@ struct Batch {
 }  // namespace
 
 struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable wake;
-  std::deque<std::function<void()>> queue;
-  bool stopping = false;
+  Mutex mutex;
+  std::condition_variable_any wake;
+  std::deque<std::function<void()>> queue BGPCMP_GUARDED_BY(mutex);
+  bool stopping BGPCMP_GUARDED_BY(mutex) = false;
   std::vector<std::thread> workers;
 
   void worker_loop() {
@@ -79,8 +79,11 @@ struct ThreadPool::Impl {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock{mutex};
-        wake.wait(lock, [&] { return stopping || !queue.empty(); });
+        // Explicit wait loop instead of the predicate overload: the analysis
+        // sees the guarded reads directly under the held capability, where a
+        // predicate lambda would be analyzed as an unlocked function.
+        MutexLock lock{mutex};
+        while (!stopping && queue.empty()) wake.wait(mutex);
         if (queue.empty()) return;  // stopping and drained
         task = std::move(queue.front());
         queue.pop_front();
@@ -107,7 +110,7 @@ ThreadPool::ThreadPool(int threads) {
 ThreadPool::~ThreadPool() {
   if (!impl_) return;
   {
-    const std::lock_guard<std::mutex> lock{impl_->mutex};
+    const MutexLock lock{impl_->mutex};
     impl_->stopping = true;
   }
   impl_->wake.notify_all();
@@ -138,7 +141,7 @@ void ThreadPool::parallel_for(std::size_t n,
       std::min<std::size_t>(static_cast<std::size_t>(size_) - 1, chunks));
 
   {
-    const std::lock_guard<std::mutex> lock{impl_->mutex};
+    const MutexLock lock{impl_->mutex};
     for (int r = 0; r < runners; ++r) {
       impl_->queue.emplace_back([batch] { batch->run_chunks(); });
     }
@@ -147,13 +150,15 @@ void ThreadPool::parallel_for(std::size_t n,
 
   batch->run_chunks();  // the submitting thread is a full lane
 
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock{batch->mutex};
-    batch->all_done.wait(lock, [&] {
-      return batch->finished.load(std::memory_order_acquire) == n;
-    });
+    MutexLock lock{batch->mutex};
+    while (batch->finished.load(std::memory_order_acquire) != n) {
+      batch->all_done.wait(batch->mutex);
+    }
+    error = batch->error;  // read under the lock the writers hold
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (error) std::rethrow_exception(error);
 }
 
 int default_thread_count() {
@@ -170,19 +175,19 @@ int default_thread_count() {
 
 namespace {
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mutex
+Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool BGPCMP_GUARDED_BY(g_pool_mutex);
 
 }  // namespace
 
 ThreadPool& global_pool() {
-  const std::lock_guard<std::mutex> lock{g_pool_mutex};
+  const MutexLock lock{g_pool_mutex};
   if (!g_pool) g_pool = std::make_unique<ThreadPool>();
   return *g_pool;
 }
 
 void set_thread_count(int n) {
-  const std::lock_guard<std::mutex> lock{g_pool_mutex};
+  const MutexLock lock{g_pool_mutex};
   const int want = n > 0 ? n : default_thread_count();
   if (g_pool && g_pool->size() == want) return;
   g_pool.reset();  // join the old workers before standing up the new pool

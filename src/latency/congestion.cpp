@@ -118,7 +118,7 @@ const CongestionField::AccessProcess& CongestionField::access_process(
   // key must not both emplace (the old unguarded insert was a data race).
   // Generation happens at most once per key and is a pure function of the
   // seed, so holding the lock across it costs one miss per key.
-  const std::lock_guard<std::mutex> lock{access_mutex_};
+  const MutexLock lock{access_mutex_};
   auto it = access_cache_.find(key);
   if (it != access_cache_.end()) return it->second;
   Rng rng = Rng{seed_}.fork("access-" + std::to_string(as) + "-" +

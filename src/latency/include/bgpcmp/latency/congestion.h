@@ -22,10 +22,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "bgpcmp/netbase/rng.h"
+#include "bgpcmp/netbase/thread_annotations.h"
 #include "bgpcmp/netbase/simtime.h"
 #include "bgpcmp/netbase/units.h"
 #include "bgpcmp/topology/as_graph.h"
@@ -126,9 +126,12 @@ class CongestionField {
   std::vector<double> load_scale_;
   // The access cache is memoization of a pure function of (seed, key), so a
   // single mutex around find/emplace keeps concurrent RTT queries exact:
-  // whichever thread populates a key, the entry is identical.
-  mutable std::mutex access_mutex_;
-  mutable std::map<std::pair<AsIndex, CityId>, AccessProcess> access_cache_;
+  // whichever thread populates a key, the entry is identical. References
+  // returned by access_process() outlive the lock on purpose: map nodes are
+  // stable and entries are never erased or rewritten.
+  mutable Mutex access_mutex_;
+  mutable std::map<std::pair<AsIndex, CityId>, AccessProcess> access_cache_
+      BGPCMP_GUARDED_BY(access_mutex_);
 };
 
 /// Convex queueing-delay curve: negligible below ~60% utilization, steep near

@@ -1,7 +1,7 @@
 #include "bgpcmp/stats/bootstrap.h"
 
 #include <algorithm>
-#include <random>
+#include <random>  // lint:allow(D4): stateless distributions drawn over Rng::engine()
 #include <vector>
 
 #include "bgpcmp/netbase/check.h"

@@ -22,6 +22,9 @@ void WeightedCdf::add_all(std::span<const Weighted> obs) {
 
 void WeightedCdf::ensure_sorted() const {
   if (sorted_) return;
+  // Once sorted, concurrent queries are pure reads; the single-thread
+  // contract only bites on this mutation path.
+  BGPCMP_ASSERT_SINGLE_THREAD(lazy_owner_, "WeightedCdf lazy sort");
   std::sort(obs_.begin(), obs_.end(),
             [](const Weighted& a, const Weighted& b) { return a.value < b.value; });
   cum_weight_.resize(obs_.size());

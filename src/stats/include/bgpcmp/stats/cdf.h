@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bgpcmp/netbase/thread_annotations.h"
 #include "bgpcmp/stats/quantile.h"
 
 namespace bgpcmp::stats {
@@ -22,8 +23,11 @@ struct SeriesPoint {
 // Not thread-safe: the query methods lazily (re)build sorted state through
 // mutable members. CDFs are built and rendered by one thread (typically the
 // main thread aggregating a study's output); share across threads only
-// behind external synchronization.
-class WeightedCdf {
+// behind external synchronization. The BGPCMP_SINGLE_THREAD markers make
+// that contract machine-readable (tools/detlint rule D2), and the lazy sort
+// carries an OwningThread assertion so a violation trips at runtime in
+// builds with BGPCMP_THREAD_CHECKS on.
+class BGPCMP_SINGLE_THREAD WeightedCdf {
  public:
   WeightedCdf() = default;
 
@@ -54,9 +58,10 @@ class WeightedCdf {
  private:
   void ensure_sorted() const;
 
-  mutable std::vector<Weighted> obs_;
-  mutable std::vector<double> cum_weight_;  // parallel to sorted obs_
-  mutable bool sorted_ = true;
+  mutable std::vector<Weighted> obs_ BGPCMP_SINGLE_THREAD;
+  mutable std::vector<double> cum_weight_ BGPCMP_SINGLE_THREAD;  // parallel to sorted obs_
+  mutable bool sorted_ BGPCMP_SINGLE_THREAD = true;
+  OwningThread lazy_owner_;  ///< pins the thread running the lazy sort
 };
 
 }  // namespace bgpcmp::stats

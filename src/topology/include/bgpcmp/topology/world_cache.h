@@ -16,9 +16,9 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "bgpcmp/netbase/thread_annotations.h"
 #include "bgpcmp/topology/topology_gen.h"
 
 namespace bgpcmp::topo {
@@ -48,10 +48,10 @@ class WorldCache {
   using Key = std::pair<std::uint64_t, std::uint64_t>;
   using WorldFuture = std::shared_future<std::shared_ptr<const Internet>>;
 
-  mutable std::mutex mu_;
-  std::map<Key, WorldFuture> worlds_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  std::map<Key, WorldFuture> worlds_ BGPCMP_GUARDED_BY(mu_);
+  std::uint64_t hits_ BGPCMP_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ BGPCMP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bgpcmp::topo

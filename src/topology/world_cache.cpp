@@ -8,7 +8,7 @@ std::shared_ptr<const Internet> WorldCache::get(const InternetConfig& config) {
   WorldFuture future;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock{mu_};
     const auto it = worlds_.find(key);
     if (it != worlds_.end()) {
       ++hits_;
@@ -30,7 +30,7 @@ std::shared_ptr<const Internet> WorldCache::get(const InternetConfig& config) {
     } catch (...) {
       promise.set_exception(std::current_exception());
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock{mu_};
         worlds_.erase(key);  // don't cache a failed build
       }
       throw;
@@ -40,22 +40,22 @@ std::shared_ptr<const Internet> WorldCache::get(const InternetConfig& config) {
 }
 
 std::size_t WorldCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock{mu_};
   return worlds_.size();
 }
 
 std::uint64_t WorldCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock{mu_};
   return hits_;
 }
 
 std::uint64_t WorldCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock{mu_};
   return misses_;
 }
 
 void WorldCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock{mu_};
   worlds_.clear();
   hits_ = 0;
   misses_ = 0;

@@ -1,0 +1,76 @@
+// detlint fixture: rule D1 (unordered-container iteration in model code).
+//
+// Lines carrying an expect marker must be reported; every other line must
+// stay clean. The corpus pins the tokenizer engine's semantics — see
+// tools/detlint/detlint.py --self-test. Deliberately NOT compiled.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using CityIndex = std::unordered_map<int, double>;
+
+int range_for_bad(const std::unordered_map<int, int>& weights) {
+  int total = 0;
+  for (const auto& [key, value] : weights) {  // expect: D1
+    total += key + value;
+  }
+  return total;
+}
+
+int iterator_loop_bad(const std::unordered_set<int>& members) {
+  int total = 0;
+  for (auto it = members.begin(); it != members.end(); ++it) {  // expect: D1
+    total += *it;
+  }
+  return total;
+}
+
+double algorithm_escape_bad(const CityIndex& by_city) {
+  double total = 0.0;
+  std::for_each(by_city.begin(), by_city.end(),  // expect: D1
+                [&total](const auto& kv) { total += kv.second; });
+  return total;
+}
+
+int adl_escape_bad(std::unordered_set<int>& members) {
+  auto it = std::begin(members);  // expect: D1
+  return it == std::end(members) ? 0 : *it;
+}
+
+int ordered_map_ok(const std::map<int, int>& ordered) {
+  int total = 0;
+  for (const auto& [key, value] : ordered) {
+    total += key + value;
+  }
+  return total;
+}
+
+int vector_ok(const std::vector<int>& values) {
+  int total = 0;
+  for (auto it = values.begin(); it != values.end(); ++it) {
+    total += *it;
+  }
+  return total;
+}
+
+int lookup_ok(const std::unordered_map<int, int>& weights, int key) {
+  // Point lookups never observe iteration order.
+  const auto hit = weights.find(key);
+  return weights.count(key) != 0U ? hit->second : 0;
+}
+
+int sorted_drain_allowed(const std::unordered_set<int>& members) {
+  // Sorting immediately after collection is the sanctioned escape hatch.
+  std::vector<int> ordered;
+  for (const int m : members) {  // lint:allow(D1): drained into sort below
+    ordered.push_back(m);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  return ordered.empty() ? 0 : ordered.front();
+}
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// detlint fixture: rule D2 (mutable members without a concurrency contract).
+//
+// A mutable member must be atomic, a mutex type, BGPCMP_GUARDED_BY-annotated,
+// or waived with BGPCMP_SINGLE_THREAD (member- or class-level). Deliberately
+// NOT compiled; the macros below stand in for bgpcmp/netbase/
+// thread_annotations.h so the fixture reads like real code.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#define BGPCMP_GUARDED_BY(x)
+#define BGPCMP_SINGLE_THREAD
+
+namespace fixture {
+
+class LazyStats {
+ public:
+  double mean() const;
+
+ private:
+  mutable std::vector<double> scratch_;  // expect: D2
+  mutable bool dirty_ = true;  // expect: D2
+  mutable std::atomic<long> hits_{0};
+  mutable std::mutex mu_;
+  mutable std::vector<double> guarded_ BGPCMP_GUARDED_BY(mu_);
+  mutable std::vector<double> waived_ BGPCMP_SINGLE_THREAD;
+  mutable long instrumented_ = 0;  // lint:allow(D2): perf counter, torn reads fine
+};
+
+// A class-level waiver covers every mutable member inside the braces.
+class BGPCMP_SINGLE_THREAD WholeClassWaived {
+ public:
+  double value() const;
+
+ private:
+  mutable double cache_ = 0.0;
+  mutable bool fresh_ = false;
+};
+
+class AfterTheWaivedClass {
+ private:
+  mutable int stale_ = 0;  // expect: D2
+};
+
+inline int lambda_mutable_ok(int x) {
+  // `mutable` on a lambda is a value-capture detail, not shared state.
+  auto bump = [x]() mutable { return ++x; };
+  return bump();
+}
+
+}  // namespace fixture

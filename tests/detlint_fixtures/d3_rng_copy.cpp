@@ -1,0 +1,46 @@
+// detlint fixture: rule D3 (Rng streams copied instead of forked).
+//
+// Copies replay the parent's draw sequence; substreams must come from
+// Rng::fork(label). Deliberately NOT compiled; the local Rng stands in for
+// bgpcmp::Rng so the fixture is self-contained.
+#include <cstdint>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  Rng fork(const char* label) const {
+    (void)label;
+    return Rng{state_ + 1};
+  }
+  std::uint64_t next() { return ++state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::uint64_t draws_by_value(Rng rng) {  // expect: D3
+  return rng.next();
+}
+
+std::uint64_t draws_by_ref(Rng& rng) { return rng.next(); }
+
+std::uint64_t draws_two(Rng& a, Rng rng_b) {  // expect: D3
+  return a.next() + rng_b.next();
+}
+
+std::uint64_t study(Rng& parent) {
+  Rng base = parent.fork("study");
+  Rng copied = base;  // expect: D3
+  Rng braced{base};  // expect: D3
+  auto deduced = base;  // expect: D3
+  Rng forked = base.fork("sub");
+  Rng seeded{42};
+  auto& alias = base;
+  Rng replayed = base;  // lint:allow(D3): paired-seed A/B replay on purpose
+  return copied.next() + braced.next() + deduced.next() + forked.next() +
+         seeded.next() + alias.next() + replayed.next();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// detlint fixture: rule D4 (wall-clock / raw-randomness reach-through).
+//
+// Banned headers are reported whether included directly or dragged in
+// through a repo header; one finding per banned header per translation
+// unit, anchored at the first hop. Deliberately NOT compiled.
+#include "d4_wallclock_header.h"  // expect: D4
+#include <ctime>  // expect: D4
+
+#include <cstdint>
+#include <vector>
+
+#include <random>  // lint:allow(D4): fixture exercises the sanctioned opt-out
+
+namespace fixture {
+
+inline std::uint64_t stamp_run() {
+  std::vector<double> samples;
+  samples.push_back(now_seconds());
+  return static_cast<std::uint64_t>(samples.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// detlint fixture header: drags <chrono> into every includer's closure.
+// The D4 finding lands on the includer's `#include "d4_wallclock_header.h"`
+// line with the chain spelled out. Deliberately NOT compiled.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+namespace fixture {
+
+inline double now_seconds() {
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(tick).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,118 @@
+#include "bgpcmp/netbase/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "bgpcmp/netbase/check.h"
+
+namespace bgpcmp {
+namespace {
+
+TEST(MutexTest, MutexLockSerializesWriters) {
+  Mutex mu;
+  long counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const MutexLock lock{mu};
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  mu.lock();
+  bool acquired = true;
+  std::thread probe([&] { acquired = mu.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(acquired);
+  mu.unlock();
+
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(OwningThreadTest, RepeatedChecksFromOwnerPass) {
+  OwningThread owner;
+  owner.check("first use pins");
+  owner.check("second use, same thread");
+  owner.check("third use, same thread");
+}
+
+TEST(OwningThreadTest, SecondThreadTripsCheck) {
+  const ScopedCheckThrows guard;
+  OwningThread owner;
+  owner.check("pin on the main thread");
+  bool tripped = false;
+  std::thread intruder([&] {
+    try {
+      owner.check("mutation from a second thread");
+    } catch (const CheckError&) {
+      tripped = true;
+    }
+  });
+  intruder.join();
+  EXPECT_TRUE(tripped);
+  owner.check("owner remains valid afterwards");
+}
+
+TEST(OwningThreadTest, ResetHandsOffOwnership) {
+  const ScopedCheckThrows guard;
+  OwningThread owner;
+  owner.check("pin on the main thread");
+  owner.reset();
+  bool tripped = false;
+  std::thread successor([&] {
+    try {
+      owner.check("first use after reset re-pins here");
+    } catch (const CheckError&) {
+      tripped = true;
+    }
+  });
+  successor.join();
+  EXPECT_FALSE(tripped);
+}
+
+TEST(OwningThreadTest, CopiesStartUnpinned) {
+  const ScopedCheckThrows guard;
+  OwningThread original;
+  original.check("pin the original on the main thread");
+  OwningThread copy{original};
+  bool tripped = false;
+  std::thread elsewhere([&] {
+    try {
+      copy.check("a copy belongs to whoever touches it first");
+    } catch (const CheckError&) {
+      tripped = true;
+    }
+  });
+  elsewhere.join();
+  EXPECT_FALSE(tripped);
+
+  OwningThread assigned;
+  assigned.check("pin before assignment");
+  assigned = original;
+  bool tripped2 = false;
+  std::thread elsewhere2([&] {
+    try {
+      assigned.check("assignment resets the pin");
+    } catch (const CheckError&) {
+      tripped2 = true;
+    }
+  });
+  elsewhere2.join();
+  EXPECT_FALSE(tripped2);
+}
+
+}  // namespace
+}  // namespace bgpcmp

@@ -1,0 +1,681 @@
+#!/usr/bin/env python3
+"""detlint - semantic determinism & concurrency-contract linter for bgpcmp.
+
+Supersedes the grep heuristics in scripts/lint.sh for the checks that need
+type information or an include graph (docs/TOOLING.md, "Static contracts").
+scripts/lint.sh stays the fast pre-gate for the purely textual rules
+(R1-R4, R6); the rules below are detlint's alone, so no rule is checked in
+two places with different semantics.
+
+Rules
+-----
+  D1  unordered-container iteration in model code. Covers range-for,
+      iterator-based loops (for (auto it = m.begin(); ...)), and .begin()
+      escapes into algorithms - the cases the old grep rule R5 missed.
+      Iteration order is unspecified and must never shape emitted tables or
+      RNG draw order.
+  D2  mutable class members in src/ that are none of: std::atomic, a mutex
+      type, BGPCMP_GUARDED_BY-annotated, or BGPCMP_SINGLE_THREAD-marked
+      (member- or class-level). Unsynchronized lazy state must either be
+      locked or carry an explicit single-thread waiver.
+  D3  Rng streams duplicated outside the plan/sample split: by-value Rng
+      parameters and copy-initialization from an existing stream. Each copy
+      replays the parent's draws, silently forking draw order; substreams
+      must come from Rng::fork(label).
+  D4  wall-clock / raw-randomness reach-through: a model translation unit
+      whose include closure (through repo headers) pulls in <chrono>,
+      <ctime>, <time.h>, <sys/time.h> or <random>. The Rng wrapper
+      (netbase/rng.*) is the sanctioned home for <random>; everything else
+      needs a lint:allow(D4) on the include line.
+
+A line opts out with a trailing comment: // lint:allow(D1) - same syntax as
+scripts/lint.sh, comma-separated for several rules.
+
+Engines: with the libclang Python bindings installed the variable-type
+registries for D1/D3 are augmented from a real AST; otherwise a tokenizer
+fallback tracks declarations textually (including through the repo include
+graph, so member types declared in headers are seen from their .cpp files).
+--self-test always uses the tokenizer registries: the fixture corpus in
+tests/detlint_fixtures pins the fallback semantics that every environment
+has.
+
+Exit status: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import OrderedDict
+
+RULES = OrderedDict(
+    [
+        ("D1", "iteration over an unordered container in model code"),
+        ("D2", "mutable member without atomic/lock/BGPCMP_SINGLE_THREAD contract"),
+        ("D3", "Rng stream copied instead of forked"),
+        ("D4", "wall-clock/raw-randomness header reaches model code"),
+    ]
+)
+
+BANNED_HEADERS = {"chrono", "ctime", "time.h", "sys/time.h", "random"}
+
+# The sanctioned home of <random>: the deterministic Rng wrapper itself.
+D4_SANCTIONED = ("netbase/rng.h", "netbase/rng.cpp")
+
+UNORDERED_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\b")
+ALLOW_RE = re.compile(r"lint:allow\(([A-Za-z0-9_, ]+)\)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([A-Za-z0-9, ]+)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def clean_source(text):
+    """Blank comments and string/char literals, preserving line structure.
+
+    Returns (clean_text, allow_map) where allow_map maps 1-based line numbers
+    to the set of rules allowed on that line (parsed from comments before
+    they are blanked).
+    """
+    allow = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            allow[i] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw string literals: skip to the closing delimiter whole.
+                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1 : i + 20]) if i and text[i - 1] == "R" else None
+                if m:
+                    delim = ")" + m.group(1) + '"'
+                    end = text.find(delim, i)
+                    end = n if end < 0 else end + len(delim)
+                    out.append("".join("\n" if ch == "\n" else " " for ch in text[i:end]))
+                    i = end
+                else:
+                    state = "string"
+                    out.append('"')
+                    i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out), allow
+
+
+class SourceFile:
+    def __init__(self, root, relpath):
+        self.rel = relpath
+        self.abspath = os.path.join(root, relpath)
+        with open(self.abspath, encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.clean, self.allow = clean_source(self.text)
+        self.clean_lines = self.clean.splitlines()
+        self.includes = self._scan_includes()
+        self._registry = None
+
+    def _scan_includes(self):
+        """[(line_no, target, is_system)] from non-commented include lines."""
+        out = []
+        raw_lines = self.text.splitlines()
+        for i, line in enumerate(self.clean_lines, start=1):
+            # The clean line decides whether the directive is live (it blanks
+            # commented-out includes); the raw line supplies the target, which
+            # the cleaner blanks as a string literal.
+            if not line.lstrip().startswith("#"):
+                continue
+            m = INCLUDE_RE.match(raw_lines[i - 1])
+            if m:
+                target = m.group(1) or m.group(2)
+                out.append((i, target, m.group(2) is not None))
+        return out
+
+    def allows(self, line, rule):
+        return rule in self.allow.get(line, ())
+
+    def line_of_offset(self, off):
+        return self.clean.count("\n", 0, off) + 1
+
+    def registry(self):
+        """Tokenizer-derived name registries: (unordered vars, Rng vars)."""
+        if self._registry is not None:
+            return self._registry
+        unordered, rngs = set(), set()
+        aliases = set()
+        text = self.clean
+        for m in UNORDERED_RE.finditer(text):
+            i = m.end()
+            # Skip the template argument list, if any, with balanced <>.
+            while i < len(text) and text[i] in " \t\n":
+                i += 1
+            if i < len(text) and text[i] == "<":
+                depth = 0
+                while i < len(text):
+                    if text[i] == "<":
+                        depth += 1
+                    elif text[i] == ">":
+                        depth -= 1
+                        if depth == 0:
+                            i += 1
+                            break
+                    i += 1
+            # `using Alias = std::unordered_map<...>;`
+            before = text[: m.start()]
+            am = re.search(r"\busing\s+(\w+)\s*=\s*(?:std::)?$", before[-64:])
+            if am:
+                aliases.add(am.group(1))
+                continue
+            dm = re.match(r"\s*[&*]{0,2}\s*(\w+)\s*([;,=({\[)]|$)", text[i : i + 160])
+            if dm and dm.group(2) != "(":  # identifier( is a function name
+                unordered.add(dm.group(1))
+        for alias in aliases:
+            for dm in re.finditer(r"\b" + re.escape(alias) + r"\b\s*[&*]{0,2}\s*(\w+)\s*[;,=({\[)]", text):
+                unordered.add(dm.group(1))
+        for dm in re.finditer(r"\bRng\s+(\w+)\s*[^(\w]", text):
+            rngs.add(dm.group(1))
+        self._registry = (unordered, rngs)
+        return self._registry
+
+
+def try_libclang_registry(sf, include_dirs):
+    """AST-grade registry via libclang; None when unavailable or on error."""
+    try:
+        import clang.cindex as ci
+
+        index = ci.Index.create()
+        args = ["-std=c++20", "-xc++"] + [f"-I{d}" for d in include_dirs]
+        tu = index.parse(sf.abspath, args=args)
+        decl_kinds = (
+            ci.CursorKind.VAR_DECL,
+            ci.CursorKind.FIELD_DECL,
+            ci.CursorKind.PARM_DECL,
+        )
+        unordered, rngs = set(), set()
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind not in decl_kinds or not cur.spelling:
+                continue
+            t = cur.type.get_canonical().spelling
+            if UNORDERED_RE.search(t) and "*" not in t:
+                unordered.add(cur.spelling)
+            elif re.search(r"\bRng\b", t) and "&" not in t and "*" not in t:
+                rngs.add(cur.spelling)
+        return unordered, rngs
+    except Exception:  # missing bindings, missing libclang.so, parse error
+        return None
+
+
+class Analyzer:
+    def __init__(self, root, include_dirs, use_libclang):
+        self.root = root
+        self.include_dirs = include_dirs
+        self.use_libclang = use_libclang
+        self.files = {}
+        self.findings = []
+        self.libclang_active = False
+
+    def load(self, relpath):
+        if relpath not in self.files:
+            self.files[relpath] = SourceFile(self.root, relpath)
+        return self.files[relpath]
+
+    def resolve_include(self, from_rel, target):
+        """Repo-relative path of an included repo header, or None."""
+        local = os.path.normpath(os.path.join(os.path.dirname(from_rel), target))
+        if os.path.isfile(os.path.join(self.root, local)):
+            return local
+        for d in self.include_dirs:
+            cand = os.path.normpath(os.path.join(d, target))
+            rel = os.path.relpath(cand, self.root)
+            if not rel.startswith("..") and os.path.isfile(cand):
+                return rel
+        return None
+
+    def report(self, sf, line, rule, message):
+        if sf.allows(line, rule):
+            return
+        f = Finding(sf.rel, line, rule, message)
+        if f.key() not in {x.key() for x in self.findings}:
+            self.findings.append(f)
+
+    # -- registries ---------------------------------------------------------
+
+    def context_registry(self, sf):
+        """Name registries for a TU: its own declarations plus those of every
+        transitively included repo header (so member types declared in
+        headers are visible from their implementation files)."""
+        unordered, rngs = set(), set()
+        for rel in self.include_closure(sf):
+            member = self.load(rel)
+            reg = None
+            if self.use_libclang:
+                reg = try_libclang_registry(member, [os.path.join(self.root, d) for d in self.include_dirs_rel()])
+                if reg is not None:
+                    self.libclang_active = True
+            if reg is None:
+                reg = member.registry()
+            unordered |= reg[0]
+            rngs |= reg[1]
+        return unordered, rngs
+
+    def include_dirs_rel(self):
+        return [os.path.relpath(d, self.root) for d in self.include_dirs]
+
+    def include_closure(self, sf):
+        """The file itself plus every repo file reachable through includes."""
+        seen = [sf.rel]
+        queue = [sf.rel]
+        while queue:
+            rel = queue.pop()
+            for _, target, _ in self.load(rel).includes:
+                resolved = self.resolve_include(rel, target)
+                if resolved and resolved not in seen:
+                    seen.append(resolved)
+                    queue.append(resolved)
+        return seen
+
+    # -- D1: unordered iteration -------------------------------------------
+
+    def check_d1(self, sf):
+        unordered, _ = self.context_registry(sf)
+        if not unordered:
+            return
+        text = sf.clean
+        # Range-for whose range expression ends in an unordered variable.
+        for m in re.finditer(r"\bfor\s*\(", text):
+            depth, i = 0, m.end() - 1
+            while i < len(text):
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            header = text[m.end() : i]
+            if ";" in header or ":" not in header:
+                continue
+            expr = header.rsplit(":", 1)[1].strip()
+            em = re.search(r"(\w+)\s*$", expr)
+            if em and em.group(1) in unordered:
+                self.report(
+                    sf,
+                    sf.line_of_offset(m.start()),
+                    "D1",
+                    f"range-for over unordered container '{em.group(1)}'",
+                )
+        # Iterator loops and .begin() escapes into algorithms. Only begin()
+        # matters: a bare `it != m.end()` sentinel comparison after find()
+        # never observes iteration order and stays legal.
+        for m in re.finditer(r"\b(\w+)\s*\.\s*(c?begin)\s*\(", text):
+            if m.group(1) in unordered:
+                self.report(
+                    sf,
+                    sf.line_of_offset(m.start()),
+                    "D1",
+                    f"'{m.group(1)}.{m.group(2)}()' exposes unordered iteration order",
+                )
+        for m in re.finditer(r"\bstd\s*::\s*c?begin\s*\(\s*(\w+)", text):
+            if m.group(1) in unordered:
+                self.report(
+                    sf,
+                    sf.line_of_offset(m.start()),
+                    "D1",
+                    f"'std::begin({m.group(1)})' exposes unordered iteration order",
+                )
+
+    # -- D2: unguarded mutable ---------------------------------------------
+
+    EXEMPT_MUTABLE = (
+        "std::atomic",
+        "Mutex",
+        "std::mutex",
+        "std::shared_mutex",
+        "once_flag",
+        "condition_variable",
+        "BGPCMP_GUARDED_BY",
+        "BGPCMP_SINGLE_THREAD",
+        "OwningThread",
+    )
+
+    def _single_thread_class_spans(self, text):
+        spans = []
+        for m in re.finditer(r"\b(?:class|struct)\s+BGPCMP_SINGLE_THREAD\s+\w+", text):
+            i = text.find("{", m.end())
+            if i < 0:
+                continue
+            depth = 0
+            for j in range(i, len(text)):
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        spans.append((i, j))
+                        break
+        return spans
+
+    def check_d2(self, sf):
+        text = sf.clean
+        class_spans = self._single_thread_class_spans(text)
+        for m in re.finditer(r"\bmutable\b", text):
+            prev = text[: m.start()].rstrip()
+            if prev.endswith(")"):  # lambda: [..](..) mutable
+                continue
+            end = text.find(";", m.end())
+            decl = text[m.end() : end if end > 0 else m.end() + 200]
+            if any(tok in decl for tok in self.EXEMPT_MUTABLE):
+                continue
+            if any(a <= m.start() <= b for a, b in class_spans):
+                continue
+            name = re.findall(r"(\w+)\s*(?:=[^;]*|\{[^;]*\})?\s*$", decl.strip())
+            self.report(
+                sf,
+                sf.line_of_offset(m.start()),
+                "D2",
+                "mutable member "
+                + (f"'{name[0]}' " if name else "")
+                + "is neither atomic, lock-guarded (BGPCMP_GUARDED_BY), nor "
+                + "BGPCMP_SINGLE_THREAD-marked",
+            )
+
+    # -- D3: Rng copy / by-value -------------------------------------------
+
+    def check_d3(self, sf):
+        _, rngs = self.context_registry(sf)
+        text = sf.clean
+        for m in re.finditer(r"[(,]\s*(?:const\s+)?(?:bgpcmp\s*::\s*)?Rng\s+(\w+)\s*(?=[,)=])", text):
+            self.report(
+                sf,
+                sf.line_of_offset(m.start(1)),
+                "D3",
+                f"parameter '{m.group(1)}' takes Rng by value - the copy replays "
+                "the caller's draws; pass Rng& or fork a labelled substream",
+            )
+        for m in re.finditer(r"\bRng\s+(\w+)\s*=\s*([^;]+);", text):
+            rhs = m.group(2).strip()
+            if "(" in rhs or "{" in rhs:
+                continue  # fork(...) / Rng{seed}... are fresh streams
+            self.report(
+                sf,
+                sf.line_of_offset(m.start()),
+                "D3",
+                f"'{m.group(1)}' copy-initialized from '{rhs}' - copies replay "
+                "the parent stream; use .fork(label)",
+            )
+        for m in re.finditer(r"\bRng\s+(\w+)\s*[({]\s*(\w+)\s*[)}]", text):
+            if m.group(2) in rngs:
+                self.report(
+                    sf,
+                    sf.line_of_offset(m.start()),
+                    "D3",
+                    f"'{m.group(1)}' constructed as a copy of Rng '{m.group(2)}'; use .fork(label)",
+                )
+        for m in re.finditer(r"\bauto\s+(\w+)\s*=\s*(\w+)\s*;", text):
+            if m.group(2) in rngs:
+                self.report(
+                    sf,
+                    sf.line_of_offset(m.start()),
+                    "D3",
+                    f"'{m.group(1)}' deduced as a copy of Rng '{m.group(2)}'; use .fork(label)",
+                )
+
+    # -- D4: banned headers through the include graph ----------------------
+
+    def _d4_exempt_file(self, rel):
+        return rel.replace("\\", "/").endswith(D4_SANCTIONED)
+
+    def check_d4(self, sf):
+        """BFS from the TU; report one finding per banned header reached."""
+        reported = set()
+        queue = [(sf.rel, None, [])]  # (file, first-hop include line, chain)
+        seen = {sf.rel}
+        while queue:
+            rel, first_line, chain = queue.pop(0)
+            cur = self.load(rel)
+            exempt = self._d4_exempt_file(rel)
+            for line, target, is_system in cur.includes:
+                base = target  # system headers keep their spelling
+                if is_system or self.resolve_include(rel, target) is None:
+                    if base in BANNED_HEADERS and not exempt and not cur.allows(line, "D4"):
+                        if base in reported:
+                            continue
+                        reported.add(base)
+                        where = first_line if first_line is not None else line
+                        via = " -> ".join(chain + [rel]) if chain or rel != sf.rel else rel
+                        self.report(
+                            sf,
+                            where,
+                            "D4",
+                            f"include closure reaches <{base}> via {via}; wall-clock "
+                            "and raw randomness are banned in model code "
+                            "(SimTime / bgpcmp::Rng instead)",
+                        )
+                else:
+                    resolved = self.resolve_include(rel, target)
+                    if resolved not in seen:
+                        seen.add(resolved)
+                        queue.append(
+                            (
+                                resolved,
+                                first_line if first_line is not None else line,
+                                chain + [rel],
+                            )
+                        )
+
+
+def repo_root_default():
+    return os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+
+
+def default_include_dirs(root):
+    dirs = []
+    src = os.path.join(root, "src")
+    if os.path.isdir(src):
+        for sub in sorted(os.listdir(src)):
+            inc = os.path.join(src, sub, "include")
+            if os.path.isdir(inc):
+                dirs.append(inc)
+    return dirs
+
+
+def include_dirs_from_compile_commands(path):
+    dirs = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, ValueError):
+        return dirs
+    for entry in db:
+        cmd = entry.get("command") or " ".join(entry.get("arguments", []))
+        for m in re.finditer(r"-I\s*(\S+)", cmd):
+            d = m.group(1)
+            if not os.path.isabs(d):
+                d = os.path.join(entry.get("directory", "."), d)
+            d = os.path.normpath(d)
+            if os.path.isdir(d) and d not in dirs:
+                dirs.append(d)
+    return dirs
+
+
+def gather_files(root, paths, exts=(".cpp", ".h")):
+    rels = []
+    for p in paths:
+        ap = os.path.join(root, p)
+        if os.path.isfile(ap):
+            rels.append(os.path.relpath(ap, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(ap):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build") and d != "detlint_fixtures"]
+            for fn in sorted(filenames):
+                if fn.endswith(exts):
+                    rels.append(os.path.relpath(os.path.join(dirpath, fn), root))
+    return sorted(set(rels))
+
+
+def run_scan(root, paths, include_dirs, use_libclang):
+    az = Analyzer(root, include_dirs, use_libclang)
+    files = gather_files(root, paths)
+    for rel in files:
+        sf = az.load(rel)
+        norm = rel.replace("\\", "/")
+        model = norm.startswith(("src/", "tools/", "bench/"))
+        if model:
+            az.check_d1(sf)
+            az.check_d3(sf)
+        if norm.startswith("src/"):
+            az.check_d2(sf)
+        if model and norm.endswith(".cpp"):
+            az.check_d4(sf)
+    return az
+
+
+def run_self_test(fixture_dir):
+    """Run every rule over the fixture corpus and demand an exact match with
+    the // expect: markers. The corpus both proves each rule fires and that
+    lint:allow opt-outs are honored (allowed lines carry no marker)."""
+    root = os.path.abspath(fixture_dir)
+    az = Analyzer(root, default_include_dirs(root), use_libclang=False)
+    expected = []
+    for rel in gather_files(root, ["."]):
+        sf = az.load(rel)
+        for i, raw in enumerate(sf.text.splitlines(), start=1):
+            m = EXPECT_RE.search(raw)
+            if m:
+                for rule in re.split(r"[,\s]+", m.group(1).strip()):
+                    if rule:
+                        expected.append((rel, i, rule))
+        az.check_d1(sf)
+        az.check_d2(sf)
+        az.check_d3(sf)
+        if rel.endswith(".cpp"):
+            az.check_d4(sf)
+    actual = sorted(f.key() for f in az.findings)
+    expected = sorted((os.path.normpath(p), l, r) for p, l, r in expected)
+    actual = [(os.path.normpath(p), l, r) for p, l, r in actual]
+    missing = [e for e in expected if e not in actual]
+    surplus = [a for a in actual if a not in expected]
+    for f in az.findings:
+        print(f)
+    if missing or surplus:
+        for e in missing:
+            print(f"SELF-TEST MISSING: {e[0]}:{e[1]}: {e[2]} (expected, not reported)")
+        for a in surplus:
+            print(f"SELF-TEST SURPLUS: {a[0]}:{a[1]}: {a[2]} (reported, not expected)")
+        print(f"detlint self-test: FAIL ({len(missing)} missing, {len(surplus)} surplus)")
+        return 1
+    print(f"detlint self-test: ok ({len(expected)} expected findings, all matched)")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="detlint", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=None, help="paths to scan (default: src tools bench)")
+    ap.add_argument("--root", default=None, help="repo root (default: two levels above this script)")
+    ap.add_argument("--compile-commands", default=None, help="compile_commands.json for include resolution")
+    ap.add_argument("--engine", choices=["auto", "tokenizer", "libclang"], default="auto")
+    ap.add_argument("--self-test", metavar="DIR", default=None, help="verify the fixture corpus and exit")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}  {desc}")
+        return 0
+
+    if args.self_test:
+        return run_self_test(args.self_test)
+
+    root = os.path.abspath(args.root) if args.root else repo_root_default()
+    paths = args.paths or ["src", "tools", "bench"]
+    for p in paths:
+        if not os.path.exists(os.path.join(root, p)):
+            print(f"detlint: no such path under {root}: {p}", file=sys.stderr)
+            return 2
+
+    include_dirs = default_include_dirs(root)
+    cc = args.compile_commands or os.path.join(root, "build", "compile_commands.json")
+    if os.path.isfile(cc):
+        for d in include_dirs_from_compile_commands(cc):
+            if d not in include_dirs:
+                include_dirs.append(d)
+
+    use_libclang = args.engine in ("auto", "libclang")
+    if args.engine == "libclang":
+        try:
+            import clang.cindex  # noqa: F401
+        except ImportError:
+            print("detlint: --engine libclang requested but the clang Python bindings are missing", file=sys.stderr)
+            return 2
+
+    az = run_scan(root, paths, include_dirs, use_libclang)
+    engine = "libclang" if az.libclang_active else "tokenizer"
+    note = "" if az.libclang_active else " (libclang unavailable; declaration tracking is textual)"
+    print(f"detlint: engine={engine}{note}; scanned {len(az.files)} files under {' '.join(paths)}")
+    for f in sorted(az.findings, key=Finding.key):
+        print(f)
+    if az.findings:
+        print(f"detlint: {len(az.findings)} finding(s)")
+        return 1
+    print("detlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
