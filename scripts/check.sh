@@ -8,9 +8,12 @@ scripts/lint.sh
 scripts/format.sh --check
 
 # Semantic determinism/concurrency lint (docs/TOOLING.md, "Static
-# contracts"): self-test pins every rule, then the tree must scan clean.
-# Needs only a Python interpreter; skipped loudly when absent because CI
-# always runs it.
+# contracts"): self-test pins every rule (D1-D4 plus the call-graph
+# phase-contract, lock-order, and parallel-reduction rules D5-D7), then the
+# tree must scan clean. Needs only a Python interpreter; skipped loudly when
+# absent because CI always runs it. For a sub-second pre-commit pass, run
+# `python3 tools/detlint/detlint.py --changed` instead: it analyzes only
+# files changed vs HEAD plus their include-graph dependents.
 if command -v python3 >/dev/null 2>&1; then
   python3 tools/detlint/detlint.py --self-test tests/detlint_fixtures
   python3 tools/detlint/detlint.py

@@ -35,10 +35,12 @@ class BGPCMP_SINGLE_THREAD RouteCache {
 
   /// Compute the tables for every distinct uncached origin, serially. Slots
   /// are keyed by origin index, so warming never moves existing tables.
+  BGPCMP_PHASE(warm)
   void warm(std::span<const AsIndex> origins);
 
   /// Same, but fans the distinct uncached origins out over `pool` via
   /// parallel_map. Byte-identical to the serial overload at any pool width.
+  BGPCMP_PHASE(warm)
   void warm(std::span<const AsIndex> origins, exec::ThreadPool& pool);
 
   /// The routing table toward `origin`, computed on first use. Lazy misses
@@ -58,7 +60,13 @@ class BGPCMP_SINGLE_THREAD RouteCache {
   }
 
   /// The warmed table toward `origin`, or nullptr if it was never computed.
-  /// Read-only: safe from concurrent readers after warming.
+  /// Read-only: safe from concurrent readers after warming. detlint D5
+  /// requires every parallel region that reaches this to be dominated by a
+  /// warm() call; toward() above carries no phase annotation on purpose —
+  /// its lazy-miss path is covered by the class-level BGPCMP_SINGLE_THREAD
+  /// waiver and the OwningThread runtime pin instead.
+  BGPCMP_PHASE(serve)
+  BGPCMP_REQUIRES_WARMED(warm)
   [[nodiscard]] const RouteTable* find(AsIndex origin) const {
     const std::optional<RouteTable>& slot = slots_.at(origin);
     return slot.has_value() ? &*slot : nullptr;

@@ -44,6 +44,7 @@ struct ScenarioConfig {
 /// stable. Non-copyable.
 class Scenario {
  public:
+  BGPCMP_PHASE(build)
   static std::unique_ptr<Scenario> make(const ScenarioConfig& config = {});
 
   /// Like make(), but sources the Internet from topo::WorldCache::global():
@@ -51,6 +52,7 @@ class Scenario {
   /// multiple provider presets on one world) copy a cached snapshot instead
   /// of regenerating it. The determinism audit must keep using make() — it
   /// compares two independent builds by design.
+  BGPCMP_PHASE(build)
   static std::unique_ptr<Scenario> make_cached(const ScenarioConfig& config = {});
 
   Scenario(const Scenario&) = delete;

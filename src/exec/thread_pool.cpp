@@ -30,7 +30,9 @@ struct Batch {
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> finished{0};
-  Mutex mutex;
+  // Innermost lock of the pool hierarchy (g_pool_mutex -> Impl -> Batch):
+  // held only to publish errors and for the completion handshake.
+  Mutex mutex BGPCMP_ACQUIRES_ORDER(30);
   std::condition_variable_any all_done;
   std::exception_ptr error BGPCMP_GUARDED_BY(mutex);
   std::size_t error_index BGPCMP_GUARDED_BY(mutex) = 0;
@@ -68,7 +70,9 @@ struct Batch {
 }  // namespace
 
 struct ThreadPool::Impl {
-  Mutex mutex;
+  // Queue lock; may be acquired while g_pool_mutex is held (pool teardown in
+  // set_thread_count joins workers), never while a Batch::mutex is held.
+  Mutex mutex BGPCMP_ACQUIRES_ORDER(20);
   std::condition_variable_any wake;
   std::deque<std::function<void()>> queue BGPCMP_GUARDED_BY(mutex);
   bool stopping BGPCMP_GUARDED_BY(mutex) = false;
@@ -175,7 +179,9 @@ int default_thread_count() {
 
 namespace {
 
-Mutex g_pool_mutex;
+// Outermost lock of the pool hierarchy: replacing the global pool joins the
+// old workers (which take Impl::mutex) while this is held.
+Mutex g_pool_mutex BGPCMP_ACQUIRES_ORDER(10);
 std::unique_ptr<ThreadPool> g_pool BGPCMP_GUARDED_BY(g_pool_mutex);
 
 }  // namespace

@@ -129,7 +129,9 @@ class CongestionField {
   // whichever thread populates a key, the entry is identical. References
   // returned by access_process() outlive the lock on purpose: map nodes are
   // stable and entries are never erased or rewritten.
-  mutable Mutex access_mutex_;
+  // Leaf lock: held only around the find/emplace, never across a call that
+  // could take another lock.
+  mutable Mutex access_mutex_ BGPCMP_ACQUIRES_ORDER(50);
   mutable std::map<std::pair<AsIndex, CityId>, AccessProcess> access_cache_
       BGPCMP_GUARDED_BY(access_mutex_);
 };

@@ -71,6 +71,39 @@
 /// without Clang TSA (see BGPCMP_ASSERT_SINGLE_THREAD).
 #define BGPCMP_SINGLE_THREAD
 
+// ---------------------------------------------------------------------------
+// Phase and ordering contracts (tools/detlint rules D5/D6).
+//
+// The deterministic-parallelism architecture is build -> warm -> read-only
+// serve (docs/PARALLELISM.md, "warm-then-plan"). These markers expand to
+// nothing for the compiler; detlint reads them as facts and checks them over
+// an include-graph-wide call graph, so the contract that used to live in the
+// comment atop route_cache.h is now machine-enforced.
+
+/// Declares which phase a function belongs to: `build` constructs worlds and
+/// tables, `warm` precomputes shared read-only state (route tables, CSR edge
+/// indexes), `serve` reads that state — possibly from many threads at once.
+/// detlint D5 fails a serve-phase function that transitively performs warm or
+/// build work: serving must stay read-only.
+#define BGPCMP_PHASE(p)
+
+/// Names the warm step(s) that must complete before this serve-phase function
+/// runs inside a parallel region. detlint D5 walks every
+/// parallel_for/parallel_map region and requires a dominating call to the
+/// named function — earlier in the enclosing function, on the call chain into
+/// the region, or performed by a constructor of the named function's class
+/// (a fully-warmed object handed to the pool). Violations are reported with
+/// the offending call chain.
+#define BGPCMP_REQUIRES_WARMED(...)
+
+/// Ranks a Mutex in the global acquisition order. detlint D6 builds the
+/// acquisition graph from MutexLock/.lock() sites (including locks reached
+/// through calls made while a lock is held) and fails on any cycle; where
+/// both mutexes carry ranks, it additionally requires ranks to strictly
+/// increase along every acquisition chain, which documents the intended
+/// hierarchy even before a cycle exists.
+#define BGPCMP_ACQUIRES_ORDER(n)
+
 namespace bgpcmp {
 
 /// std::mutex with Clang Thread Safety Analysis attributes. Drop-in for the

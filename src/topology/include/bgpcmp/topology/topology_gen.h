@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bgpcmp/netbase/rng.h"
+#include "bgpcmp/netbase/thread_annotations.h"
 #include "bgpcmp/topology/as_graph.h"
 #include "bgpcmp/topology/city.h"
 #include "bgpcmp/topology/ixp.h"
@@ -77,6 +78,7 @@ struct Internet {
   void rebuild_ixp_index();
 };
 
+BGPCMP_PHASE(build)
 [[nodiscard]] Internet build_internet(const InternetConfig& config);
 
 /// Canonical FNV-1a fingerprint over every structural field of a generated

@@ -32,7 +32,9 @@ class WorldCache {
  public:
   /// The world for `config`, building and caching it on first request.
   /// The returned snapshot is shared and immutable — callers needing a
-  /// mutable world (e.g. to attach a provider) must copy it.
+  /// mutable world (e.g. to attach a provider) must copy it. Warm-phase:
+  /// misses run build_internet, so it must never sit on a serve path.
+  BGPCMP_PHASE(warm)
   [[nodiscard]] std::shared_ptr<const Internet> get(const InternetConfig& config);
 
   [[nodiscard]] std::size_t size() const;
@@ -48,7 +50,9 @@ class WorldCache {
   using Key = std::pair<std::uint64_t, std::uint64_t>;
   using WorldFuture = std::shared_future<std::shared_ptr<const Internet>>;
 
-  mutable Mutex mu_;
+  // Leaf lock: taken for map lookups/inserts only; build_internet runs
+  // outside it, so nothing is ever acquired while mu_ is held.
+  mutable Mutex mu_ BGPCMP_ACQUIRES_ORDER(40);
   std::map<Key, WorldFuture> worlds_ BGPCMP_GUARDED_BY(mu_);
   std::uint64_t hits_ BGPCMP_GUARDED_BY(mu_) = 0;
   std::uint64_t misses_ BGPCMP_GUARDED_BY(mu_) = 0;

@@ -48,4 +48,10 @@ inline int lambda_mutable_ok(int x) {
   return bump();
 }
 
+inline int parenless_lambda_mutable_ok(int x) {
+  // The parameter list is optional: `[x] mutable` is still a lambda.
+  auto bump = [x] mutable { return ++x; };
+  return bump();
+}
+
 }  // namespace fixture

@@ -1,0 +1,94 @@
+// detlint fixture: rule D5 (phase contracts), firing cases.
+//
+// A serve-phase function annotated BGPCMP_REQUIRES_WARMED(fn) may only be
+// reached from a parallel region that a call to `fn` dominates. Deliberately
+// NOT compiled; the macros and parallel_for stand in for the real headers.
+#define BGPCMP_PHASE(p)
+#define BGPCMP_REQUIRES_WARMED(...)
+#define BGPCMP_SINGLE_THREAD
+
+namespace fixture_d5 {
+
+template <typename Body>
+void parallel_for(unsigned long n, Body body);
+
+class PhaseCacheA {
+ public:
+  BGPCMP_PHASE(warm)
+  void warm_tables();
+
+  BGPCMP_PHASE(serve)
+  BGPCMP_REQUIRES_WARMED(warm_tables)
+  int lookup_route(int key) const;
+};
+
+// Direct violation: the serve call sits in the region with no warm anywhere.
+inline void unwarmed_direct(PhaseCacheA& cache) {
+  parallel_for(8, [&](unsigned long i) {  // expect: D5
+    (void)cache.lookup_route(static_cast<int>(i));
+  });
+}
+
+// Indirect violation: the serve call is one hop down the call graph; the
+// report's chain names the hop.
+inline int hop_into_cache(const PhaseCacheA& cache, int key) {
+  return cache.lookup_route(key);
+}
+
+inline void unwarmed_indirect(PhaseCacheA& cache) {
+  parallel_for(4, [&](unsigned long i) {  // expect: D5
+    (void)hop_into_cache(cache, static_cast<int>(i));
+  });
+}
+
+// Warming a DIFFERENT contract does not discharge this one.
+class OtherWarmB {
+ public:
+  BGPCMP_PHASE(warm)
+  void warm_other();
+};
+
+inline void wrong_warm(PhaseCacheA& cache, OtherWarmB& other) {
+  other.warm_other();
+  parallel_for(4, [&](unsigned long i) {  // expect: D5
+    (void)cache.lookup_route(static_cast<int>(i));
+  });
+}
+
+// A class-level BGPCMP_SINGLE_THREAD waiver covers unannotated lazy methods
+// (see d5_phase_clean.cpp) but never silences an annotated serve method.
+class BGPCMP_SINGLE_THREAD WaivedButAnnotatedC {
+ public:
+  BGPCMP_PHASE(warm)
+  void warm_c();
+
+  BGPCMP_PHASE(serve)
+  BGPCMP_REQUIRES_WARMED(warm_c)
+  int find_c(int key) const;
+
+  int lazy_c(int key);  // waived: no phase annotation required
+};
+
+inline void waiver_does_not_cover_serve(WaivedButAnnotatedC& cache) {
+  parallel_for(4, [&](unsigned long i) {  // expect: D5
+    (void)cache.find_c(static_cast<int>(i));
+  });
+}
+
+// Phase regression: a serve-phase function must stay read-only; reaching
+// warm-phase work is reported at the offending call.
+class PhaseStoreD {
+ public:
+  BGPCMP_PHASE(warm)
+  void rebuild_d();
+
+  BGPCMP_PHASE(serve)
+  int read_d(int key);
+};
+
+inline int PhaseStoreD::read_d(int key) {
+  rebuild_d();  // expect: D5
+  return key;
+}
+
+}  // namespace fixture_d5

@@ -1,0 +1,75 @@
+// detlint fixture: rule D6 (lock-order cycles and rank inversions), firing
+// cases. Deliberately NOT compiled; Mutex/MutexLock stand in for
+// bgpcmp/netbase/thread_annotations.h.
+#define BGPCMP_ACQUIRES_ORDER(n)
+#define BGPCMP_GUARDED_BY(x)
+
+namespace fixture_d6 {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+// Two functions nest the same pair of mutexes in opposite orders: the
+// classic AB/BA deadlock. Reported at each second acquisition.
+class PairAB {
+ public:
+  void first_then_second() {
+    MutexLock a{mu_a_};
+    MutexLock b{mu_b_};  // expect: D6
+  }
+
+  void second_then_first() {
+    MutexLock b{mu_b_};
+    MutexLock a{mu_a_};  // expect: D6
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};
+
+// Declared ranks contradicted by a single nesting — an inversion is a
+// finding even before a second function closes the cycle.
+class RankedPairCD {
+ public:
+  void inverted() {
+    MutexLock outer{high_};
+    MutexLock inner{low_};  // expect: D6
+  }
+
+ private:
+  Mutex low_ BGPCMP_ACQUIRES_ORDER(110);
+  Mutex high_ BGPCMP_ACQUIRES_ORDER(120);
+};
+
+// A cycle closed through the call graph: one side nests directly, the other
+// acquires the second mutex inside a callee while the first is held.
+class DeferredEF {
+ public:
+  void lock_e_then_call() {
+    MutexLock e{mu_e_};
+    helper_f();  // expect: D6
+  }
+
+  void lock_f_then_e() {
+    MutexLock f{mu_f_};
+    MutexLock e{mu_e_};  // expect: D6
+  }
+
+ private:
+  void helper_f() { MutexLock f{mu_f_}; }
+
+  Mutex mu_e_;
+  Mutex mu_f_;
+};
+
+}  // namespace fixture_d6

@@ -1,0 +1,80 @@
+// detlint fixture: rule D6 (lock ordering), clean cases. No expect markers:
+// a finding here is a regression.
+#define BGPCMP_ACQUIRES_ORDER(n)
+#define BGPCMP_GUARDED_BY(x)
+
+namespace fixture_d6_clean {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+void run_deferred_task(int token);
+
+// Consistent nesting along declared ranks: edges exist, but they all point
+// "up" the hierarchy, so there is no cycle and no inversion.
+class OrderedHI {
+ public:
+  void nested_in_order() {
+    MutexLock a{coarse_};
+    MutexLock b{fine_};
+  }
+
+  void fine_only() { MutexLock b{fine_}; }
+
+ private:
+  Mutex coarse_ BGPCMP_ACQUIRES_ORDER(210);
+  Mutex fine_ BGPCMP_ACQUIRES_ORDER(220);
+};
+
+// A lambda queued while a lock is held runs AFTER the lock is released
+// (the thread_pool.cpp submit path): the acquisition inside the lambda body
+// must not count as nested under the queue lock.
+class QueueJ {
+ public:
+  void enqueue_j() {
+    MutexLock q{queue_mu_};
+    schedule_j([this] {
+      MutexLock w{work_mu_};
+      run_deferred_task(0);
+    });
+  }
+
+  void work_then_queue_j() {
+    MutexLock w{work_mu_};
+    MutexLock q{queue_mu_};
+  }
+
+ private:
+  template <typename Task>
+  void schedule_j(Task task);
+
+  Mutex queue_mu_;
+  Mutex work_mu_;
+};
+
+// Explicit lock()/unlock() pairs release at the unlock, not at scope end:
+// sequential (non-overlapping) acquisitions are not an edge.
+class HandOverK {
+ public:
+  void sequential_k() {
+    left_.lock();
+    left_.unlock();
+    right_.lock();
+    right_.unlock();
+  }
+
+ private:
+  Mutex left_;
+  Mutex right_;
+};
+
+}  // namespace fixture_d6_clean

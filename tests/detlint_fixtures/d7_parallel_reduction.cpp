@@ -1,0 +1,26 @@
+// detlint fixture: rule D7 (order-sensitive reductions in parallel regions),
+// firing cases. A compound assignment to state declared outside the region
+// folds in thread-completion order — floating-point addition is not
+// associative, so the result depends on pool width and scheduling.
+namespace fixture_d7 {
+
+template <typename Body>
+void parallel_for(unsigned long n, Body body);
+
+inline double racing_sum(const double* xs, unsigned long n) {
+  double total = 0.0;
+  parallel_for(n, [&](unsigned long i) {
+    total += xs[i];  // expect: D7
+  });
+  return total;
+}
+
+inline double racing_product(const double* xs, unsigned long n) {
+  double product = 1.0;
+  parallel_for(n, [&](unsigned long i) {
+    product *= xs[i];  // expect: D7
+  });
+  return product;
+}
+
+}  // namespace fixture_d7

@@ -1,0 +1,42 @@
+// detlint fixture: rule D7 (parallel reductions), clean cases — the
+// sanctioned patterns from docs/PARALLELISM.md. No expect markers.
+namespace fixture_d7_clean {
+
+template <typename Body>
+void parallel_for(unsigned long n, Body body);
+
+// Index-addressed slots written in the region, folded sequentially after the
+// join: byte-identical at any pool width.
+inline double slots_then_fold(const double* xs, double* slots, unsigned long n) {
+  parallel_for(n, [&](unsigned long i) {
+    slots[i] += xs[i];
+  });
+  double total = 0.0;
+  for (unsigned long i = 0; i < n; ++i) total += slots[i];
+  return total;
+}
+
+// An accumulator declared inside the region is per-item state, not a shared
+// reduction.
+inline void local_accumulator(double* out, unsigned long n) {
+  parallel_for(n, [&](unsigned long i) {
+    double acc = 0.0;
+    for (unsigned long k = 0; k < 8; ++k) {
+      acc += static_cast<double>(i + k);
+    }
+    out[i] = acc;
+  });
+}
+
+// Member/pointer-chain writes to per-item targets are index-addressed too.
+struct SlotRowL {
+  double value = 0.0;
+};
+
+inline void member_slots(SlotRowL* rows, const double* xs, unsigned long n) {
+  parallel_for(n, [&](unsigned long i) {
+    rows[i].value += xs[i];
+  });
+}
+
+}  // namespace fixture_d7_clean

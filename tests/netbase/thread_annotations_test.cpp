@@ -83,6 +83,71 @@ TEST(OwningThreadTest, ResetHandsOffOwnership) {
   EXPECT_FALSE(tripped);
 }
 
+// The phase/ordering contract macros are declarations to tools/detlint and
+// nothing to the compiler: a fully annotated type must compile and behave
+// exactly like its unannotated twin on every toolchain.
+class BGPCMP_SINGLE_THREAD AnnotatedPhaseFixture {
+ public:
+  BGPCMP_PHASE(warm)
+  void warm(int upto) {
+    for (int i = static_cast<int>(warmed_.size()); i < upto; ++i) {
+      warmed_.push_back(i * 2);
+    }
+  }
+
+  BGPCMP_PHASE(serve)
+  BGPCMP_REQUIRES_WARMED(warm)
+  [[nodiscard]] int find(int key) const { return warmed_.at(key); }
+
+  /// Lazy path: covered by the class waiver + runtime pin, not by phase
+  /// annotations (the RouteCache::toward / WeightedCdf sort-cache pattern).
+  [[nodiscard]] int toward(int key) {
+    BGPCMP_ASSERT_SINGLE_THREAD(lazy_owner_, "AnnotatedPhaseFixture::toward");
+    while (static_cast<int>(warmed_.size()) <= key) {
+      warmed_.push_back(static_cast<int>(warmed_.size()) * 2);
+    }
+    return warmed_[key];
+  }
+
+ private:
+  std::vector<int> warmed_;
+  Mutex table_mu_ BGPCMP_ACQUIRES_ORDER(90);
+  OwningThread lazy_owner_;
+};
+
+TEST(PhaseContractTest, AnnotationsExpandToNothing) {
+  AnnotatedPhaseFixture fixture;
+  fixture.warm(4);
+  EXPECT_EQ(fixture.find(3), 6);
+  EXPECT_EQ(fixture.toward(5), 10);
+}
+
+TEST(PhaseContractTest, WaivedLazyPathStillPinsItsThread) {
+  // The waiver trades the phase contract for the OwningThread runtime pin:
+  // warmed find() reads are fine from any thread, but the lazy toward()
+  // mutation path must stay on the thread that first used it.
+  const ScopedCheckThrows guard;
+  AnnotatedPhaseFixture fixture;
+  fixture.warm(8);
+  EXPECT_EQ(fixture.toward(2), 4);  // pins the lazy path to this thread
+
+  int from_reader = 0;
+  bool lazy_tripped = false;
+  std::thread reader([&] {
+    from_reader = fixture.find(7);  // serve-phase read: legal anywhere
+    try {
+      (void)fixture.toward(30);  // lazy miss from a second thread: caught
+    } catch (const CheckError&) {
+      lazy_tripped = true;
+    }
+  });
+  reader.join();
+  EXPECT_EQ(from_reader, 14);
+#if BGPCMP_THREAD_CHECKS
+  EXPECT_TRUE(lazy_tripped);
+#endif
+}
+
 TEST(OwningThreadTest, CopiesStartUnpinned) {
   const ScopedCheckThrows guard;
   OwningThread original;

@@ -27,9 +27,35 @@ Rules
       <ctime>, <time.h>, <sys/time.h> or <random>. The Rng wrapper
       (netbase/rng.*) is the sanctioned home for <random>; everything else
       needs a lint:allow(D4) on the include line.
+  D5  phase-contract violations. Functions declare their phase with
+      BGPCMP_PHASE(build|warm|serve) and serve-phase entry points name the
+      warm step that must dominate them with BGPCMP_REQUIRES_WARMED(fn).
+      detlint builds an over-approximate call graph (symbol table over every
+      scanned file plus its include closure) and reports (a) a serve call
+      reachable from a parallel_for/parallel_map region with no dominating
+      call to the named warm function earlier on the chain and no
+      constructor that performs it, and (b) a serve-phase function that
+      transitively reaches warm/build-phase work. Methods of
+      BGPCMP_SINGLE_THREAD-waived classes (RouteCache::toward, WeightedCdf's
+      sort cache) are accepted without a phase annotation: their safety
+      story is the OwningThread runtime pin, not the phase discipline.
+      Reported with the offending call chain, like D4 does for includes.
+  D6  lock-order cycles. Mutex declarations (optionally ranked with
+      BGPCMP_ACQUIRES_ORDER(n)) plus MutexLock/.lock() sites feed a global
+      acquisition graph: an edge A -> B means B was acquired while A was
+      held, directly or through the call graph. Any cycle fails, as does
+      acquiring a lower-ranked mutex while holding a higher-ranked one.
+      Lambda bodies are excluded from held-while-calling analysis: a task
+      queued under a lock runs after the lock is released.
+  D7  parallel-reduction floating-point order: a compound assignment
+      (+=, -=, *=, /=) to a variable declared outside the parallel region
+      depends on thread interleaving. The sanctioned pattern is
+      index-addressed slots written in the region and folded sequentially
+      after the join (docs/PARALLELISM.md).
 
 A line opts out with a trailing comment: // lint:allow(D1) - same syntax as
-scripts/lint.sh, comma-separated for several rules.
+scripts/lint.sh, comma-separated for several rules. D5/D7 findings anchor to
+the parallel-region line; D6 findings anchor to the second acquisition.
 
 Engines: with the libclang Python bindings installed the variable-type
 registries for D1/D3 are augmented from a real AST; otherwise a tokenizer
@@ -37,7 +63,13 @@ fallback tracks declarations textually (including through the repo include
 graph, so member types declared in headers are seen from their .cpp files).
 --self-test always uses the tokenizer registries: the fixture corpus in
 tests/detlint_fixtures pins the fallback semantics that every environment
-has.
+has. The D5-D7 symbol table and call graph are always tokenizer-built.
+
+Fast paths and outputs: --changed analyzes only files touched per git diff
+plus their include-graph dependents (the include graph is cached on disk
+keyed by file mtimes, so the pre-commit path is sub-second); --json emits
+machine-readable findings; --github emits GitHub Actions workflow-command
+annotations.
 
 Exit status: 0 clean, 1 findings, 2 usage/config error.
 """
@@ -46,6 +78,7 @@ import argparse
 import json
 import os
 import re
+import subprocess
 import sys
 from collections import OrderedDict
 
@@ -55,6 +88,9 @@ RULES = OrderedDict(
         ("D2", "mutable member without atomic/lock/BGPCMP_SINGLE_THREAD contract"),
         ("D3", "Rng stream copied instead of forked"),
         ("D4", "wall-clock/raw-randomness header reaches model code"),
+        ("D5", "serve-phase call without a dominating warm (phase contract)"),
+        ("D6", "lock-order cycle or BGPCMP_ACQUIRES_ORDER inversion"),
+        ("D7", "order-sensitive reduction inside a parallel region"),
     ]
 )
 
@@ -68,13 +104,57 @@ ALLOW_RE = re.compile(r"lint:allow\(([A-Za-z0-9_, ]+)\)")
 EXPECT_RE = re.compile(r"//\s*expect:\s*([A-Za-z0-9, ]+)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
 
+# -- structural-parse regexes (D5-D7) ---------------------------------------
+
+PHASE_RE = re.compile(r"\bBGPCMP_PHASE\s*\(\s*(\w+)\s*\)")
+REQWARM_RE = re.compile(r"\bBGPCMP_REQUIRES_WARMED\s*\(\s*([\w:,\s]*?)\s*\)")
+ORDER_RE = re.compile(r"\bBGPCMP_ACQUIRES_ORDER\s*\(\s*(\d+)\s*\)")
+MUTEX_DECL_RE = re.compile(r"\bMutex\b\s+([A-Za-z_]\w*)")
+MACRO_INV_RE = re.compile(r"\b[A-Z][A-Z0-9_]{2,}\s*\([^()]*\)")
+ATTR_RE = re.compile(r"\[\[[^\[\]]*\]\]")
+CALL_RE = re.compile(
+    r"(?:([A-Za-z_]\w*)\s*(?:\.|->)\s*|((?:[A-Za-z_]\w*\s*::\s*)+))?"
+    r"([A-Za-z_]\w*)\s*\("
+)
+MACRO_NAME_RE = re.compile(r"[A-Z][A-Z0-9_]{2,}")
+REGION_RE = re.compile(r"\bparallel_(?:for|map)\s*\(")
+LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?"
+    r"(?:noexcept\s*)?(?:->\s*[\w:<>&*,\s]+?)?\s*\{"
+)
+LOCK_SITE_RE = re.compile(r"\bMutexLock\b(?:\s+[A-Za-z_]\w*)?\s*([({])")
+EXPLICIT_LOCK_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*lock\s*\(\s*\)")
+SMART_PTR_VAR_RE = re.compile(
+    r"\b(?:unique_ptr|shared_ptr|optional)\s*<\s*(?:const\s+)?"
+    r"(?:[A-Za-z_]\w*\s*::\s*)*([A-Za-z_]\w*)\s*>\s*&?\s*([A-Za-z_]\w*)"
+)
+
+CPP_KEYWORDS = frozenset(
+    """if else for while do switch case default return break continue goto
+    new delete sizeof alignof alignas decltype typeid noexcept throw try
+    catch static_cast dynamic_cast const_cast reinterpret_cast static_assert
+    using namespace template typename class struct union enum public private
+    protected friend operator this nullptr true false const constexpr
+    consteval constinit volatile mutable inline static extern register auto
+    void bool char int short long float double signed unsigned requires
+    concept co_await co_return co_yield asm export and or not assert
+    defined""".split()
+)
+
+FN_TRAILER_TOKENS = frozenset(
+    {"const", "noexcept", "override", "final", "mutable", "try"}
+)
+
+PARALLEL_PHASES = ("warm", "build")
+
 
 class Finding:
-    def __init__(self, path, line, rule, message):
+    def __init__(self, path, line, rule, message, chain=None):
         self.path = path
         self.line = line
         self.rule = rule
         self.message = message
+        self.chain = chain or []
 
     def key(self):
         return (self.path, self.line, self.rule)
@@ -111,10 +191,17 @@ def clean_source(text):
                 out.append("  ")
                 i += 2
             elif c == '"':
-                # Raw string literals: skip to the closing delimiter whole.
-                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1 : i + 20]) if i and text[i - 1] == "R" else None
-                if m:
-                    delim = ")" + m.group(1) + '"'
+                # Raw string literals (with any encoding prefix - R, u8R, uR,
+                # UR, LR): skip to the closing delimiter whole. The prefix
+                # must not be the tail of a longer identifier.
+                pm = re.search(r"(?:u8|u|U|L)?R$", text[max(0, i - 3) : i])
+                if pm:
+                    j = i - len(pm.group(0))
+                    if j > 0 and (text[j - 1].isalnum() or text[j - 1] == "_"):
+                        pm = None
+                dm = re.match(r'([^()\s\\]{0,16})\(', text[i + 1 : i + 18]) if pm else None
+                if dm:
+                    delim = ")" + dm.group(1) + '"'
                     end = text.find(delim, i)
                     end = n if end < 0 else end + len(delim)
                     out.append("".join("\n" if ch == "\n" else " " for ch in text[i:end]))
@@ -160,6 +247,198 @@ def clean_source(text):
     return "".join(out), allow
 
 
+# -- structural model (D5-D7) ------------------------------------------------
+
+
+class Func:
+    """A function definition or declaration found by the structural parser."""
+
+    __slots__ = ("sf", "cls", "bare", "line", "phase", "requires", "body_span")
+
+    def __init__(self, sf, cls, bare, line, phase, requires, body_span):
+        self.sf = sf
+        self.cls = cls
+        self.bare = bare
+        self.line = line
+        self.phase = phase
+        self.requires = requires
+        self.body_span = body_span  # (start, end) offsets in pp_clean, or None
+
+    @property
+    def display(self):
+        return f"{self.cls}::{self.bare}" if self.cls else self.bare
+
+
+class MutexDecl:
+    __slots__ = ("sf", "cls", "name", "order", "line")
+
+    def __init__(self, sf, cls, name, order, line):
+        self.sf = sf
+        self.cls = cls
+        self.name = name
+        self.order = order
+        self.line = line
+
+    @property
+    def key(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+class Call:
+    __slots__ = ("off", "receiver", "quals", "name")
+
+    def __init__(self, off, receiver, quals, name):
+        self.off = off
+        self.receiver = receiver
+        self.quals = quals
+        self.name = name
+
+
+def _strip_angles(s):
+    """Remove <...> spans (template argument lists) from a declaration head."""
+    out = []
+    depth = 0
+    for ch in s:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            if depth > 0:
+                depth -= 1
+                continue
+        if depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def _prev_nonspace(s, idx):
+    j = idx - 1
+    while j >= 0 and s[j] in " \t\n":
+        j -= 1
+    return s[j] if j >= 0 else ""
+
+
+def _find_top_paren(s):
+    """Offset of the first '(' outside template angle brackets, or None."""
+    depth = 0
+    for idx, ch in enumerate(s):
+        if ch == "<":
+            prev = _prev_nonspace(s, idx)
+            if prev.isalnum() or prev in "_>":
+                depth += 1
+        elif ch == ">" and depth > 0:
+            if idx > 0 and s[idx - 1] == "-":  # ->
+                continue
+            depth -= 1
+        elif ch == "(" and depth == 0:
+            return idx
+    return None
+
+
+def _match_paren(s, start):
+    depth = 0
+    for idx in range(start, len(s)):
+        if s[idx] == "(":
+            depth += 1
+        elif s[idx] == ")":
+            depth -= 1
+            if depth == 0:
+                return idx
+    return None
+
+
+def _strip_template_header(s):
+    s = s.lstrip()
+    while s.startswith("template"):
+        lt = s.find("<")
+        if lt < 0:
+            break
+        depth = 0
+        cut = None
+        for idx in range(lt, len(s)):
+            if s[idx] == "<":
+                depth += 1
+            elif s[idx] == ">":
+                depth -= 1
+                if depth == 0:
+                    cut = idx + 1
+                    break
+        if cut is None:
+            break
+        s = s[cut:].lstrip()
+    return s
+
+
+def _decl_name(seg):
+    """(qualified_name, bare) of the function a declaration head names."""
+    s = _strip_template_header(seg)
+    s2 = ATTR_RE.sub(" ", MACRO_INV_RE.sub(" ", s))
+    ppos = _find_top_paren(s2)
+    if ppos is None:
+        return None, None, None
+    head = s2[:ppos]
+    if "=" in _strip_angles(head):
+        return None, None, None
+    nm = re.search(r"([\w~]+(?:\s*::\s*[\w~]+)*)\s*$", head)
+    if not nm:
+        return None, None, None
+    qual = re.sub(r"\s+", "", nm.group(1))
+    bare = qual.split("::")[-1]
+    if bare in CPP_KEYWORDS or bare == "operator":
+        return None, None, None
+    return qual, bare, (s2, ppos)
+
+
+def _function_trailer_ok(s2, ppos):
+    """After the parameter list, only function-definition trailers may follow
+    (cv/ref qualifiers, noexcept, override, trailing return, ctor init list
+    ending at a closing paren/brace). Rejects mid-statement braces such as a
+    brace-initialized member inside a constructor init list."""
+    q = _match_paren(s2, ppos)
+    if q is None:
+        return False
+    trailer = s2[q + 1 :].strip()
+    if not trailer:
+        return True
+    if trailer[-1] in ")}>&":
+        return True
+    tok = re.search(r"([A-Za-z_]\w*)$", trailer)
+    return bool(tok) and tok.group(1) in FN_TRAILER_TOKENS
+
+
+def _classify_preamble(pre):
+    """Classify the text before a '{' at declaration scope.
+
+    Returns (kind, payload, waived): kind is one of namespace/class/enum/
+    function/init/block; payload is the class name or the function's
+    qualified name; waived marks a BGPCMP_SINGLE_THREAD class."""
+    s = pre.strip()
+    if not s:
+        return "block", None, False
+    if re.search(r"\bnamespace\b", _strip_angles(s)):
+        return "namespace", None, False
+    if re.search(r"\benum\b", s):
+        return "enum", None, False
+    cm = re.search(r"\b(class|struct|union)\b", s)
+    if cm:
+        tail = s[cm.end() :]
+        tail2 = ATTR_RE.sub(" ", MACRO_INV_RE.sub(" ", tail))
+        head = re.split(r"(?<!:):(?!:)", tail2, maxsplit=1)[0]
+        if "(" not in head:
+            nm = re.search(r"([A-Za-z_]\w*)\s*(?:final\s*)?$", head.strip())
+            name = nm.group(1) if nm else None
+            if name == "final":
+                nm2 = re.search(r"([A-Za-z_]\w*)\s+final\s*$", head.strip())
+                name = nm2.group(1) if nm2 else name
+            return "class", name, "BGPCMP_SINGLE_THREAD" in tail
+    qual, bare, ctx = _decl_name(s)
+    if qual is None:
+        return "init", None, False
+    s2, ppos = ctx
+    if not _function_trailer_ok(s2, ppos):
+        return "init", None, False
+    return "function", qual, False
+
+
 class SourceFile:
     def __init__(self, root, relpath):
         self.rel = relpath
@@ -170,6 +449,9 @@ class SourceFile:
         self.clean_lines = self.clean.splitlines()
         self.includes = self._scan_includes()
         self._registry = None
+        self._pp_clean = None
+        self._structure = None
+        self._class_vars = None
 
     def _scan_includes(self):
         """[(line_no, target, is_system)] from non-commented include lines."""
@@ -192,6 +474,29 @@ class SourceFile:
 
     def line_of_offset(self, off):
         return self.clean.count("\n", 0, off) + 1
+
+    @property
+    def pp_clean(self):
+        """The clean text with preprocessor directive lines (and their
+        backslash continuations) blanked, so #define bodies never read as
+        declarations to the structural parser."""
+        if self._pp_clean is not None:
+            return self._pp_clean
+        clean_lines = self.clean.splitlines(True)
+        raw_lines = self.text.splitlines(True)
+        out = []
+        cont = False
+        for idx, ln in enumerate(clean_lines):
+            directive = cont or ln.lstrip().startswith("#")
+            if directive:
+                out.append(re.sub(r"[^\n]", " ", ln))
+                raw = raw_lines[idx] if idx < len(raw_lines) else ""
+                cont = raw.rstrip("\n").endswith("\\")
+            else:
+                out.append(ln)
+                cont = False
+        self._pp_clean = "".join(out)
+        return self._pp_clean
 
     def registry(self):
         """Tokenizer-derived name registries: (unordered vars, Rng vars)."""
@@ -233,6 +538,126 @@ class SourceFile:
         self._registry = (unordered, rngs)
         return self._registry
 
+    # -- structural parse (D5-D7) ------------------------------------------
+
+    def structure(self):
+        """(funcs, mutex_decls, single_thread_classes) for this file."""
+        if self._structure is not None:
+            return self._structure
+        text = self.pp_clean
+        funcs, mutexes, st_classes = [], [], set()
+        stack = []  # (kind, payload)
+        last = 0
+        func_depth = 0
+        init_depth = 0
+        for i, c in enumerate(text):
+            if c == "{":
+                pre = text[last:i]
+                if func_depth or init_depth:
+                    kind, payload, waived = "block", None, False
+                else:
+                    kind, payload, waived = _classify_preamble(pre)
+                if kind == "init":
+                    stack.append(("init", None))
+                    init_depth += 1
+                    continue
+                if kind == "function":
+                    fn = self._make_func(pre, payload, stack, i)
+                    stack.append(("function", fn))
+                    func_depth += 1
+                elif kind == "class":
+                    if waived and payload:
+                        st_classes.add(payload)
+                    stack.append(("class", payload))
+                else:
+                    stack.append((kind, payload))
+                last = i + 1
+            elif c == "}":
+                if stack:
+                    kind, payload = stack.pop()
+                    if kind == "function":
+                        func_depth -= 1
+                        payload.body_span = (payload.body_span[0], i)
+                        funcs.append(payload)
+                    if kind == "init":
+                        init_depth -= 1
+                    else:
+                        last = i + 1
+                else:
+                    last = i + 1
+            elif c == ";":
+                if func_depth == 0 and init_depth == 0:
+                    self._decl_segment(text[last:i], last, stack, funcs, mutexes)
+                    last = i + 1
+        self._structure = (funcs, mutexes, st_classes)
+        return self._structure
+
+    def _enclosing_class(self, stack):
+        for kind, payload in reversed(stack):
+            if kind == "class" and payload:
+                return payload
+        return None
+
+    def _annotations(self, s):
+        phase = None
+        pm = PHASE_RE.search(s)
+        if pm:
+            phase = pm.group(1)
+        requires = []
+        for rm in REQWARM_RE.finditer(s):
+            for part in rm.group(1).split(","):
+                part = part.strip().split("::")[-1]
+                if part:
+                    requires.append(part)
+        return phase, tuple(requires)
+
+    def _make_func(self, pre, qual, stack, brace_off):
+        parts = qual.split("::")
+        bare = parts[-1]
+        cls = parts[-2] if len(parts) > 1 else self._enclosing_class(stack)
+        phase, requires = self._annotations(pre)
+        line = self.line_of_offset(brace_off)
+        return Func(self, cls, bare, line, phase, requires, (brace_off + 1, None))
+
+    def _decl_segment(self, seg, seg_off, stack, funcs, mutexes):
+        s = seg.strip()
+        if not s:
+            return
+        s = _strip_template_header(s)
+        if re.match(r"(?:using|typedef|friend|static_assert|extern)\b", s):
+            return
+        cls = self._enclosing_class(stack)
+        line = self.line_of_offset(seg_off + (len(seg) - len(seg.lstrip())))
+        mm = MUTEX_DECL_RE.search(s)
+        if mm and "(" not in s[: mm.start()]:
+            om = ORDER_RE.search(s)
+            order = int(om.group(1)) if om else None
+            mutexes.append(MutexDecl(self, cls, mm.group(1), order, line))
+            return
+        qual, bare, _ = _decl_name(s)
+        if qual is None:
+            return
+        parts = qual.split("::")
+        if len(parts) > 1:
+            cls = parts[-2]
+        phase, requires = self._annotations(s)
+        funcs.append(Func(self, cls, parts[-1], line, phase, requires, None))
+
+    def class_vars(self, class_names_re, known_classes):
+        """Map class name -> variable names declared with that type in this
+        file (the receiver-typing registry for D5/D6 call resolution)."""
+        if self._class_vars is not None:
+            return self._class_vars
+        out = {}
+        if class_names_re is not None:
+            for m in class_names_re.finditer(self.pp_clean):
+                out.setdefault(m.group(1), set()).add(m.group(2))
+            for m in SMART_PTR_VAR_RE.finditer(self.pp_clean):
+                if m.group(1) in known_classes:
+                    out.setdefault(m.group(1), set()).add(m.group(2))
+        self._class_vars = out
+        return out
+
 
 def try_libclang_registry(sf, include_dirs):
     """AST-grade registry via libclang; None when unavailable or on error."""
@@ -269,6 +694,19 @@ class Analyzer:
         self.files = {}
         self.findings = []
         self.libclang_active = False
+        self._closure_memo = {}
+        self._ctx_vars_memo = {}
+        self._func_calls_memo = {}
+        self._acquires_memo = {}
+        # Symbol-table state, populated by build_symbols().
+        self.symbols = {}
+        self.defs = []
+        self.mutex_decls = []
+        self.st_classes = set()
+        self.relevant_warms = set()
+        self.discharged = set()
+        self._class_names_re = None
+        self._known_classes = frozenset()
 
     def load(self, relpath):
         if relpath not in self.files:
@@ -287,10 +725,10 @@ class Analyzer:
                 return rel
         return None
 
-    def report(self, sf, line, rule, message):
+    def report(self, sf, line, rule, message, chain=None):
         if sf.allows(line, rule):
             return
-        f = Finding(sf.rel, line, rule, message)
+        f = Finding(sf.rel, line, rule, message, chain)
         if f.key() not in {x.key() for x in self.findings}:
             self.findings.append(f)
 
@@ -319,6 +757,8 @@ class Analyzer:
 
     def include_closure(self, sf):
         """The file itself plus every repo file reachable through includes."""
+        if sf.rel in self._closure_memo:
+            return self._closure_memo[sf.rel]
         seen = [sf.rel]
         queue = [sf.rel]
         while queue:
@@ -328,7 +768,146 @@ class Analyzer:
                 if resolved and resolved not in seen:
                     seen.append(resolved)
                     queue.append(resolved)
+        self._closure_memo[sf.rel] = seen
         return seen
+
+    # -- symbol table and call graph (D5-D7) --------------------------------
+
+    def build_symbols(self):
+        """Structural pass over every loaded file: merge function decls and
+        defs by (class, name), collect mutex declarations and waived classes,
+        and precompute the constructor-discharged warm set."""
+        all_funcs = []
+        for rel in sorted(self.files):
+            funcs, mutexes, st = self.files[rel].structure()
+            all_funcs.extend(funcs)
+            self.mutex_decls.extend(mutexes)
+            self.st_classes |= st
+        groups = {}
+        for f in all_funcs:
+            groups.setdefault((f.cls, f.bare), []).append(f)
+        for group in groups.values():
+            phase = next((f.phase for f in group if f.phase), None)
+            requires = tuple(sorted({r for f in group for r in f.requires}))
+            for f in group:
+                f.phase = phase
+                f.requires = requires
+        self.symbols = {}
+        for f in all_funcs:
+            self.symbols.setdefault(f.bare, []).append(f)
+        self.defs = [f for f in all_funcs if f.body_span]
+        self.relevant_warms = {r for f in all_funcs for r in f.requires}
+        classes = sorted({f.cls for f in all_funcs if f.cls})
+        self._known_classes = frozenset(classes)
+        if classes:
+            alt = "|".join(re.escape(c) for c in classes)
+            self._class_names_re = re.compile(
+                r"\b(" + alt + r")\b\s*[&*]{0,2}\s*([A-Za-z_]\w*)\s*[;,=({\[)]"
+            )
+        # Constructor discharge: a warm function called from a constructor of
+        # its class runs before any consumer can hold the object; and a
+        # requirement naming the class itself means "the constructor warms".
+        for fn in self.defs:
+            if fn.cls and fn.bare == fn.cls:
+                for call in self.func_calls(fn):
+                    for target in self.resolve_call(call, fn):
+                        if target.phase == "warm":
+                            self.discharged.add(target.bare)
+        for name in self.relevant_warms:
+            if any(f.cls == name and f.bare == name for funcs in self.symbols.values() for f in funcs):
+                self.discharged.add(name)
+
+    def ctx_vars(self, sf):
+        """Receiver-typing registry for a file: class -> vars, unioned over
+        its include closure."""
+        if sf.rel in self._ctx_vars_memo:
+            return self._ctx_vars_memo[sf.rel]
+        out = {}
+        for rel in self.include_closure(sf):
+            for cls, names in self.load(rel).class_vars(self._class_names_re, self._known_classes).items():
+                out.setdefault(cls, set()).update(names)
+        self._ctx_vars_memo[sf.rel] = out
+        return out
+
+    def func_calls(self, fn):
+        """Call sites in a function body, in textual order."""
+        key = id(fn)
+        if key in self._func_calls_memo:
+            return self._func_calls_memo[key]
+        a, b = fn.body_span
+        body = fn.sf.pp_clean[a:b]
+        out = []
+        for m in CALL_RE.finditer(body):
+            name = m.group(3)
+            if name in CPP_KEYWORDS or MACRO_NAME_RE.fullmatch(name):
+                continue
+            quals = tuple(q for q in re.split(r"\s*::\s*", m.group(2) or "") if q)
+            out.append(Call(a + m.start(3), m.group(1), quals, name))
+        self._func_calls_memo[key] = out
+        return out
+
+    def resolve_call(self, call, cur_func):
+        """Over-approximate targets of a call site. Member functions resolve
+        through the declared-type registry (receiver variable, explicit
+        qualification, or an unqualified call inside the same class); free
+        functions match by name. One entry per (class, name), preferring a
+        definition over a declaration."""
+        cands = self.symbols.get(call.name)
+        if not cands:
+            return []
+        vars_by_cls = None
+        picked = {}
+        for f in cands:
+            ok = False
+            if f.cls is None:
+                ok = call.receiver is None
+            elif call.quals:
+                ok = call.quals[-1] == f.cls
+            elif call.receiver:
+                if call.receiver == "this":
+                    ok = True
+                else:
+                    if vars_by_cls is None:
+                        vars_by_cls = self.ctx_vars(cur_func.sf)
+                    ok = call.receiver in vars_by_cls.get(f.cls, ())
+            else:
+                ok = cur_func.cls is not None and cur_func.cls == f.cls
+            if not ok:
+                continue
+            key = (f.cls, f.bare)
+            if key not in picked or (f.body_span and not picked[key].body_span):
+                picked[key] = f
+        return list(picked.values())
+
+    def func_regions(self, fn):
+        """parallel_for/parallel_map argument spans inside a function body:
+        [(start, end, line)] with absolute pp_clean offsets."""
+        a, b = fn.body_span
+        text = fn.sf.pp_clean
+        out = []
+        for m in REGION_RE.finditer(text, a, b):
+            open_paren = text.index("(", m.end() - 1)
+            close = _match_paren(text, open_paren)
+            if close is None:
+                close = b
+            out.append((open_paren, close, fn.sf.line_of_offset(m.start())))
+        return out
+
+    def _lambda_spans(self, text, a, b):
+        """Brace spans of lambda bodies within [a, b) of text."""
+        spans = []
+        for m in LAMBDA_RE.finditer(text, a, b):
+            open_brace = m.end() - 1
+            depth = 0
+            for idx in range(open_brace, b):
+                if text[idx] == "{":
+                    depth += 1
+                elif text[idx] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        spans.append((open_brace, idx))
+                        break
+        return spans
 
     # -- D1: unordered iteration -------------------------------------------
 
@@ -416,7 +995,9 @@ class Analyzer:
         class_spans = self._single_thread_class_spans(text)
         for m in re.finditer(r"\bmutable\b", text):
             prev = text[: m.start()].rstrip()
-            if prev.endswith(")"):  # lambda: [..](..) mutable
+            # Lambdas: `[..](..) mutable` and the parenless `[..] mutable`
+            # are value-capture details, not shared state.
+            if prev.endswith(")") or prev.endswith("]"):
                 continue
             end = text.find(";", m.end())
             decl = text[m.end() : end if end > 0 else m.end() + 200]
@@ -506,6 +1087,7 @@ class Analyzer:
                             f"include closure reaches <{base}> via {via}; wall-clock "
                             "and raw randomness are banned in model code "
                             "(SimTime / bgpcmp::Rng instead)",
+                            chain=chain + [rel, f"<{base}>"],
                         )
                 else:
                     resolved = self.resolve_include(rel, target)
@@ -518,6 +1100,392 @@ class Analyzer:
                                 chain + [rel],
                             )
                         )
+
+    # -- D5: phase contracts through the call graph ------------------------
+
+    def check_d5(self, sf):
+        """A serve-phase function (BGPCMP_REQUIRES_WARMED) reachable from a
+        parallel region must be dominated by a call to its warm function:
+        textually earlier in some function along the chain, or performed by
+        a constructor of the warm function's class."""
+        funcs, _, _ = sf.structure()
+        for fn in funcs:
+            if not fn.body_span:
+                continue
+            regions = self.func_regions(fn)
+            if not regions:
+                continue
+            calls = self.func_calls(fn)
+            for start, end, line in regions:
+                warms = set()
+                for call in calls:
+                    if call.off >= start:
+                        break
+                    for target in self.resolve_call(call, fn):
+                        if target.phase == "warm":
+                            warms.add(target.bare)
+                chain0 = f"{fn.display} ({sf.rel}:{line})"
+                seen = set()
+                for call in calls:
+                    if not start < call.off < end:
+                        continue
+                    for target in self.resolve_call(call, fn):
+                        self._chase(target, set(warms), [chain0], sf, line, seen)
+
+    def _chase(self, fn, warms, chain, origin_sf, origin_line, seen):
+        key = (id(fn), frozenset(warms & self.relevant_warms))
+        if key in seen:
+            return
+        seen.add(key)
+        if fn.cls in self.st_classes and not fn.phase and not fn.requires:
+            return  # single-thread waiver: OwningThread pins it at runtime
+        if fn.requires:
+            missing = [w for w in fn.requires if w not in warms and w not in self.discharged]
+            if missing:
+                full = chain + [fn.display]
+                self.report(
+                    origin_sf,
+                    origin_line,
+                    "D5",
+                    f"'{fn.display}' is serve-phase and requires "
+                    f"{', '.join(f'{w}()' for w in missing)} to dominate the "
+                    "parallel region; chain: " + " -> ".join(full),
+                    chain=full,
+                )
+            return
+        if fn.phase in ("warm", "build", "serve"):
+            return
+        if not fn.body_span:
+            return
+        running = set(warms)
+        for call in self.func_calls(fn):
+            resolved = self.resolve_call(call, fn)
+            hop = f"{fn.display} ({fn.sf.rel}:{fn.sf.line_of_offset(call.off)})"
+            for target in resolved:
+                if target.phase == "warm":
+                    running.add(target.bare)
+                else:
+                    self._chase(target, set(running), chain + [hop], origin_sf, origin_line, seen)
+
+    def check_d5_regression(self):
+        """A serve-phase function must stay read-only: reaching warm/build
+        work through any chain of unannotated calls is a phase regression."""
+        for fn in self.defs:
+            if fn.phase == "serve":
+                self._regress(fn, [fn.display], set())
+
+    def _regress(self, fn, chain, seen):
+        for call in self.func_calls(fn):
+            for target in self.resolve_call(call, fn):
+                if target.phase in ("warm", "build"):
+                    line = fn.sf.line_of_offset(call.off)
+                    full = chain + [target.display]
+                    self.report(
+                        fn.sf,
+                        line,
+                        "D5",
+                        f"serve-phase '{chain[0]}' reaches {target.phase}-phase "
+                        f"'{target.display}'; chain: " + " -> ".join(full),
+                        chain=full,
+                    )
+                elif (
+                    not target.phase
+                    and not target.requires
+                    and target.body_span
+                    and id(target) not in seen
+                    and target.cls not in self.st_classes
+                ):
+                    seen.add(id(target))
+                    hop = f"{target.display} ({target.sf.rel})"
+                    self._regress(target, chain + [hop], seen)
+
+    # -- D6: lock-order cycles and rank inversions --------------------------
+
+    def _resolve_mutex(self, expr, fn):
+        """Candidate MutexDecl keys for a lock expression. Narrow by receiver
+        type or enclosing class where possible; otherwise every same-named
+        declaration stays a candidate (over-approximation)."""
+        expr = expr.strip()
+        nm = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+        if not nm:
+            return []
+        name = nm.group(1)
+        cands = [d for d in self.mutex_decls if d.name == name]
+        if not cands:
+            return []
+        before = expr[: nm.start()].rstrip()
+        rm = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)$", before)
+        if rm:
+            vars_by_cls = self.ctx_vars(fn.sf)
+            typed = [d for d in cands if d.cls and rm.group(1) in vars_by_cls.get(d.cls, ())]
+            if typed:
+                cands = typed
+        elif before in ("", "this.", "this->"):
+            own = [d for d in cands if d.cls == fn.cls]
+            if own:
+                cands = own
+            elif not before:
+                glob = [d for d in cands if d.cls is None]
+                if glob:
+                    cands = glob
+        return sorted({d.key for d in cands})
+
+    def _scope_release(self, body, stmt_end):
+        """Offset where the scope enclosing a declaration at stmt_end ends."""
+        depth = 0
+        for idx in range(stmt_end, len(body)):
+            if body[idx] == "{":
+                depth += 1
+            elif body[idx] == "}":
+                depth -= 1
+                if depth < 0:
+                    return idx
+        return len(body)
+
+    def _lock_events(self, fn, body, lam_spans):
+        """[(off, release_off, candidate_keys, ctx)] where ctx is the index
+        of the innermost enclosing lambda span or -1 for the main body."""
+
+        def ctx_of(off):
+            best = -1
+            for i, (a, b) in enumerate(lam_spans):
+                if a < off < b and (best < 0 or lam_spans[best][0] < a):
+                    best = i
+            return best
+
+        events = []
+        for m in LOCK_SITE_RE.finditer(body):
+            open_ch = m.group(1)
+            open_off = m.end() - 1
+            if open_ch == "(":
+                close = _match_paren(body, open_off)
+            else:
+                depth = 0
+                close = None
+                for idx in range(open_off, len(body)):
+                    if body[idx] == "{":
+                        depth += 1
+                    elif body[idx] == "}":
+                        depth -= 1
+                        if depth == 0:
+                            close = idx
+                            break
+            if close is None:
+                continue
+            expr = body[open_off + 1 : close]
+            cands = self._resolve_mutex(expr, fn)
+            if not cands:
+                continue
+            stmt_end = body.find(";", close)
+            stmt_end = close if stmt_end < 0 else stmt_end
+            events.append((m.start(), self._scope_release(body, stmt_end), cands, ctx_of(m.start())))
+        for m in EXPLICIT_LOCK_RE.finditer(body):
+            cands = self._resolve_mutex(m.group(1), fn)
+            if not cands:
+                continue
+            release = len(body)
+            um = re.search(
+                re.escape(m.group(1)) + r"\s*(?:\.|->)\s*unlock\s*\(\s*\)", body[m.end() :]
+            )
+            if um:
+                release = m.end() + um.start()
+            events.append((m.start(), release, cands, ctx_of(m.start())))
+        return events, ctx_of
+
+    # The lock primitives themselves: their bodies are the implementation of
+    # locking (Mutex::lock forwards to the wrapped std::mutex, MutexLock's
+    # constructor calls lock()), not acquisitions of any declared mutex, so
+    # D6 must not read events or deferred edges out of them.
+    LOCK_PRIMITIVE_CLASSES = frozenset({"Mutex", "MutexLock"})
+    LOCK_PRIMITIVE_CALLS = frozenset({"lock", "unlock", "try_lock"})
+
+    def acquires_star(self, fn):
+        """Mutex keys a function may acquire, transitively through calls."""
+        key = id(fn)
+        if key in self._acquires_memo:
+            return self._acquires_memo[key]
+        self._acquires_memo[key] = set()  # cycle guard
+        out = set()
+        if fn.cls in self.LOCK_PRIMITIVE_CLASSES:
+            return out
+        if fn.body_span:
+            a, b = fn.body_span
+            body = fn.sf.pp_clean[a:b]
+            lam_spans = self._lambda_spans(fn.sf.pp_clean, a, b)
+            lam_spans = [(x - a, y - a) for x, y in lam_spans]
+            events, _ = self._lock_events(fn, body, lam_spans)
+            for _, _, cands, _ in events:
+                out.update(cands)
+            for call in self.func_calls(fn):
+                if call.name in self.LOCK_PRIMITIVE_CALLS:
+                    continue  # already modeled as a lock event above
+                for target in self.resolve_call(call, fn):
+                    out.update(self.acquires_star(target))
+        self._acquires_memo[key] = out
+        return out
+
+    def check_d6(self):
+        """Global acquisition-order analysis over every loaded definition."""
+        edges = {}  # (held_key, acquired_key) -> (sf, line)
+
+        def add_edges(held, acquired, sf, line):
+            for k1 in held:
+                for k2 in acquired:
+                    if k1 == k2 and (len(held) > 1 or len(acquired) > 1):
+                        continue  # ambiguous same-name pair, not a real self-edge
+                    edges.setdefault((k1, k2), (sf, line))
+
+        for fn in self.defs:
+            if fn.cls in self.LOCK_PRIMITIVE_CLASSES:
+                continue
+            a, b = fn.body_span
+            body = fn.sf.pp_clean[a:b]
+            lam_spans = [(x - a, y - a) for x, y in self._lambda_spans(fn.sf.pp_clean, a, b)]
+            events, ctx_of = self._lock_events(fn, body, lam_spans)
+            if not events:
+                continue
+            for e1 in events:
+                for e2 in events:
+                    if e1 is e2 or e1[3] != e2[3]:
+                        continue
+                    if e1[0] < e2[0] < e1[1]:
+                        add_edges(e1[2], e2[2], fn.sf, fn.sf.line_of_offset(a + e2[0]))
+            for call in self.func_calls(fn):
+                if call.name in self.LOCK_PRIMITIVE_CALLS:
+                    continue  # modeled as lock events, not calls
+                rel_off = call.off - a
+                held = [e for e in events if e[3] == ctx_of(rel_off) and e[0] < rel_off < e[1]]
+                if not held:
+                    continue
+                for target in self.resolve_call(call, fn):
+                    deferred = self.acquires_star(target)
+                    if not deferred:
+                        continue
+                    line = fn.sf.line_of_offset(call.off)
+                    for e in held:
+                        add_edges(e[2], sorted(deferred), fn.sf, line)
+
+        orders = {}
+        for d in self.mutex_decls:
+            if d.order is not None:
+                orders[d.key] = d.order
+        # Rank inversions: acquiring an equal-or-lower-ranked mutex while a
+        # higher-ranked one is held contradicts the declared global order.
+        for (k1, k2), (sf, line) in sorted(edges.items(), key=lambda kv: (kv[1][0].rel, kv[1][1])):
+            if k1 in orders and k2 in orders and orders[k1] >= orders[k2]:
+                self.report(
+                    sf,
+                    line,
+                    "D6",
+                    f"acquires '{k2}' (order {orders[k2]}) while holding '{k1}' "
+                    f"(order {orders[k1]}); BGPCMP_ACQUIRES_ORDER ranks must "
+                    "strictly increase along every acquisition chain",
+                    chain=[k1, k2],
+                )
+        # Cycles: strongly connected components of the acquisition graph.
+        adj = {}
+        for k1, k2 in edges:
+            adj.setdefault(k1, set()).add(k2)
+            adj.setdefault(k2, set())
+        for scc in self._sccs(adj):
+            cyclic = len(scc) > 1 or (len(scc) == 1 and next(iter(scc)) in adj.get(next(iter(scc)), ()))
+            if not cyclic:
+                continue
+            members = sorted(scc)
+            for (k1, k2), (sf, line) in sorted(
+                edges.items(), key=lambda kv: (kv[1][0].rel, kv[1][1])
+            ):
+                if k1 in scc and k2 in scc:
+                    self.report(
+                        sf,
+                        line,
+                        "D6",
+                        f"lock-order cycle through {{{', '.join(members)}}}: "
+                        f"acquires '{k2}' while '{k1}' is held - some thread "
+                        "ordering deadlocks",
+                        chain=[k1, k2],
+                    )
+
+    @staticmethod
+    def _sccs(adj):
+        """Tarjan's strongly connected components, iterative."""
+        index = {}
+        lowlink = {}
+        on_stack = set()
+        stack = []
+        sccs = []
+        counter = [0]
+        for start in sorted(adj):
+            if start in index:
+                continue
+            work = [(start, iter(sorted(adj.get(start, ()))))]
+            index[start] = lowlink[start] = counter[0]
+            counter[0] += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        index[nxt] = lowlink[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(sorted(adj.get(nxt, ())))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        lowlink[node] = min(lowlink[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    comp = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.add(w)
+                        if w == node:
+                            break
+                    sccs.append(comp)
+        return sccs
+
+    # -- D7: order-sensitive reductions in parallel regions ------------------
+
+    D7_OPS_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(\+=|-=|\*=|/=)(?!=)")
+
+    def check_d7(self, sf):
+        funcs, _, _ = sf.structure()
+        text = sf.pp_clean
+        for fn in funcs:
+            if not fn.body_span:
+                continue
+            for start, end, _ in self.func_regions(fn):
+                region = text[start:end]
+                for m in self.D7_OPS_RE.finditer(region):
+                    prev = _prev_nonspace(region, m.start(1))
+                    if prev in ".>]":
+                        continue  # member/array/pointer target, e.g. slots[i]
+                    lhs = m.group(1)
+                    decl = re.search(
+                        r"[;{(,]\s*(?:const\s+)?[A-Za-z_][\w:]*(?:\s*<[^<>;]*>)?"
+                        r"(?:\s*[&*])?\s+" + re.escape(lhs) + r"\s*[=;{(,)]",
+                        region[: m.start()],
+                    )
+                    if decl:
+                        continue  # accumulator local to the region
+                    self.report(
+                        sf,
+                        sf.line_of_offset(start + m.start()),
+                        "D7",
+                        f"'{lhs} {m.group(2)}' inside a parallel region folds in "
+                        "thread-completion order; write index-addressed slots and "
+                        "fold sequentially after the join (docs/PARALLELISM.md)",
+                    )
 
 
 def repo_root_default():
@@ -554,6 +1522,27 @@ def include_dirs_from_compile_commands(path):
     return dirs
 
 
+def sources_from_compile_commands(root, path):
+    """Repo-relative sources listed in compile_commands.json (the canonical
+    TU list for the call-graph passes when a configured build exists)."""
+    rels = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, ValueError):
+        return rels
+    for entry in db:
+        src = entry.get("file")
+        if not src:
+            continue
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", "."), src)
+        rel = os.path.relpath(os.path.normpath(src), root)
+        if not rel.startswith("..") and os.path.isfile(os.path.join(root, rel)):
+            rels.append(rel)
+    return sorted(set(rels))
+
+
 def gather_files(root, paths, exts=(".cpp", ".h")):
     rels = []
     for p in paths:
@@ -569,11 +1558,130 @@ def gather_files(root, paths, exts=(".cpp", ".h")):
     return sorted(set(rels))
 
 
-def run_scan(root, paths, include_dirs, use_libclang):
-    az = Analyzer(root, include_dirs, use_libclang)
-    files = gather_files(root, paths)
-    for rel in files:
+# -- --changed: include-graph cache and git-diff restriction -----------------
+
+
+def default_cache_path(root):
+    build = os.path.join(root, "build")
+    base = build if os.path.isdir(build) else root
+    return os.path.join(base, ".detlint_include_cache.json")
+
+
+def load_include_graph(root, all_rels, include_dirs, cache_path):
+    """rel -> [resolved repo-relative includes], via an mtime-keyed disk
+    cache so the warm --changed path parses only what actually changed."""
+    cache = {}
+    if cache_path and os.path.isfile(cache_path):
+        try:
+            with open(cache_path, encoding="utf-8") as f:
+                cache = json.load(f)
+        except (OSError, ValueError):
+            cache = {}
+    az = Analyzer(root, include_dirs, use_libclang=False)
+    graph = {}
+    dirty = False
+    for rel in all_rels:
+        try:
+            mtime = os.stat(os.path.join(root, rel)).st_mtime_ns
+        except OSError:
+            continue
+        ent = cache.get(rel)
+        if ent and ent[0] == mtime:
+            graph[rel] = ent[1]
+            continue
         sf = az.load(rel)
+        resolved = []
+        for _, target, _ in sf.includes:
+            r = az.resolve_include(rel, target)
+            if r:
+                resolved.append(r)
+        graph[rel] = resolved
+        cache[rel] = [mtime, resolved]
+        dirty = True
+    stale = set(cache) - set(all_rels)
+    if stale:
+        for rel in stale:
+            del cache[rel]
+        dirty = True
+    if dirty and cache_path:
+        try:
+            with open(cache_path, "w", encoding="utf-8") as f:
+                json.dump(cache, f)
+        except OSError:
+            pass  # caching is best-effort; the analysis itself is unaffected
+    return graph
+
+
+def git_changed_files(root, base):
+    """Files touched vs. base plus untracked files, repo-relative; None on
+    git failure."""
+
+    def run(args):
+        return subprocess.run(args, cwd=root, capture_output=True, text=True)
+
+    diff = run(["git", "diff", "--name-only", base, "--"])
+    if diff.returncode != 0:
+        return None
+    untracked = run(["git", "ls-files", "--others", "--exclude-standard"])
+    names = set(diff.stdout.splitlines())
+    if untracked.returncode == 0:
+        names |= set(untracked.stdout.splitlines())
+    return sorted(n for n in names if n.endswith((".cpp", ".h")))
+
+
+def changed_with_dependents(root, paths, include_dirs, base, cache_path):
+    """The git-changed file set widened to every file whose include closure
+    reaches a changed file. Returns None when git is unusable."""
+    changed = git_changed_files(root, base)
+    if changed is None:
+        return None
+    all_rels = gather_files(root, paths)
+    graph = load_include_graph(root, all_rels, include_dirs, cache_path)
+    affected = {c for c in changed if c in graph}
+    # Headers outside the scan roots (none today) would be silently ignored;
+    # keep any changed path that resolves somewhere in the graph's targets.
+    target_map = {}
+    for rel, incs in graph.items():
+        for inc in incs:
+            target_map.setdefault(inc, set()).add(rel)
+    queue = list(affected | {c for c in changed if c in target_map})
+    seen = set(queue)
+    while queue:
+        cur = queue.pop()
+        affected.add(cur) if cur in graph else None
+        for dependent in target_map.get(cur, ()):
+            if dependent not in seen:
+                seen.add(dependent)
+                queue.append(dependent)
+                affected.add(dependent)
+    return sorted(affected)
+
+
+# -- scan drivers ------------------------------------------------------------
+
+
+def run_scan(root, paths, include_dirs, use_libclang, explicit_files=None):
+    az = Analyzer(root, include_dirs, use_libclang)
+    files = explicit_files if explicit_files is not None else gather_files(root, paths)
+    if explicit_files is not None:
+        # Restricted (--changed) runs still need the WHOLE tree in the symbol
+        # table: call-graph facts live in translation units outside the
+        # changed set (a constructor in an unchanged .cpp discharges a
+        # REQUIRES_WARMED contract used by a changed file). Loading and
+        # structure-parsing every file is cheap; the savings come from
+        # skipping the per-file rule passes and include-closure registry
+        # scans for unchanged files.
+        for rel in gather_files(root, paths):
+            az.load(rel)
+    for rel in files:
+        az.load(rel)
+    # Pull include closures in before the symbol pass so annotations declared
+    # in headers are visible from every TU that uses them.
+    for rel in list(files):
+        az.include_closure(az.files[rel])
+    az.build_symbols()
+    for rel in files:
+        sf = az.files[rel]
         norm = rel.replace("\\", "/")
         model = norm.startswith(("src/", "tools/", "bench/"))
         if model:
@@ -583,6 +1691,11 @@ def run_scan(root, paths, include_dirs, use_libclang):
             az.check_d2(sf)
         if model and norm.endswith(".cpp"):
             az.check_d4(sf)
+        if model:
+            az.check_d5(sf)
+            az.check_d7(sf)
+    az.check_d5_regression()
+    az.check_d6()
     return az
 
 
@@ -593,7 +1706,8 @@ def run_self_test(fixture_dir):
     root = os.path.abspath(fixture_dir)
     az = Analyzer(root, default_include_dirs(root), use_libclang=False)
     expected = []
-    for rel in gather_files(root, ["."]):
+    rels = gather_files(root, ["."])
+    for rel in rels:
         sf = az.load(rel)
         for i, raw in enumerate(sf.text.splitlines(), start=1):
             m = EXPECT_RE.search(raw)
@@ -601,11 +1715,18 @@ def run_self_test(fixture_dir):
                 for rule in re.split(r"[,\s]+", m.group(1).strip()):
                     if rule:
                         expected.append((rel, i, rule))
+    az.build_symbols()
+    for rel in rels:
+        sf = az.files[rel]
         az.check_d1(sf)
         az.check_d2(sf)
         az.check_d3(sf)
         if rel.endswith(".cpp"):
             az.check_d4(sf)
+        az.check_d5(sf)
+        az.check_d7(sf)
+    az.check_d5_regression()
+    az.check_d6()
     actual = sorted(f.key() for f in az.findings)
     expected = sorted((os.path.normpath(p), l, r) for p, l, r in expected)
     actual = [(os.path.normpath(p), l, r) for p, l, r in actual]
@@ -624,6 +1745,41 @@ def run_self_test(fixture_dir):
     return 0
 
 
+def emit_findings(az, fmt, paths, engine_note):
+    findings = sorted(az.findings, key=Finding.key)
+    if fmt == "json":
+        payload = {
+            "engine": engine_note,
+            "files_scanned": len(az.files),
+            "findings": [
+                {
+                    "file": f.path,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                    "chain": f.chain,
+                }
+                for f in findings
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    elif fmt == "github":
+        # GitHub Actions workflow commands: surfaced as PR annotations.
+        for f in findings:
+            msg = f.message.replace("%", "%25").replace("\r", "").replace("\n", "%0A")
+            print(f"::error file={f.path},line={f.line},title=detlint {f.rule}::{msg}")
+        print(f"detlint: {len(findings)} finding(s)" if findings else "detlint: clean")
+    else:
+        print(f"detlint: engine={engine_note}; scanned {len(az.files)} files under {' '.join(paths)}")
+        for f in findings:
+            print(f)
+        if findings:
+            print(f"detlint: {len(findings)} finding(s)")
+        else:
+            print("detlint: clean")
+    return 1 if findings else 0
+
+
 def main(argv):
     ap = argparse.ArgumentParser(prog="detlint", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("paths", nargs="*", default=None, help="paths to scan (default: src tools bench)")
@@ -632,6 +1788,24 @@ def main(argv):
     ap.add_argument("--engine", choices=["auto", "tokenizer", "libclang"], default="auto")
     ap.add_argument("--self-test", metavar="DIR", default=None, help="verify the fixture corpus and exit")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE",
+        help="scan only files changed vs. BASE (default HEAD) plus their include-graph dependents",
+    )
+    ap.add_argument("--json", action="store_true", help="emit findings as JSON")
+    ap.add_argument(
+        "--github", action="store_true", help="emit findings as GitHub Actions annotations"
+    )
+    ap.add_argument(
+        "--cache-file",
+        default=None,
+        help="include-graph cache path for --changed (default: build/.detlint_include_cache.json)",
+    )
+    ap.add_argument("--no-cache", action="store_true", help="ignore and don't write the include-graph cache")
     args = ap.parse_args(argv)
 
     if args.list_rules:
@@ -664,17 +1838,27 @@ def main(argv):
             print("detlint: --engine libclang requested but the clang Python bindings are missing", file=sys.stderr)
             return 2
 
-    az = run_scan(root, paths, include_dirs, use_libclang)
+    explicit = None
+    if args.changed is not None:
+        cache_path = None if args.no_cache else (args.cache_file or default_cache_path(root))
+        explicit = changed_with_dependents(root, paths, include_dirs, args.changed, cache_path)
+        if explicit is None:
+            print("detlint: --changed requires a usable git checkout", file=sys.stderr)
+            return 2
+        if not explicit:
+            fmt = "json" if args.json else ("github" if args.github else "text")
+            if fmt == "json":
+                print(json.dumps({"engine": "tokenizer", "files_scanned": 0, "findings": []}, indent=2))
+            else:
+                print("detlint: no changed files; clean")
+            return 0
+
+    az = run_scan(root, paths, include_dirs, use_libclang, explicit_files=explicit)
     engine = "libclang" if az.libclang_active else "tokenizer"
-    note = "" if az.libclang_active else " (libclang unavailable; declaration tracking is textual)"
-    print(f"detlint: engine={engine}{note}; scanned {len(az.files)} files under {' '.join(paths)}")
-    for f in sorted(az.findings, key=Finding.key):
-        print(f)
-    if az.findings:
-        print(f"detlint: {len(az.findings)} finding(s)")
-        return 1
-    print("detlint: clean")
-    return 0
+    if not az.libclang_active and not args.json and not args.github:
+        engine += " (libclang unavailable; declaration tracking is textual)"
+    fmt = "json" if args.json else ("github" if args.github else "text")
+    return emit_findings(az, fmt, paths, engine)
 
 
 if __name__ == "__main__":
