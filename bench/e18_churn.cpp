@@ -1,0 +1,196 @@
+// E18: incremental re-convergence cost vs full rebuild, by event locality.
+//
+// A warmed ChurnEngine applies an event batch by invalidating only the route
+// subtrees reachable from the changed origin sessions and relaxing back from
+// the frontier (see docs/CHURN.md). The contrast with BM_ChurnFullRebuild is
+// the incremental win; the benchmarks sweep locality from a no-op batch
+// through single-edge and single-link events up to a facility outage that
+// downs every session in a city. Each toggle benchmark alternates an event
+// with its inverse, so every iteration times exactly one single-event
+// reconverge from a warmed steady state.
+//
+// BENCH_churn.json records the reference-container numbers; the byte-identity
+// of every incremental table against the full rebuild is pinned separately by
+// tests/bgp/churn_test.cpp and determinism_audit's churn_default scenario.
+#include <benchmark/benchmark.h>
+
+#include "bgpcmp/bgp/churn.h"
+#include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/core/scenario.h"
+
+namespace {
+
+using namespace bgpcmp;
+
+const core::Scenario& shared_scenario() {
+  static const auto scenario = core::Scenario::make();
+  return *scenario;
+}
+
+topo::AsIndex bench_origin() {
+  const auto& sc = shared_scenario();
+  // An eyeball origin with providers and at least one link-carrying session,
+  // so every locality tier below has something to toggle.
+  const auto& g = sc.internet.graph;
+  const auto& idx = g.edge_index();
+  for (const auto o : sc.internet.eyeballs) {
+    if (idx.up_edges(o).empty()) continue;
+    for (const auto e : idx.edges_of(o)) {
+      if (!g.edge(e).links.empty()) return o;
+    }
+  }
+  return sc.internet.eyeballs.front();
+}
+
+// The cost churn avoids: one full worklist propagation for the origin.
+void BM_ChurnFullRebuild(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto o = bench_origin();
+  (void)sc.internet.graph.edge_index();  // exclude the one-time CSR build
+  for (auto _ : state) {
+    const auto table = bgp::compute_routes(sc.internet.graph, o);
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_ChurnFullRebuild)->Unit(benchmark::kMicrosecond);
+
+// Locality floor: a batch that changes no session short-circuits after the
+// per-session diff (re-announcing an edge that is already up).
+void BM_ChurnNoOpBatch(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto o = bench_origin();
+  bgp::ChurnEngine eng{&sc.internet.graph, bgp::OriginSpec::everywhere(o)};
+  const bgp::ChurnEvent ev[] = {
+      bgp::ChurnEvent::announce(sc.internet.graph.edge_index().up_edges(o).front())};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.reconverge(ev).changed_sessions);
+  }
+}
+BENCHMARK(BM_ChurnNoOpBatch)->Unit(benchmark::kMicrosecond);
+
+// Single-edge locality: withdraw one origin session, then re-announce it,
+// cycling over every session the origin has. Each iteration is one
+// single-event reconverge; the mean covers the locality spectrum from backup
+// provider and peer sessions (tiny frontiers) up to the trunk session.
+void BM_ChurnWithdrawAnnounce(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto o = bench_origin();
+  bgp::ChurnEngine eng{&sc.internet.graph, bgp::OriginSpec::everywhere(o)};
+  const auto edges = sc.internet.graph.edge_index().edges_of(o);
+  std::size_t i = 0;
+  double changed = 0.0;
+  for (auto _ : state) {
+    // Withdraw a session on even iterations, restore it on odd ones, so at
+    // most one session is ever down and each event's frontier is its own.
+    const auto e = edges[(i / 2) % edges.size()];
+    const bgp::ChurnEvent ev[] = {(i % 2 == 0) ? bgp::ChurnEvent::withdraw(e)
+                                               : bgp::ChurnEvent::announce(e)};
+    ++i;
+    const auto st = eng.reconverge(ev);
+    benchmark::DoNotOptimize(st.changed_routes);
+    changed += static_cast<double>(st.changed_routes);
+  }
+  state.counters["changed_routes"] =
+      benchmark::Counter(changed, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ChurnWithdrawAnnounce)->Unit(benchmark::kMicrosecond);
+
+// Worst-case single edge: the origin's first provider session is typically
+// the trunk most of the table routes through, so withdrawing it re-converges
+// nearly the whole in-tree — the frontier IS the table, and the incremental
+// walk can only approach full-rebuild cost.
+void BM_ChurnWithdrawTrunk(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto o = bench_origin();
+  bgp::ChurnEngine eng{&sc.internet.graph, bgp::OriginSpec::everywhere(o)};
+  const auto e = sc.internet.graph.edge_index().up_edges(o).front();
+  bool down = false;
+  for (auto _ : state) {
+    const bgp::ChurnEvent ev[] = {down ? bgp::ChurnEvent::announce(e)
+                                       : bgp::ChurnEvent::withdraw(e)};
+    down = !down;
+    benchmark::DoNotOptimize(eng.reconverge(ev).changed_routes);
+  }
+}
+BENCHMARK(BM_ChurnWithdrawTrunk)->Unit(benchmark::kMicrosecond);
+
+// Single-edge locality, length-shifting: toggle a prepend on one session.
+void BM_ChurnPrependToggle(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto o = bench_origin();
+  bgp::ChurnEngine eng{&sc.internet.graph, bgp::OriginSpec::everywhere(o)};
+  const auto e = sc.internet.graph.edge_index().up_edges(o).front();
+  int count = 3;
+  for (auto _ : state) {
+    const bgp::ChurnEvent ev[] = {bgp::ChurnEvent::prepend_set(e, count)};
+    count = 3 - count;
+    benchmark::DoNotOptimize(eng.reconverge(ev).changed_routes);
+  }
+}
+BENCHMARK(BM_ChurnPrependToggle)->Unit(benchmark::kMicrosecond);
+
+// A session severed only when its whole link set goes down: prefer an edge
+// all of whose links land in one city, so the outage tiers below actually
+// drop a session rather than rerouting around a surviving link.
+topo::EdgeId single_city_edge(topo::AsIndex o) {
+  const auto& g = shared_scenario().internet.graph;
+  const auto edges = g.edge_index().edges_of(o);
+  for (const auto e : edges) {
+    const auto& links = g.edge(e).links;
+    if (links.empty()) continue;
+    const auto city = g.link(links.front()).city;
+    bool same = true;
+    for (const auto l : links) same = same && g.link(l).city == city;
+    if (same) return e;
+  }
+  for (const auto e : edges) {
+    if (!g.edge(e).links.empty()) return e;
+  }
+  return edges.front();
+}
+
+// Single-link locality: flap one physical link under an origin session. A
+// single-link session goes down with it; a multi-link session survives and
+// the reconverge is a pure diff (the no-op floor).
+void BM_ChurnLinkFlap(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto& g = sc.internet.graph;
+  const auto o = bench_origin();
+  bgp::ChurnEngine eng{&sc.internet.graph, bgp::OriginSpec::everywhere(o)};
+  const auto link = g.edge(single_city_edge(o)).links.front();
+  double changed = 0.0;
+  for (auto _ : state) {
+    const bgp::ChurnEvent ev[] = {bgp::ChurnEvent::link_flap(link)};
+    const auto st = eng.reconverge(ev);
+    benchmark::DoNotOptimize(st.changed_routes);
+    changed += static_cast<double>(st.changed_routes);
+  }
+  state.counters["changed_routes"] =
+      benchmark::Counter(changed, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ChurnLinkFlap)->Unit(benchmark::kMicrosecond);
+
+// City-wide locality: a facility outage downs every link in one city — the
+// widest frontier a single event can seed (every origin session whose links
+// all land there goes down at once).
+void BM_ChurnFacilityOutage(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto& g = sc.internet.graph;
+  const auto o = bench_origin();
+  bgp::ChurnEngine eng{&sc.internet.graph, bgp::OriginSpec::everywhere(o)};
+  const auto city = g.link(g.edge(single_city_edge(o)).links.front()).city;
+  double changed = 0.0;
+  for (auto _ : state) {
+    const bgp::ChurnEvent ev[] = {bgp::ChurnEvent::facility_outage(city)};
+    const auto st = eng.reconverge(ev);
+    benchmark::DoNotOptimize(st.changed_routes);
+    changed += static_cast<double>(st.changed_routes);
+  }
+  state.counters["changed_routes"] =
+      benchmark::Counter(changed, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ChurnFacilityOutage)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -33,10 +33,12 @@ cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
 # Propagation golden suite under AddressSanitizer: the worklist propagation
-# must stay pinned byte-identical to the reference with heap checking on.
+# and the incremental churn engine must stay pinned byte-identical to the
+# reference with heap checking on. ('Seeds/*' picks up the parameterized
+# randomized-stream equivalence suite, Seeds/ChurnProperty.)
 cmake --preset asan
 cmake --build build-asan -j "$(nproc)" --target bgp_test
-build-asan/tests/bgp_test --gtest_filter='Propagation*:RouteCache*'
+build-asan/tests/bgp_test --gtest_filter='Propagation*:RouteCache*:Churn*:Seeds/*'
 
 # Reproducibility gate: every registered scenario, studies included.
 build/tools/determinism_audit
@@ -64,7 +66,7 @@ for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "== $(basename "$b")"
   case "$(basename "$b")" in
-    micro_*) "$b" ;;  # google-benchmark CLI: no positional days argument
+    micro_*|e18_*) "$b" ;;  # google-benchmark CLI: no positional days argument
     *) "$b" ${BENCH_ARG:+"$BENCH_ARG"} ;;
   esac
 done

@@ -52,13 +52,19 @@ struct OriginSpec {
   }
 
   /// True if the origin announces the prefix over edge `e` at all.
+  /// Precedence when a link of `e` is scoped in AND `e` is suppressed:
+  /// suppression wins — an operator withdrawing a session silences it even
+  /// where the scope would announce (entry_links agrees and returns none).
   [[nodiscard]] bool announces_on(const AsGraph& graph, EdgeId e) const;
 
-  /// Prepend count applied on edge `e` (0 if none).
+  /// Prepend count applied on edge `e` (0 if none). Counts must be
+  /// non-negative; propagation validates this (check_origin) because a
+  /// negative count would underflow the unsigned length arithmetic.
   [[nodiscard]] int prepend_on(EdgeId e) const;
 
   /// The links of edge `e` usable as entry points into the origin for this
-  /// prefix (all of the edge's links, or the scoped subset).
+  /// prefix (all of the edge's links, or the scoped subset; none if the edge
+  /// is suppressed — consistent with announces_on).
   [[nodiscard]] std::vector<LinkId> entry_links(const AsGraph& graph, EdgeId e) const;
 };
 

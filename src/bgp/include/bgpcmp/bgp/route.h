@@ -64,6 +64,10 @@ class RouteTable {
   [[nodiscard]] AsIndex origin() const { return origin_; }
   [[nodiscard]] const AsGraph& graph() const { return *graph_; }
   [[nodiscard]] const BestRoute& at(AsIndex as) const { return routes_.at(as); }
+  /// Overwrite one AS's selected route. Reserved for the churn engine's
+  /// incremental re-convergence (churn.h), which patches only the frontier a
+  /// delta touched; study code treats tables as immutable.
+  void set(AsIndex as, const BestRoute& route) { routes_.at(as) = route; }
   [[nodiscard]] bool reachable(AsIndex as) const { return routes_.at(as).reachable(); }
   [[nodiscard]] std::size_t size() const { return routes_.size(); }
 

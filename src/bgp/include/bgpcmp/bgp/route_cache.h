@@ -12,10 +12,12 @@
 // concurrent phase of a study must touch warmed origins only (find() checks).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "bgpcmp/bgp/churn.h"
 #include "bgpcmp/bgp/propagation.h"
 #include "bgpcmp/netbase/thread_annotations.h"
 
@@ -25,13 +27,19 @@ class ThreadPool;
 
 namespace bgpcmp::bgp {
 
+/// One origin's share of a churn wave: the events hitting its sessions.
+struct OriginChurn {
+  AsIndex origin = topo::kNoAs;
+  std::vector<ChurnEvent> events;
+};
+
 // The lazy-miss side of toward() is single-thread-only by contract (the
 // BGPCMP_SINGLE_THREAD marker below is what tools/detlint checks); warmed
 // reads through find() are safe from any number of threads.
 class BGPCMP_SINGLE_THREAD RouteCache {
  public:
   explicit RouteCache(const AsGraph* graph)
-      : graph_(graph), slots_(graph->as_count()) {}
+      : graph_(graph), slots_(graph->as_count()), engines_(graph->as_count()) {}
 
   /// Compute the tables for every distinct uncached origin, serially. Slots
   /// are keyed by origin index, so warming never moves existing tables.
@@ -72,6 +80,25 @@ class BGPCMP_SINGLE_THREAD RouteCache {
     return slot.has_value() ? &*slot : nullptr;
   }
 
+  /// Apply an event batch to one warmed origin and re-converge its table
+  /// incrementally from the changed frontier (churn.h). A warm-delta step:
+  /// the slot must already be warmed, and it stays warmed (byte-identical to
+  /// evicting and recomputing under the post-event announcement). The first
+  /// reconverge for an origin builds its churn engine off the warmed state.
+  BGPCMP_PHASE(warm)
+  BGPCMP_REQUIRES_WARMED(warm)
+  ChurnStats reconverge(AsIndex origin, std::span<const ChurnEvent> events);
+
+  /// Same, fanning a wave of per-origin batches out over `pool`. Origins in
+  /// one wave must be distinct: engines and slots are keyed by origin index,
+  /// so distinct origins touch disjoint state and the result is
+  /// byte-identical at any pool width — the same index-addressed-slot
+  /// discipline as warm() (docs/PARALLELISM.md).
+  BGPCMP_PHASE(warm)
+  BGPCMP_REQUIRES_WARMED(warm)
+  std::vector<ChurnStats> reconverge(std::span<const OriginChurn> wave,
+                                     exec::ThreadPool& pool);
+
   /// Number of origins with a computed table.
   [[nodiscard]] std::size_t size() const { return cached_; }
 
@@ -80,8 +107,15 @@ class BGPCMP_SINGLE_THREAD RouteCache {
   /// in first-appearance order.
   [[nodiscard]] std::vector<AsIndex> missing(std::span<const AsIndex> origins) const;
 
+  /// The churn engine for `origin`, built on first use (a full converge that
+  /// must agree with the warmed slot — golden-pinned in churn_test).
+  ChurnEngine& engine(AsIndex origin);
+
   const AsGraph* graph_;
   std::vector<std::optional<RouteTable>> slots_;  ///< keyed by origin index
+  /// Churn engines, keyed by origin index like slots_ (so parallel
+  /// reconverge waves over distinct origins write disjoint entries).
+  std::vector<std::unique_ptr<ChurnEngine>> engines_;
   std::size_t cached_ = 0;
   OwningThread lazy_owner_;  ///< pins the thread taking lazy toward() misses
 };

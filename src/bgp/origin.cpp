@@ -25,6 +25,11 @@ int OriginSpec::prepend_on(EdgeId e) const {
 
 std::vector<LinkId> OriginSpec::entry_links(const AsGraph& graph, EdgeId e) const {
   std::vector<LinkId> out;
+  // Suppression beats scope (same precedence announces_on applies): a session
+  // the prefix is withheld from has no entry points, even if its links are
+  // scoped in. Before this check the two methods disagreed — a suppressed
+  // edge reported entry links for a prefix it never announced.
+  if (suppress.contains(e)) return out;
   for (const LinkId l : graph.edge(e).links) {
     if (!scope || std::find(scope->begin(), scope->end(), l) != scope->end()) {
       out.push_back(l);

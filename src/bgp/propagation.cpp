@@ -1,117 +1,56 @@
 #include "bgpcmp/bgp/propagation.h"
 
-#include <limits>
+#include <utility>
 #include <vector>
 
+#include "bgpcmp/bgp/propagation_detail.h"
 #include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::bgp {
 
-namespace {
+namespace detail {
 
-constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
-
-/// Best-so-far route of one preference class at one AS.
-struct ClassState {
-  std::uint32_t len = kInf;
-  AsIndex next_hop = kNoAs;
-  EdgeId via_edge = kNoEdge;
-
-  [[nodiscard]] bool valid() const { return len != kInf; }
-};
-
-/// True if (len, next-hop ASN) is strictly better than `cur` — BGP's
-/// shortest-path-then-lowest-neighbor tie-breaking within a LocalPref class.
-bool better(const AsGraph& g, std::uint32_t len, AsIndex nh, const ClassState& cur) {
-  if (len < cur.len) return true;
-  if (len > cur.len) return false;
-  return g.node(nh).asn < g.node(cur.next_hop).asn;
+BestRoute select_one(const AsGraph& graph, const Tables& t, AsIndex i,
+                     AsIndex origin) {
+  (void)graph;
+  if (i == origin) return BestRoute{RouteClass::Origin, 0, kNoAs, kNoEdge};
+  const auto narrow = [&](const ClassState& s, RouteClass cls) {
+    // BestRoute::length is uint16; a uint32 relaxation length past 65535 can
+    // only come from a pathological prepend and must not wrap silently.
+    BGPCMP_CHECK_LE(s.len, std::numeric_limits<std::uint16_t>::max(),
+                    "AS-path length overflows BestRoute::length (check prepends)");
+    return BestRoute{cls, static_cast<std::uint16_t>(s.len), s.next_hop, s.via_edge};
+  };
+  if (t.cust[i].valid()) return narrow(t.cust[i], RouteClass::Customer);
+  if (t.peer[i].valid()) return narrow(t.peer[i], RouteClass::Peer);
+  if (t.prov[i].valid()) return narrow(t.prov[i], RouteClass::Provider);
+  return BestRoute{};
 }
 
-struct Tables {
-  std::vector<ClassState> cust;
-  std::vector<ClassState> peer;
-  std::vector<ClassState> prov;
-};
-
-/// Length of the route `as` actually selects (class preference first), or
-/// kInf if unrouted. `origin` always selects itself with length 0.
-std::uint32_t best_len(const Tables& t, AsIndex as, AsIndex origin) {
-  if (as == origin) return 0;
-  if (t.cust[as].valid()) return t.cust[as].len;
-  if (t.peer[as].valid()) return t.peer[as].len;
-  if (t.prov[as].valid()) return t.prov[as].len;
-  return kInf;
-}
-
-/// FIFO worklist over AS indices with membership dedup: pushing an AS that is
-/// already queued is a no-op, so each relaxation wave visits a node once.
-class Worklist {
- public:
-  explicit Worklist(std::size_t n) : queued_(n, 0) {}
-
-  void push(AsIndex i) {
-    if (queued_[i] != 0) return;
-    queued_[i] = 1;
-    items_.push_back(i);
-  }
-
-  [[nodiscard]] bool empty() const { return head_ == items_.size(); }
-
-  AsIndex pop() {
-    const AsIndex i = items_[head_++];
-    queued_[i] = 0;
-    if (head_ == items_.size()) {
-      items_.clear();
-      head_ = 0;
-    }
-    return i;
-  }
-
- private:
-  std::vector<std::uint8_t> queued_;
-  std::vector<AsIndex> items_;
-  std::size_t head_ = 0;
-};
-
-/// Selection: LocalPref class order, already tie-broken within class.
 RouteTable select_best(const AsGraph& graph, const Tables& t, AsIndex o) {
   const std::size_t n = graph.as_count();
   std::vector<BestRoute> best(n);
-  for (AsIndex i = 0; i < n; ++i) {
-    if (i == o) {
-      best[i] = BestRoute{RouteClass::Origin, 0, kNoAs, kNoEdge};
-    } else if (t.cust[i].valid()) {
-      best[i] = BestRoute{RouteClass::Customer,
-                          static_cast<std::uint16_t>(t.cust[i].len),
-                          t.cust[i].next_hop, t.cust[i].via_edge};
-    } else if (t.peer[i].valid()) {
-      best[i] = BestRoute{RouteClass::Peer, static_cast<std::uint16_t>(t.peer[i].len),
-                          t.peer[i].next_hop, t.peer[i].via_edge};
-    } else if (t.prov[i].valid()) {
-      best[i] = BestRoute{RouteClass::Provider,
-                          static_cast<std::uint16_t>(t.prov[i].len),
-                          t.prov[i].next_hop, t.prov[i].via_edge};
-    }
-  }
+  for (AsIndex i = 0; i < n; ++i) best[i] = select_one(graph, t, i, o);
   return RouteTable{&graph, o, std::move(best)};
 }
 
 void check_origin(const AsGraph& graph, const OriginSpec& origin) {
   BGPCMP_CHECK_NE(origin.origin, kNoAs, "announcement needs a real origin AS");
   BGPCMP_CHECK_LT(origin.origin, graph.as_count(), "origin AS out of range");
+  for (const auto& [edge, count] : origin.prepend) {
+    BGPCMP_CHECK_LT(edge, graph.edge_count(), "prepend on an edge outside the graph");
+    // prepend_on feeds unsigned length arithmetic (1 + prepend): a negative
+    // count would underflow into a near-2^32 "length", so reject it here at
+    // every propagation entry point rather than wrapping silently.
+    BGPCMP_CHECK_GE(count, 0, "prepend count must be non-negative");
+  }
 }
 
-}  // namespace
-
-RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin) {
+Tables compute_tables(const AsGraph& graph, const OriginSpec& origin) {
   check_origin(graph, origin);
   const topo::EdgeIndex& idx = graph.edge_index();
   const std::size_t n = graph.as_count();
-  Tables t;
-  t.cust.resize(n);
-  t.peer.resize(n);
-  t.prov.resize(n);
+  Tables t{n};
 
   const AsIndex o = origin.origin;
   Worklist wl{n};
@@ -203,16 +142,24 @@ RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin) {
     for (const EdgeId e : idx.down_edges(x)) relax_down(x, len + 1, e);
   }
 
-  return select_best(graph, t, o);
+  return t;
+}
+
+}  // namespace detail
+
+RouteTable compute_routes(const AsGraph& graph, const OriginSpec& origin) {
+  return detail::select_best(graph, detail::compute_tables(graph, origin),
+                             origin.origin);
 }
 
 RouteTable compute_routes_reference(const AsGraph& graph, const OriginSpec& origin) {
-  check_origin(graph, origin);
+  using detail::ClassState;
+  using detail::Tables;
+  using detail::better;
+  using detail::kInfLen;
+  detail::check_origin(graph, origin);
   const std::size_t n = graph.as_count();
-  Tables t;
-  t.cust.resize(n);
-  t.peer.resize(n);
-  t.prov.resize(n);
+  Tables t{n};
 
   const AsIndex o = origin.origin;
 
@@ -289,8 +236,8 @@ RouteTable compute_routes_reference(const AsGraph& graph, const OriginSpec& orig
         len_p = 0;
         extra = origin.prepend_on(e);
       } else {
-        len_p = best_len(t, provider, o);
-        if (len_p == kInf) continue;
+        len_p = detail::best_len(t, provider, o);
+        if (len_p == kInfLen) continue;
       }
       const std::uint32_t cand = len_p + 1 + static_cast<std::uint32_t>(extra);
       if (better(graph, cand, provider, t.prov[customer])) {
@@ -300,7 +247,7 @@ RouteTable compute_routes_reference(const AsGraph& graph, const OriginSpec& orig
     }
   }
 
-  return select_best(graph, t, o);
+  return detail::select_best(graph, t, o);
 }
 
 RouteTable compute_routes(const AsGraph& graph, AsIndex origin) {

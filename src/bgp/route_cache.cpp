@@ -1,6 +1,7 @@
 #include "bgpcmp/bgp/route_cache.h"
 
 #include "bgpcmp/exec/thread_pool.h"
+#include "bgpcmp/netbase/check.h"
 
 namespace bgpcmp::bgp {
 
@@ -27,7 +28,7 @@ void RouteCache::warm(std::span<const AsIndex> origins, exec::ThreadPool& pool) 
   if (todo.empty()) return;
   // Build the CSR index before the fan-out so workers share one snapshot
   // instead of racing to construct it (the race is benign but wasteful).
-  graph_->edge_index();
+  (void)graph_->edge_index();
   std::vector<RouteTable> tables =
       exec::parallel_map(pool, todo.size(),
                          [&](std::size_t i) { return compute_routes(*graph_, todo[i]); });
@@ -35,6 +36,45 @@ void RouteCache::warm(std::span<const AsIndex> origins, exec::ThreadPool& pool) 
     slots_[todo[i]].emplace(std::move(tables[i]));
     ++cached_;
   }
+}
+
+ChurnEngine& RouteCache::engine(AsIndex origin) {
+  BGPCMP_CHECK(slots_.at(origin).has_value(),
+               "reconverge needs a warmed origin (warm() it first)");
+  std::unique_ptr<ChurnEngine>& slot = engines_[origin];
+  if (!slot) {
+    slot = std::make_unique<ChurnEngine>(graph_, OriginSpec::everywhere(origin));
+  }
+  return *slot;
+}
+
+ChurnStats RouteCache::reconverge(AsIndex origin, std::span<const ChurnEvent> events) {
+  ChurnEngine& eng = engine(origin);
+  const ChurnStats st = eng.reconverge(events);
+  // Publish by copy: readers hold pointers into the slot across find(), so
+  // the slot must never alias the engine's mutable working table.
+  slots_[origin] = eng.table();
+  return st;
+}
+
+std::vector<ChurnStats> RouteCache::reconverge(std::span<const OriginChurn> wave,
+                                               exec::ThreadPool& pool) {
+  // Engines are keyed by origin, so distinctness is what makes the parallel
+  // wave race-free; build them (and the CSR index) before the fan-out so
+  // workers only touch their own engine.
+  std::vector<std::uint8_t> seen(slots_.size(), 0);
+  for (const OriginChurn& oc : wave) {
+    BGPCMP_CHECK(seen[oc.origin] == 0, "a reconverge wave must not repeat an origin");
+    seen[oc.origin] = 1;
+    engine(oc.origin);
+  }
+  (void)graph_->edge_index();
+  std::vector<ChurnStats> stats =
+      exec::parallel_map(pool, wave.size(), [&](std::size_t i) {
+        return engines_[wave[i].origin]->reconverge(wave[i].events);
+      });
+  for (const OriginChurn& oc : wave) slots_[oc.origin] = engines_[oc.origin]->table();
+  return stats;
 }
 
 }  // namespace bgpcmp::bgp

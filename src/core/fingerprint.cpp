@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "bgpcmp/bgp/propagation.h"
+#include "bgpcmp/bgp/route_cache.h"
 #include "bgpcmp/bgp/table_dump.h"
 #include "bgpcmp/cdn/anycast_cdn.h"
+#include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/core/report.h"
 #include "bgpcmp/core/study_anycast.h"
 #include "bgpcmp/core/study_pop.h"
@@ -176,6 +178,80 @@ void append_wan_study(const Scenario& sc, std::string& out) {
   out += headline("standard near ingress", result.standard_ingress_near_fraction);
 }
 
+/// Deterministic churn drive: warm a RouteCache over strided eyeball origins,
+/// then push three structured event waves (withdraw, restore+prepend,
+/// flap+clear) through the parallel reconverge path. Events are derived from
+/// CSR edge order — no RNG — so two runs diverge only if the delta code
+/// leaks scheduling or iteration order into results.
+std::string render_churn_tables(const ScenarioConfig& config) {
+  const auto internet = topo::build_internet(config.internet);
+  const auto& g = internet.graph;
+  std::string out;
+  out += banner("churn (world only)");
+  out += topology_counts(internet) + "\n";
+
+  std::vector<topo::AsIndex> origins;
+  const auto& eyes = internet.eyeballs;
+  const std::size_t stride = eyes.size() > 16 ? eyes.size() / 16 : 1;
+  for (std::size_t i = 0; i < eyes.size(); i += stride) origins.push_back(eyes[i]);
+  bgp::RouteCache cache{&g};
+  cache.warm(origins, exec::global_pool());
+
+  const topo::EdgeIndex& idx = g.edge_index();
+  stats::Table waves{{"wave", "origin", "sessions", "invalidated", "pops", "changed"}};
+  for (int wave = 0; wave < 3; ++wave) {
+    std::vector<bgp::OriginChurn> batch;
+    for (const topo::AsIndex o : origins) {
+      const auto edges = idx.edges_of(o);
+      bgp::OriginChurn oc;
+      oc.origin = o;
+      const topo::EdgeId e = edges[static_cast<std::size_t>(wave) % edges.size()];
+      switch (wave) {
+        case 0:
+          oc.events.push_back(bgp::ChurnEvent::withdraw(e));
+          break;
+        case 1:
+          oc.events.push_back(bgp::ChurnEvent::announce(edges.front()));
+          oc.events.push_back(bgp::ChurnEvent::prepend_set(e, 3));
+          break;
+        default: {
+          const auto& links = g.edge(e).links;
+          if (!links.empty()) {
+            oc.events.push_back(bgp::ChurnEvent::link_flap(links.front()));
+          }
+          oc.events.push_back(
+              bgp::ChurnEvent::prepend_set(edges[1 % edges.size()], 0));
+          break;
+        }
+      }
+      batch.push_back(std::move(oc));
+    }
+    const auto stats = cache.reconverge(batch, exec::global_pool());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      waves.add_row({std::to_string(wave), std::string(g.node(batch[i].origin).name),
+                     std::to_string(stats[i].changed_sessions),
+                     std::to_string(stats[i].invalidated()),
+                     std::to_string(stats[i].worklist_pops),
+                     std::to_string(stats[i].changed_routes)});
+    }
+  }
+  out += waves.render();
+
+  // Final per-origin table digests: the full post-churn tables, hashed, so a
+  // divergence anywhere in a delta is visible even when the stats agree.
+  stats::Table digests{{"origin", "table digest"}};
+  for (const topo::AsIndex o : origins) {
+    const bgp::RouteTable* table = cache.find(o);
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(bgp::dump_table(g, *table, /*limit=*/0))));
+    digests.add_row({std::string(g.node(o).name), buf});
+  }
+  out += digests.render();
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view data) {
@@ -189,6 +265,7 @@ std::uint64_t fnv1a64(std::string_view data) {
 
 std::string render_result_tables(const ScenarioConfig& config,
                                  const FingerprintOptions& options) {
+  if (options.churn) return render_churn_tables(config);
   if (options.topology_only) {
     // World generation only — no provider, clients, or studies. The canonical
     // structural hash stands in for the table dumps a full scenario gets.

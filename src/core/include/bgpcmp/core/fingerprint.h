@@ -29,6 +29,12 @@ struct FingerprintOptions {
   /// scales where a full scenario would be too slow to audit; implies no
   /// studies.
   bool topology_only = false;
+  /// Render a churn run instead of a full scenario: warm a RouteCache over
+  /// strided eyeball origins, drive deterministic event waves through the
+  /// parallel reconverge path (bgp/churn.h), and emit per-wave stats plus
+  /// final table digests. Puts the incremental re-convergence code under the
+  /// same double-run / --compare-threads gate as everything else.
+  bool churn = false;
 };
 
 /// Build a fresh world from `config` and render its canonical result tables.

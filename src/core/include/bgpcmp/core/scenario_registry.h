@@ -23,6 +23,10 @@ struct RegisteredScenario {
   /// no provider, clients, or studies. Lets scaled-up topologies sit under
   /// the determinism gate without a full scenario's cost.
   bool topology_only = false;
+  /// Fingerprint a churn run (FingerprintOptions::churn): deterministic event
+  /// waves through RouteCache::reconverge, so the incremental delta paths sit
+  /// under the determinism gate — including --compare-threads.
+  bool churn = false;
 };
 
 /// All registered scenarios, in a fixed, documented order.

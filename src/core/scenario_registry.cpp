@@ -17,7 +17,9 @@ ScenarioConfig topology_4x() {
   return cfg;
 }
 
-constexpr std::array<RegisteredScenario, 6> kRegistry{{
+ScenarioConfig churn_world() { return ScenarioConfig{}; }
+
+constexpr std::array<RegisteredScenario, 7> kRegistry{{
     {"facebook_like", "Study 1: PNI-rich edge provider (default config)",
      &ScenarioConfig::facebook_like, /*fingerprint_studies=*/true},
     {"microsoft_like", "Study 2: 2015-era anycast CDN, sparse peering",
@@ -30,6 +32,9 @@ constexpr std::array<RegisteredScenario, 6> kRegistry{{
      &master_seed_456, /*fingerprint_studies=*/false},
     {"topology_4x", "4x-scale world, topology generation only",
      &topology_4x, /*fingerprint_studies=*/false, /*topology_only=*/true},
+    {"churn_default", "event waves through the incremental re-convergence path",
+     &churn_world, /*fingerprint_studies=*/false, /*topology_only=*/false,
+     /*churn=*/true},
 }};
 
 }  // namespace

@@ -71,5 +71,24 @@ TEST_F(OriginSpecTest, SuppressBeatsScope) {
   EXPECT_FALSE(spec.announces_on(g_, e1_));
 }
 
+TEST_F(OriginSpecTest, EntryLinksAgreeWithAnnouncesOnPrecedence) {
+  // Pin the precedence contract: suppression beats a scope that names the
+  // edge's links, and entry_links must agree with announces_on — a session
+  // that announces nothing has no entry points. (entry_links used to ignore
+  // suppress entirely and reported scoped links on a withheld session.)
+  auto scoped = OriginSpec::scoped(o_, {l1a_, l1b_});
+  scoped.suppress.insert(e1_);
+  EXPECT_FALSE(scoped.announces_on(g_, e1_));
+  EXPECT_TRUE(scoped.entry_links(g_, e1_).empty());
+
+  auto everywhere = OriginSpec::everywhere(o_);
+  everywhere.suppress.insert(e2_);
+  EXPECT_FALSE(everywhere.announces_on(g_, e2_));
+  EXPECT_TRUE(everywhere.entry_links(g_, e2_).empty());
+  // The untouched session is unaffected either way.
+  EXPECT_TRUE(everywhere.announces_on(g_, e1_));
+  EXPECT_EQ(everywhere.entry_links(g_, e1_).size(), 2u);
+}
+
 }  // namespace
 }  // namespace bgpcmp::bgp

@@ -97,6 +97,36 @@ TEST_F(GroomingTest, DeterministicAcrossRuns) {
   EXPECT_EQ(ra.mean_gap_by_iteration, rb.mean_gap_by_iteration);
 }
 
+TEST_F(GroomingTest, ChurnEventsReplayReproducesGroomedRoutes) {
+  // The operator loop as an event stream: replaying churn_events(report)
+  // through an engine seeded with the pre-grooming announcement must land on
+  // the groomed spec — and re-converge, incrementally, to exactly the routes
+  // a full rebuild computes for it.
+  const auto& sc = sparse_scenario();
+  AnycastCdn cdn{&sc.internet, &sc.provider};
+  const bgp::OriginSpec before = cdn.anycast_spec();
+  AnycastGroomer groomer{&cdn, &sc.latency, &sc.clients, quick_config()};
+  const auto report = groomer.groom();
+  if (report.steps.empty()) GTEST_SKIP() << "nothing to groom in this world";
+  const bgp::OriginSpec& after = cdn.anycast_spec();
+
+  const std::vector<bgp::ChurnEvent> events = churn_events(report);
+  bgp::ChurnEngine eng{&sc.internet.graph, before};
+  eng.reconverge(events);
+  EXPECT_EQ(eng.effective_spec().prepend, after.prepend);
+  EXPECT_EQ(eng.effective_spec().suppress, after.suppress);
+
+  const auto want = bgp::compute_routes_reference(sc.internet.graph, after);
+  const auto& got = eng.table();
+  ASSERT_EQ(got.size(), want.size());
+  for (topo::AsIndex i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.at(i).cls, want.at(i).cls);
+    EXPECT_EQ(got.at(i).length, want.at(i).length);
+    EXPECT_EQ(got.at(i).next_hop, want.at(i).next_hop);
+    EXPECT_EQ(got.at(i).via_edge, want.at(i).via_edge);
+  }
+}
+
 TEST_F(GroomingTest, HighThresholdMeansNoSteps) {
   const auto& sc = sparse_scenario();
   AnycastCdn cdn{&sc.internet, &sc.provider};

@@ -1,0 +1,114 @@
+// detlint fixture: rule D5, warm-delta contract (the reconverge pattern).
+//
+// A warm-phase method that itself requires warmed state mutates that state
+// in place and leaves it warmed. A dominating call to it therefore
+// re-establishes its bases too: reconverge_w() discharges warm_w() for the
+// region that follows, exactly as a fresh warm_w() call would.
+#define BGPCMP_PHASE(p)
+#define BGPCMP_REQUIRES_WARMED(...)
+#define BGPCMP_SINGLE_THREAD
+
+namespace fixture_d5_warm_delta {
+
+template <typename Body>
+void parallel_for(unsigned long n, Body body);
+
+class DeltaCacheW {
+ public:
+  BGPCMP_PHASE(warm)
+  void warm_w();
+
+  // The delta step: applies events to already-warmed tables and leaves them
+  // warmed — warm phase, but conditioned on the initial warm.
+  BGPCMP_PHASE(warm)
+  BGPCMP_REQUIRES_WARMED(warm_w)
+  void reconverge_w(int event);
+
+  BGPCMP_PHASE(serve)
+  BGPCMP_REQUIRES_WARMED(warm_w)
+  int find_w(int key) const;
+};
+
+// Clean: the dominating delta step re-establishes its own base requirement,
+// so the fan-out may serve without a textual warm_w() in sight (the tables
+// were warmed in an earlier epoch; the delta kept them warm).
+inline void delta_discharges_base(DeltaCacheW& cache) {
+  cache.reconverge_w(1);
+  parallel_for(8, [&](unsigned long i) {
+    (void)cache.find_w(static_cast<int>(i));
+  });
+}
+
+// Clean: a parallel wave of delta steps under a dominating warm — the
+// RouteCache::reconverge(wave, pool) shape, one engine per lane.
+inline void warmed_wave(DeltaCacheW& cache) {
+  cache.warm_w();
+  parallel_for(8, [&](unsigned long i) {
+    cache.reconverge_w(static_cast<int>(i));
+  });
+}
+
+// Clean: the warm-delta discharge also applies one hop down the chain — the
+// wave body steps its (constructed-warm) engine, then reads from it.
+inline int step_then_read(DeltaCacheW& cache, int i) {
+  cache.reconverge_w(i);
+  return cache.find_w(i);
+}
+
+inline void chained_wave(DeltaCacheW& cache) {
+  parallel_for(8, [&](unsigned long i) {
+    (void)step_then_read(cache, static_cast<int>(i));
+  });
+}
+
+// Clean: a function's own BGPCMP_REQUIRES_WARMED contract is discharged at
+// its call sites, so its bases hold on entry — the RouteCache::reconverge
+// wave shape: warm-phase, requires warm_w, fans the delta out per engine.
+class WaveCacheY {
+ public:
+  BGPCMP_PHASE(warm)
+  void warm_y();
+
+  BGPCMP_PHASE(serve)
+  BGPCMP_REQUIRES_WARMED(warm_y)
+  int find_y(int key) const;
+
+  BGPCMP_PHASE(warm)
+  BGPCMP_REQUIRES_WARMED(warm_y)
+  void wave_y();
+};
+
+inline void WaveCacheY::wave_y() {
+  parallel_for(8, [&](unsigned long i) {
+    (void)find_y(static_cast<int>(i));
+  });
+}
+
+// Firing: the delta step is itself conditioned on the initial warm — a wave
+// over never-warmed tables is still a contract violation.
+inline void unwarmed_wave(DeltaCacheW& cache) {
+  parallel_for(8, [&](unsigned long i) {  // expect: D5
+    cache.reconverge_w(static_cast<int>(i));
+  });
+}
+
+// Firing: a delta step of a DIFFERENT contract discharges only its own
+// bases, never this cache's.
+class OtherDeltaX {
+ public:
+  BGPCMP_PHASE(warm)
+  void warm_x();
+
+  BGPCMP_PHASE(warm)
+  BGPCMP_REQUIRES_WARMED(warm_x)
+  void reconverge_x(int event);
+};
+
+inline void wrong_delta(DeltaCacheW& cache, OtherDeltaX& other) {
+  other.reconverge_x(1);
+  parallel_for(4, [&](unsigned long i) {  // expect: D5
+    (void)cache.find_w(static_cast<int>(i));
+  });
+}
+
+}  // namespace fixture_d5_warm_delta

@@ -1117,13 +1117,22 @@ class Analyzer:
                 continue
             calls = self.func_calls(fn)
             for start, end, line in regions:
-                warms = set()
+                # A function's own BGPCMP_REQUIRES_WARMED contract is
+                # discharged at its call sites, so its bases already hold on
+                # entry (the RouteCache::reconverge wave pattern: warm-phase,
+                # requires warm, fans the delta step out per engine).
+                warms = set(fn.requires)
                 for call in calls:
                     if call.off >= start:
                         break
                     for target in self.resolve_call(call, fn):
                         if target.phase == "warm":
                             warms.add(target.bare)
+                            # Warm-delta contract: a warm-phase call that
+                            # itself requires warmed state (e.g. reconverge)
+                            # mutates that state in place and leaves it
+                            # warmed, so it re-establishes its bases too.
+                            warms.update(target.requires)
                 chain0 = f"{fn.display} ({sf.rel}:{line})"
                 seen = set()
                 for call in calls:
@@ -1164,6 +1173,9 @@ class Analyzer:
             for target in resolved:
                 if target.phase == "warm":
                     running.add(target.bare)
+                    # Warm-delta: see check_d5 — a warm call with requires
+                    # re-establishes those bases for everything after it.
+                    running.update(target.requires)
                 else:
                     self._chase(target, set(running), chain + [hop], origin_sf, origin_line, seen)
 
