@@ -130,6 +130,22 @@ void BM_CandidateRoutes(benchmark::State& state) {
 }
 BENCHMARK(BM_CandidateRoutes)->Unit(benchmark::kMicrosecond);
 
+// RouteTable::path on the serving hot path: every query materializes an AS
+// path, so the walk should cost one allocation (the stored route length
+// bounds the hop count and sizes the reservation up front).
+void BM_RouteTablePath(benchmark::State& state) {
+  const auto& sc = shared_scenario();
+  const auto table =
+      bgp::compute_routes(sc.internet.graph, sc.provider.as_index());
+  const auto origins = sc.internet.eyeballs;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto path = table.path(origins[i++ % origins.size()]);
+    benchmark::DoNotOptimize(path.size());
+  }
+}
+BENCHMARK(BM_RouteTablePath)->Unit(benchmark::kNanosecond);
+
 void BM_GeoPathRealization(benchmark::State& state) {
   const auto& sc = shared_scenario();
   const auto& client = sc.clients.at(0);

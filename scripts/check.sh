@@ -62,11 +62,30 @@ if [ "$elapsed_ms" -ge 5000 ]; then
   exit 1
 fi
 
+# Serving smoke: snapshot the default world, serve the same query stream from
+# the loaded and the freshly built world, and require byte-identical digests.
+# This is the end-to-end CLI version of the serving_default audit scenario;
+# it also reports the load time so a cold-start regression is visible here
+# before the e19 benchmark quantifies it.
+snap=build/check_serving.snap
+build/tools/bgpcmp snapshot --out "$snap" --warm 32
+start_ns=$(date +%s%N)
+loaded=$(build/tools/bgpcmp serve --snapshot "$snap" --queries 256 --digest)
+elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+fresh=$(build/tools/bgpcmp serve --warm 32 --queries 256 --digest)
+echo "serving smoke: load+serve ${elapsed_ms} ms"
+echo "  snapshot: ${loaded}"
+echo "  fresh:    ${fresh}"
+if [ "$loaded" != "$fresh" ]; then
+  echo "snapshot-loaded world diverged from a fresh build" >&2
+  exit 1
+fi
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "== $(basename "$b")"
   case "$(basename "$b")" in
-    micro_*|e18_*) "$b" ;;  # google-benchmark CLI: no positional days argument
+    micro_*|e1[89]_*) "$b" ;;  # google-benchmark CLI: no positional days argument
     *) "$b" ${BENCH_ARG:+"$BENCH_ARG"} ;;
   esac
 done

@@ -51,6 +51,18 @@ class BGPCMP_SINGLE_THREAD RouteCache {
   BGPCMP_PHASE(warm)
   void warm(std::span<const AsIndex> origins, exec::ThreadPool& pool);
 
+  /// Install a precomputed table into `origin`'s slot (snapshot restore:
+  /// core/snapshot.h deserializes warmed tables instead of recomputing
+  /// them). Same slot discipline as warm() — and the installed bytes are
+  /// golden-pinned equal to a recompute by the snapshot's table digests.
+  BGPCMP_PHASE(warm)
+  void install(AsIndex origin, RouteTable table) {
+    std::optional<RouteTable>& slot = slots_.at(origin);
+    if (slot.has_value()) return;  // warm() semantics: first fill wins
+    slot.emplace(std::move(table));
+    ++cached_;
+  }
+
   /// The routing table toward `origin`, computed on first use. Lazy misses
   /// mutate the cache — single-threaded callers only; parallel phases must
   /// stick to origins covered by an earlier warm().

@@ -14,7 +14,9 @@ std::vector<CandidateRoute> candidate_routes_at(const AsGraph& graph,
                   "RIB dump must use the table's own origin spec");
   std::vector<CandidateRoute> out;
   // CSR walk in node-insertion order: same neighbors, same output order as
-  // the allocating neighbors() call this replaced.
+  // the allocating neighbors() call this replaced. At most one candidate per
+  // incident edge, so one reserve covers the worst case.
+  out.reserve(graph.edges_of(viewer).size());
   for (const topo::EdgeId e : graph.edges_of(viewer)) {
     topo::Neighbor nb{graph.other_end(e, viewer), e, graph.role_of_other(e, viewer)};
     CandidateRoute cand;

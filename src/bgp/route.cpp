@@ -18,6 +18,9 @@ std::string_view route_class_name(RouteClass c) {
 std::vector<AsIndex> RouteTable::path(AsIndex from) const {
   std::vector<AsIndex> out;
   if (!reachable(from)) return out;
+  // Every hop contributes at least 1 to the stored route length (prepending
+  // adds more), so length+1 bounds the node count: one reserve, no regrowth.
+  out.reserve(static_cast<std::size_t>(routes_[from].length) + 1);
   AsIndex cur = from;
   // A forwarding loop would indicate a propagation bug; bound the walk.
   for (std::size_t steps = 0; steps <= routes_.size(); ++steps) {
@@ -33,6 +36,7 @@ std::vector<AsIndex> RouteTable::path(AsIndex from) const {
 std::vector<EdgeId> RouteTable::path_edges(AsIndex from) const {
   std::vector<EdgeId> out;
   if (!reachable(from)) return out;
+  out.reserve(routes_[from].length);  // one edge per hop, <= stored length
   AsIndex cur = from;
   for (std::size_t steps = 0; steps <= routes_.size(); ++steps) {
     if (cur == origin_) return out;

@@ -82,6 +82,14 @@ class ContentProvider {
   /// its interconnections at the chosen PoPs.
   static ContentProvider attach(Internet& internet, const ProviderConfig& config);
 
+  /// Rehydrate a provider whose AS, edges, and PoP links already live in a
+  /// deserialized world (core/snapshot.h): no graph mutation, just the
+  /// provider-side bookkeeping. `config` comes from the caller — snapshots
+  /// never store configs (extra_pop_cities holds non-owning string_views) —
+  /// and is fingerprint-checked against the file before this runs.
+  static ContentProvider restore(AsIndex as, std::vector<Pop> pops,
+                                 const ProviderConfig& config);
+
   [[nodiscard]] AsIndex as_index() const { return as_; }
   [[nodiscard]] std::span<const Pop> pops() const { return pops_; }
   [[nodiscard]] const Pop& pop(PopId id) const { return pops_.at(id); }

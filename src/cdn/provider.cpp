@@ -181,6 +181,19 @@ ContentProvider ContentProvider::attach(Internet& internet,
   return cp;
 }
 
+ContentProvider ContentProvider::restore(AsIndex as, std::vector<Pop> pops,
+                                         const ProviderConfig& config) {
+  BGPCMP_CHECK_NE(as, topo::kNoAs, "restored provider needs a valid AS index");
+  ContentProvider cp;
+  cp.as_ = as;
+  cp.pops_ = std::move(pops);
+  cp.config_ = config;
+  for (PopId id = 0; id < cp.pops_.size(); ++id) {
+    BGPCMP_CHECK_EQ(cp.pops_[id].id, id, "restored PoP ids must be dense and in order");
+  }
+  return cp;
+}
+
 std::optional<PopId> ContentProvider::pop_in(CityId city) const {
   for (const Pop& p : pops_) {
     if (p.city == city) return p.id;

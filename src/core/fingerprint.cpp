@@ -1,6 +1,7 @@
 #include "bgpcmp/core/fingerprint.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <utility>
 
@@ -10,6 +11,8 @@
 #include "bgpcmp/cdn/anycast_cdn.h"
 #include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/core/report.h"
+#include "bgpcmp/core/serving.h"
+#include "bgpcmp/core/snapshot.h"
 #include "bgpcmp/core/study_anycast.h"
 #include "bgpcmp/core/study_pop.h"
 #include "bgpcmp/core/study_wan.h"
@@ -252,6 +255,60 @@ std::string render_churn_tables(const ScenarioConfig& config) {
   return out;
 }
 
+/// Serving round-trip: build a ServingWorld, snapshot it to a temp file named
+/// by the config fingerprint (no wall clock, no RNG — two runs reuse and
+/// overwrite the same path with identical bytes), load it back, and answer
+/// one deterministic query batch from both worlds. The rendering carries both
+/// digests and an explicit equality line, so fresh-vs-loaded divergence fails
+/// the audit even within a single run.
+std::string render_serving_tables(const ScenarioConfig& config) {
+  std::string out;
+  out += banner("serving (snapshot vs fresh)");
+
+  ServingConfig serving;
+  serving.warm_origins = 24;
+  const auto fresh = ServingWorld::build(config, serving);
+  out += topology_counts(fresh->scenario().internet) +
+         " clients=" + std::to_string(fresh->scenario().clients.size()) +
+         " warmed=" + std::to_string(fresh->warmed().size()) + "\n";
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  char name[48];
+  std::snprintf(name, sizeof name, "/bgpcmp_serving_%016llx.snap",
+                static_cast<unsigned long long>(scenario_config_fingerprint(config)));
+  const std::string path =
+      std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp") + name;
+  fresh->save(path);
+  // kFull: the audit is exactly where the deep world-fingerprint pin earns
+  // its cost (see topo::SnapshotVerify) — every CI run re-verifies that the
+  // materialized world matches the stored fingerprint bit for bit.
+  const auto loaded = ServingWorld::load(path, config, topo::SnapshotVerify::kFull);
+  std::remove(path.c_str());
+
+  const auto queries = fresh->generate_queries(/*count=*/96, /*seed=*/2026);
+  const QueryServer fresh_server{fresh.get(), &exec::global_pool()};
+  const QueryServer loaded_server{loaded.get(), &exec::global_pool()};
+  const auto fresh_answers = fresh_server.answer_batch(queries);
+  const auto loaded_answers = loaded_server.answer_batch(queries);
+
+  stats::Table sampled{{"query", "answer"}};
+  for (std::size_t i = 0; i < fresh_answers.size(); i += 12) {
+    sampled.add_row({std::to_string(i), fresh_answers[i]});
+  }
+  out += sampled.render();
+
+  char digest[17];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(answers_digest(fresh_answers)));
+  out += "fresh digest=" + std::string(digest) + "\n";
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(answers_digest(loaded_answers)));
+  out += "loaded digest=" + std::string(digest) + "\n";
+  out += std::string("fresh equals loaded=") +
+         (fresh_answers == loaded_answers ? "1" : "0") + "\n";
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view data) {
@@ -265,6 +322,7 @@ std::uint64_t fnv1a64(std::string_view data) {
 
 std::string render_result_tables(const ScenarioConfig& config,
                                  const FingerprintOptions& options) {
+  if (options.serving) return render_serving_tables(config);
   if (options.churn) return render_churn_tables(config);
   if (options.topology_only) {
     // World generation only — no provider, clients, or studies. The canonical

@@ -35,6 +35,13 @@ struct FingerprintOptions {
   /// final table digests. Puts the incremental re-convergence code under the
   /// same double-run / --compare-threads gate as everything else.
   bool churn = false;
+  /// Render a serving run instead of a full scenario: build a ServingWorld,
+  /// save and reload it as a serving snapshot, then answer one query batch
+  /// from the fresh and the loaded world (core/serving.h) and emit both
+  /// digests plus sampled answers. A divergence — between runs, across
+  /// --compare-threads widths, or between the fresh and loaded columns inside
+  /// one run — pins down snapshot or batching nondeterminism.
+  bool serving = false;
 };
 
 /// Build a fresh world from `config` and render its canonical result tables.

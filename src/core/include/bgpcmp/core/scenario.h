@@ -55,6 +55,17 @@ class Scenario {
   BGPCMP_PHASE(build)
   static std::unique_ptr<Scenario> make_cached(const ScenarioConfig& config = {});
 
+  /// Rehydrate a scenario from snapshot-loaded parts (core/snapshot.h): the
+  /// world already contains the provider AS, and provider/clients were
+  /// deserialized rather than re-generated. Demand, congestion, and latency
+  /// are cheap derivations and are rebuilt from `config` — their inputs
+  /// (clients, graph, seeds) are byte-identical to a fresh build, so the
+  /// models are too. Warm phase: this is the load half of a warm start.
+  BGPCMP_PHASE(warm)
+  static std::unique_ptr<Scenario> restore(ScenarioConfig config, topo::Internet world,
+                                           cdn::ContentProvider provider,
+                                           traffic::ClientBase clients);
+
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
@@ -68,6 +79,8 @@ class Scenario {
 
  private:
   Scenario(ScenarioConfig cfg, topo::Internet world);
+  Scenario(ScenarioConfig cfg, topo::Internet world, cdn::ContentProvider cp,
+           traffic::ClientBase cb);
 };
 
 }  // namespace bgpcmp::core

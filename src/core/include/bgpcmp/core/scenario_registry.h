@@ -27,6 +27,11 @@ struct RegisteredScenario {
   /// waves through RouteCache::reconverge, so the incremental delta paths sit
   /// under the determinism gate — including --compare-threads.
   bool churn = false;
+  /// Fingerprint a serving run (FingerprintOptions::serving): build a
+  /// ServingWorld, snapshot it, load it back, and answer the same query batch
+  /// from both — snapshot codec, warm install, and the batched query path all
+  /// sit under the determinism gate, including --compare-threads.
+  bool serving = false;
 };
 
 /// All registered scenarios, in a fixed, documented order.

@@ -58,6 +58,24 @@ Scenario::Scenario(ScenarioConfig cfg, topo::Internet world)
       latency(&internet.graph, internet.cities, &congestion, cfg.latency),
       config(std::move(cfg)) {}
 
+Scenario::Scenario(ScenarioConfig cfg, topo::Internet world, cdn::ContentProvider cp,
+                   traffic::ClientBase cb)
+    : internet(std::move(world)),
+      provider(std::move(cp)),
+      clients(std::move(cb)),
+      demand(&clients, internet.cities, cfg.demand),
+      congestion(&internet.graph, internet.cities, cfg.congestion,
+                 cfg.internet.seed ^ 0x9e3779b97f4a7c15ULL),
+      latency(&internet.graph, internet.cities, &congestion, cfg.latency),
+      config(std::move(cfg)) {}
+
+std::unique_ptr<Scenario> Scenario::restore(ScenarioConfig config, topo::Internet world,
+                                            cdn::ContentProvider provider,
+                                            traffic::ClientBase clients) {
+  return std::unique_ptr<Scenario>(new Scenario(
+      std::move(config), std::move(world), std::move(provider), std::move(clients)));
+}
+
 std::unique_ptr<Scenario> Scenario::make(const ScenarioConfig& config) {
   return std::unique_ptr<Scenario>(
       new Scenario(config, topo::build_internet(config.internet)));

@@ -18,8 +18,9 @@ ScenarioConfig topology_4x() {
 }
 
 ScenarioConfig churn_world() { return ScenarioConfig{}; }
+ScenarioConfig serving_world() { return ScenarioConfig{}; }
 
-constexpr std::array<RegisteredScenario, 7> kRegistry{{
+constexpr std::array<RegisteredScenario, 8> kRegistry{{
     {"facebook_like", "Study 1: PNI-rich edge provider (default config)",
      &ScenarioConfig::facebook_like, /*fingerprint_studies=*/true},
     {"microsoft_like", "Study 2: 2015-era anycast CDN, sparse peering",
@@ -35,6 +36,9 @@ constexpr std::array<RegisteredScenario, 7> kRegistry{{
     {"churn_default", "event waves through the incremental re-convergence path",
      &churn_world, /*fingerprint_studies=*/false, /*topology_only=*/false,
      /*churn=*/true},
+    {"serving_default", "snapshot round-trip and batched queries, fresh vs loaded",
+     &serving_world, /*fingerprint_studies=*/false, /*topology_only=*/false,
+     /*churn=*/false, /*serving=*/true},
 }};
 
 }  // namespace

@@ -110,4 +110,22 @@ auto parallel_map(std::size_t n, Fn&& fn) {
   return parallel_map(global_pool(), n, std::forward<Fn>(fn));
 }
 
+/// Run body(begin, end) over contiguous chunks of [0, n), `chunk` items per
+/// chunk (the last one truncated; chunk 0 behaves as 1). Batch pipelines
+/// (the serving layer's query batches) amortize per-item dispatch overhead
+/// this way while keeping the index-addressed-slot discipline: each chunk
+/// owns exactly its index range, so output is byte-identical at any pool
+/// width. tools/detlint treats parallel_chunks as a parallel region like
+/// parallel_for/parallel_map, so phase contracts (D5) cover chunked bodies.
+template <typename Body>
+void parallel_chunks(ThreadPool& pool, std::size_t n, std::size_t chunk, Body&& body) {
+  const std::size_t width = chunk == 0 ? 1 : chunk;
+  const std::size_t groups = (n + width - 1) / width;
+  pool.parallel_for(groups, [&](std::size_t g) {
+    const std::size_t begin = g * width;
+    const std::size_t end = begin + width < n ? begin + width : n;
+    body(begin, end);
+  });
+}
+
 }  // namespace bgpcmp::exec

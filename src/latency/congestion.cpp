@@ -86,20 +86,40 @@ double LinkProcess::utilization(SimTime t, double load_scale,
 CongestionField::CongestionField(const AsGraph* graph, const CityDb* cities,
                                  const CongestionConfig& config, std::uint64_t seed)
     : graph_(graph), cities_(cities), config_(config), seed_(seed) {
-  links_.reserve(graph_->link_count());
+  // Slots only — event generation is deferred to the first touch of each
+  // link (link_process), which keeps resident-serving cold start independent
+  // of link count. fork() never advances the parent stream, so the deferred
+  // draws are byte-identical to what eager construction produced.
+  links_.assign(graph_->link_count(), LinkProcess{});
+  link_ready_ = std::make_unique<std::atomic<std::uint8_t>[]>(graph_->link_count());
   load_scale_.assign(graph_->link_count(), 1.0);
-  Rng root{seed};
-  for (LinkId l = 0; l < graph_->link_count(); ++l) {
-    Rng rng = root.fork("link-" + std::to_string(l));
-    const double base =
-        rng.uniform(config.base_util_min, config.base_util_max);
-    const double phase = rng.uniform(-1.5, 1.5);
-    const double lon = cities_->at(graph_->link(l).city).location.lon_deg;
-    auto events = generate_events(rng, config.event_rate_per_day,
-                                  config.event_duration_mean_hours,
-                                  config.event_extra_util_mean, config.horizon_days);
-    links_.emplace_back(base, phase, lon / 15.0, std::move(events));
+}
+
+LinkProcess CongestionField::make_link_process(LinkId link) const {
+  Rng rng = Rng{seed_}.fork("link-" + std::to_string(link));
+  const double base = rng.uniform(config_.base_util_min, config_.base_util_max);
+  const double phase = rng.uniform(-1.5, 1.5);
+  const double lon = cities_->at(graph_->link(link).city).location.lon_deg;
+  auto events = generate_events(rng, config_.event_rate_per_day,
+                                config_.event_duration_mean_hours,
+                                config_.event_extra_util_mean, config_.horizon_days);
+  return LinkProcess{base, phase, lon / 15.0, std::move(events)};
+}
+
+// Double-checked publication the analysis cannot model: the fast path reads
+// links_[link] without the lock after an acquire-load of the ready flag,
+// which pairs with the release-store made under link_mutex_ below.
+const LinkProcess& CongestionField::link_process(LinkId link) const
+    BGPCMP_NO_THREAD_SAFETY_ANALYSIS {
+  BGPCMP_CHECK_LT(link, load_scale_.size(), "link out of range");
+  if (link_ready_[link].load(std::memory_order_acquire) == 0) {
+    const MutexLock lock{link_mutex_};
+    if (link_ready_[link].load(std::memory_order_relaxed) == 0) {
+      links_[link] = make_link_process(link);
+      link_ready_[link].store(1, std::memory_order_release);
+    }
   }
+  return links_[link];
 }
 
 Milliseconds CongestionField::link_delay(LinkId link, SimTime t) const {
@@ -107,8 +127,7 @@ Milliseconds CongestionField::link_delay(LinkId link, SimTime t) const {
 }
 
 double CongestionField::link_utilization(LinkId link, SimTime t) const {
-  BGPCMP_CHECK_LT(link, links_.size(), "link out of range");
-  return links_[link].utilization(t, load_scale_[link], config_);
+  return link_process(link).utilization(t, load_scale_[link], config_);
 }
 
 const CongestionField::AccessProcess& CongestionField::access_process(

@@ -20,8 +20,10 @@
 // same instant.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "bgpcmp/netbase/rng.h"
@@ -118,11 +120,28 @@ class CongestionField {
   /// lifetime (map nodes are stable and never erased).
   const AccessProcess& access_process(AsIndex as, CityId city) const;
 
+  /// Thread-safe lazy lookup of one link's process; same memoization
+  /// contract as access_process() (pure function of (seed, link id), slot
+  /// written once, reference valid for the field's lifetime).
+  const LinkProcess& link_process(LinkId link) const;
+  [[nodiscard]] LinkProcess make_link_process(LinkId link) const;
+
   const AsGraph* graph_;
   const CityDb* cities_;
   CongestionConfig config_;
   std::uint64_t seed_;
-  std::vector<LinkProcess> links_;
+  // Link processes are memoized on first touch exactly like the access cache
+  // below — each is a pure function of (seed, link id), so whichever thread
+  // generates an entry produces identical bytes and query answers cannot
+  // depend on touch order. Generating all of them eagerly was ~1.8 s of the
+  // 10x serving cold start, nearly all of it events no query ever read.
+  // Slots are preallocated (stable references) and written once under
+  // link_mutex_; link_ready_[l] is the publication flag — release on store,
+  // acquire on the lock-free fast-path read — so steady-state lookups never
+  // take the lock.
+  mutable Mutex link_mutex_ BGPCMP_ACQUIRES_ORDER(45);
+  mutable std::vector<LinkProcess> links_ BGPCMP_GUARDED_BY(link_mutex_);
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> link_ready_;
   std::vector<double> load_scale_;
   // The access cache is memoization of a pure function of (seed, key), so a
   // single mutex around find/emplace keeps concurrent RTT queries exact:

@@ -204,6 +204,36 @@ LinkId AsGraph::add_link(EdgeId edge, CityId city, LinkKind kind,
   return id;
 }
 
+void AsGraph::adopt(std::vector<AsNode> nodes, std::vector<AsEdge> edges,
+                    std::vector<InterconnectLink> links) {
+  for (const AsEdge& e : edges) {
+    BGPCMP_CHECK_LT(e.a, nodes.size(), "adopted edge endpoint out of range");
+    BGPCMP_CHECK_LT(e.b, nodes.size(), "adopted edge endpoint out of range");
+  }
+  for (const InterconnectLink& l : links) {
+    BGPCMP_CHECK_LT(l.edge, edges.size(), "adopted link edge out of range");
+  }
+  nodes_ = std::move(nodes);
+  edges_ = std::move(edges);
+  links_ = std::move(links);
+  presence_set_.clear();
+  edge_by_pair_.clear();
+  index_by_asn_.clear();
+  std::size_t presence_total = 0;
+  for (const AsNode& n : nodes_) presence_total += n.presence.size();
+  presence_set_.reserve(presence_total);
+  index_by_asn_.reserve(nodes_.size());
+  edge_by_pair_.reserve(edges_.size());
+  for (AsIndex i = 0; i < nodes_.size(); ++i) {
+    for (const CityId c : nodes_[i].presence) presence_set_.insert(presence_key(i, c));
+    index_by_asn_.emplace(nodes_[i].asn.value(), i);  // first add of an ASN wins
+  }
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    edge_by_pair_.emplace(pair_key(edges_[e].a, edges_[e].b), e);
+  }
+  edge_index_cache_.store(nullptr, std::memory_order_release);
+}
+
 std::vector<Neighbor> AsGraph::neighbors(AsIndex i) const {
   BGPCMP_CHECK_LT(i, nodes_.size(), "AS index out of range");
   std::vector<Neighbor> out;

@@ -164,6 +164,16 @@ class AsGraph {
   /// in that city.
   LinkId add_link(EdgeId edge, CityId city, LinkKind kind, GigabitsPerSecond capacity);
 
+  /// Trusted bulk restore for snapshot loads: adopt fully-formed node, edge,
+  /// and link arrays (including the derived `AsNode::edges` / `AsEdge::links`
+  /// lists, in mutator order) and rebuild every incremental index in one
+  /// reserving pass. Only cross-reference ranges are checked here — the
+  /// per-mutator semantic invariants (presence, duplicate edges, kind↔rel)
+  /// are skipped, so callers must verify the adopted graph against a stored
+  /// `internet_fingerprint`, as `load_world_snapshot` does.
+  void adopt(std::vector<AsNode> nodes, std::vector<AsEdge> edges,
+             std::vector<InterconnectLink> links);
+
   [[nodiscard]] std::size_t as_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }

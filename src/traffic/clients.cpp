@@ -53,6 +53,12 @@ ClientBase ClientBase::generate(const Internet& internet,
   return out;
 }
 
+ClientBase ClientBase::restore(std::vector<ClientPrefix> prefixes) {
+  ClientBase out;
+  out.prefixes_ = std::move(prefixes);
+  return out;
+}
+
 std::vector<PrefixId> ClientBase::of_origin(AsIndex as) const {
   std::vector<PrefixId> out;
   for (std::size_t i = 0; i < prefixes_.size(); ++i) {

@@ -46,6 +46,9 @@ class ClientBase {
  public:
   static ClientBase generate(const Internet& internet, const ClientBaseConfig& config);
 
+  /// Rehydrate a population from deserialized prefixes (core/snapshot.h).
+  static ClientBase restore(std::vector<ClientPrefix> prefixes);
+
   [[nodiscard]] std::span<const ClientPrefix> prefixes() const { return prefixes_; }
   [[nodiscard]] const ClientPrefix& at(PrefixId id) const { return prefixes_.at(id); }
   [[nodiscard]] std::size_t size() const { return prefixes_.size(); }

@@ -1,0 +1,50 @@
+// detlint fixture: rule D5 over parallel_chunks regions.
+//
+// exec::parallel_chunks(pool, n, chunk, body) is a parallel region exactly
+// like parallel_for/parallel_map — the body runs on pool workers, so serve
+// calls inside it need their warm bases discharged before the fan-out. This
+// fixture pins that the region scanner recognizes the chunked spelling.
+#define BGPCMP_PHASE(p)
+#define BGPCMP_REQUIRES_WARMED(...)
+#define BGPCMP_SINGLE_THREAD
+
+namespace fixture_d5_chunked {
+
+template <typename Body>
+void parallel_for(unsigned long n, Body body);
+
+struct PoolC {};
+
+template <typename Body>
+void parallel_chunks(PoolC& pool, unsigned long n, unsigned long chunk, Body body);
+
+class ChunkCacheC {
+ public:
+  BGPCMP_PHASE(warm)
+  void warm_c();
+
+  BGPCMP_PHASE(serve)
+  BGPCMP_REQUIRES_WARMED(warm_c)
+  int find_c(int key) const;
+};
+
+// Clean: warm dominates the chunked fan-out — the QueryServer::answer_batch
+// shape, serve reads over contiguous index ranges.
+inline void warmed_chunks(PoolC& pool, ChunkCacheC& cache, int* out) {
+  cache.warm_c();
+  parallel_chunks(pool, 64, 8, [&](unsigned long begin, unsigned long end) {
+    for (unsigned long i = begin; i < end; ++i)
+      out[i] = cache.find_c(static_cast<int>(i));
+  });
+}
+
+// Firing: the same chunked region with no dominating warm — recognizing
+// parallel_chunks as a region opener is what makes this fire.
+inline void unwarmed_chunks(PoolC& pool, ChunkCacheC& cache, int* out) {
+  parallel_chunks(pool, 64, 8, [&](unsigned long begin, unsigned long end) {  // expect: D5
+    for (unsigned long i = begin; i < end; ++i)
+      out[i] = cache.find_c(static_cast<int>(i));
+  });
+}
+
+}  // namespace fixture_d5_chunked

@@ -1,0 +1,201 @@
+#include "bgpcmp/topology/world_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "bgpcmp/netbase/check.h"
+#include "bgpcmp/topology/world_cache.h"
+
+namespace bgpcmp::topo {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string{::testing::TempDir()} + name;
+}
+
+InternetConfig small_config(std::uint64_t seed = 11) {
+  InternetConfig cfg;
+  cfg.seed = seed;
+  cfg.tier1_count = 6;
+  cfg.transit_count = 20;
+  cfg.eyeball_count = 40;
+  cfg.stub_count = 20;
+  return cfg;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(WorldSnapshot, WriterReaderRoundTripScalars) {
+  SnapshotWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-1.5e300);
+  w.str("hello");
+  SnapshotReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.f64(), -1.5e300);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WorldSnapshot, ReaderRejectsTruncatedPayload) {
+  SnapshotWriter w;
+  w.u32(7);
+  SnapshotReader r(w.bytes());
+  ScopedCheckThrows guard;
+  EXPECT_THROW((void)r.u64(), CheckError);
+}
+
+TEST(WorldSnapshot, RoundTripPinsTheWorldFingerprint) {
+  const auto cfg = small_config();
+  const Internet built = build_internet(cfg);
+  const auto path = tmp_path("world_roundtrip.snap");
+  save_world_snapshot(path, built, cfg);
+
+  const Internet loaded = load_world_snapshot(path, cfg);
+  EXPECT_EQ(internet_fingerprint(loaded), internet_fingerprint(built));
+  // Structural spot checks on top of the fingerprint: replay rebuilt the
+  // incremental indices, not just the flat arrays.
+  ASSERT_EQ(loaded.graph.as_count(), built.graph.as_count());
+  ASSERT_EQ(loaded.graph.edge_count(), built.graph.edge_count());
+  ASSERT_EQ(loaded.graph.link_count(), built.graph.link_count());
+  EXPECT_EQ(loaded.ixp_by_city, built.ixp_by_city);
+  const AsEdge& e0 = built.graph.edge(0);
+  EXPECT_EQ(loaded.graph.find_edge(e0.a, e0.b), std::optional<EdgeId>{0});
+  EXPECT_EQ(loaded.graph.find_asn(built.graph.node(3).asn), std::optional<AsIndex>{3});
+  EXPECT_TRUE(loaded.graph.has_presence(0, built.graph.node(0).presence.front()));
+  EXPECT_EQ(loaded.cities, &CityDb::world());
+}
+
+TEST(WorldSnapshot, SerializedBytesAreDeterministic) {
+  const auto cfg = small_config();
+  SnapshotWriter a;
+  serialize_internet(build_internet(cfg), a);
+  SnapshotWriter b;
+  serialize_internet(build_internet(cfg), b);
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(WorldSnapshot, RejectsTruncatedFile) {
+  const auto cfg = small_config();
+  const auto path = tmp_path("world_truncated.snap");
+  save_world_snapshot(path, build_internet(cfg), cfg);
+  const std::string bytes = file_bytes(path);
+  write_bytes(path, bytes.substr(0, bytes.size() / 2));
+  ScopedCheckThrows guard;
+  EXPECT_THROW((void)read_snapshot_file(path), CheckError);
+  // Shorter than even the header.
+  write_bytes(path, bytes.substr(0, 10));
+  EXPECT_THROW((void)read_snapshot_file(path), CheckError);
+}
+
+TEST(WorldSnapshot, RejectsBadMagic) {
+  const auto cfg = small_config();
+  const auto path = tmp_path("world_badmagic.snap");
+  save_world_snapshot(path, build_internet(cfg), cfg);
+  std::string bytes = file_bytes(path);
+  bytes[0] = 'X';
+  write_bytes(path, bytes);
+  ScopedCheckThrows guard;
+  EXPECT_THROW((void)read_snapshot_file(path), CheckError);
+}
+
+TEST(WorldSnapshot, RejectsVersionMismatch) {
+  const auto cfg = small_config();
+  const auto path = tmp_path("world_badversion.snap");
+  save_world_snapshot(path, build_internet(cfg), cfg);
+  std::string bytes = file_bytes(path);
+  bytes[8] = static_cast<char>(kSnapshotVersion + 1);  // little-endian version lsb
+  write_bytes(path, bytes);
+  ScopedCheckThrows guard;
+  EXPECT_THROW((void)read_snapshot_file(path), CheckError);
+}
+
+TEST(WorldSnapshot, RejectsCorruptedPayload) {
+  const auto cfg = small_config();
+  const auto path = tmp_path("world_corrupt.snap");
+  save_world_snapshot(path, build_internet(cfg), cfg);
+  std::string bytes = file_bytes(path);
+  bytes[kSnapshotHeaderSize + bytes.size() / 3] ^= 0x5a;
+  write_bytes(path, bytes);
+  ScopedCheckThrows guard;
+  EXPECT_THROW((void)read_snapshot_file(path), CheckError);
+}
+
+TEST(WorldSnapshot, RejectsConfigMismatch) {
+  const auto cfg = small_config(11);
+  const auto path = tmp_path("world_wrongcfg.snap");
+  save_world_snapshot(path, build_internet(cfg), cfg);
+  ScopedCheckThrows guard;
+  EXPECT_THROW((void)load_world_snapshot(path, small_config(12)), CheckError);
+  auto other = small_config(11);
+  other.transit_peer_prob += 0.05;
+  EXPECT_THROW((void)load_world_snapshot(path, other), CheckError);
+}
+
+TEST(WorldCacheSnapshot, MissLoadsARegisteredSnapshot) {
+  const auto cfg = small_config();
+  const Internet built = build_internet(cfg);
+  const auto path = tmp_path("world_cache_entry.snap");
+  save_world_snapshot(path, built, cfg);
+
+  WorldCache cache;
+  cache.register_snapshot(cfg, path);
+  const auto world = cache.get(cfg);
+  EXPECT_EQ(cache.snapshot_loads(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(internet_fingerprint(*world), internet_fingerprint(built));
+  // Second get is a plain hit; the file is not re-read.
+  const auto again = cache.get(cfg);
+  EXPECT_EQ(world.get(), again.get());
+  EXPECT_EQ(cache.snapshot_loads(), 1u);
+}
+
+TEST(WorldCacheEviction, CapacityBoundsCompletedEntriesLru) {
+  WorldCache cache;
+  cache.set_capacity(2);
+  const auto a = cache.get(small_config(1));
+  const auto b = cache.get(small_config(2));
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch a so b becomes the LRU victim when c lands.
+  (void)cache.get(small_config(1));
+  const auto c = cache.get(small_config(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // a stayed resident (hit); b was evicted (miss rebuilds it).
+  const auto misses_before = cache.misses();
+  (void)cache.get(small_config(1));
+  EXPECT_EQ(cache.misses(), misses_before);
+  (void)cache.get(small_config(2));
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(WorldCacheEviction, ShrinkingCapacityEvictsImmediately) {
+  WorldCache cache;
+  (void)cache.get(small_config(1));
+  (void)cache.get(small_config(2));
+  (void)cache.get(small_config(3));
+  EXPECT_EQ(cache.size(), 3u);
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpcmp::topo

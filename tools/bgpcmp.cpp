@@ -7,12 +7,18 @@
 //   bgpcmp pops [--preset ...]                 provider PoPs and sessions
 //   bgpcmp trace <ASN> <city> <city>           geographic path across one AS
 //   bgpcmp lookup <ip>                         who serves this address
+//   bgpcmp snapshot --out PATH                 write a serving snapshot
+//   bgpcmp serve [--snapshot PATH]             resident query server
 //
 // Every subcommand accepts --threads N (or the BGPCMP_THREADS environment
 // variable) to size the exec thread pool used for route warm-up.
 //
 // Every subcommand builds the same deterministic world the benches use, so
-// output here explains bench results line by line.
+// output here explains bench results line by line. snapshot/serve share the
+// same config flags plus --scale N (multiply all four AS-class counts) and
+// --warm K (origins to warm); a world loaded with `serve --snapshot` answers
+// byte-identically to one built fresh from the same flags — compare the
+// --digest lines.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -22,6 +28,7 @@
 #include "bgpcmp/bgp/table_dump.h"
 #include "bgpcmp/cdn/anycast_cdn.h"
 #include "bgpcmp/core/scenario.h"
+#include "bgpcmp/core/serving.h"
 #include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/latency/path_model.h"
 #include "bgpcmp/stats/table.h"
@@ -65,7 +72,22 @@ core::ScenarioConfig preset_config(const Args& args) {
   if (const auto seed = args.flags.find("seed"); seed != args.flags.end()) {
     cfg = core::ScenarioConfig::with_master_seed(std::stoull(seed->second));
   }
+  if (const auto scale = args.flags.find("scale"); scale != args.flags.end()) {
+    const auto k = std::stoul(scale->second);
+    cfg.internet.tier1_count *= k;
+    cfg.internet.transit_count *= k;
+    cfg.internet.eyeball_count *= k;
+    cfg.internet.stub_count *= k;
+  }
   return cfg;
+}
+
+core::ServingConfig serving_config(const Args& args) {
+  core::ServingConfig serving;
+  if (const auto warm = args.flags.find("warm"); warm != args.flags.end()) {
+    serving.warm_origins = std::stoul(warm->second);
+  }
+  return serving;
 }
 
 topo::AsIndex find_asn_or_die(const topo::AsGraph& graph, const std::string& text) {
@@ -242,17 +264,65 @@ int cmd_trace(const core::Scenario& sc, const Args& args) {
   return 0;
 }
 
+int cmd_snapshot(const Args& args) {
+  const auto out = args.flags.find("out");
+  if (out == args.flags.end() || out->second.empty()) {
+    std::fputs("usage: bgpcmp snapshot --out PATH [--preset ms|goog] [--seed N] "
+               "[--scale N] [--warm K]\n",
+               stderr);
+    return 1;
+  }
+  const auto world = core::ServingWorld::build(preset_config(args), serving_config(args));
+  world->save(out->second);
+  std::printf("wrote %s: %zu ASes, %zu warmed origins\n", out->second.c_str(),
+              world->scenario().internet.graph.as_count(), world->warmed().size());
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  const auto cfg = preset_config(args);
+  std::unique_ptr<core::ServingWorld> world;
+  if (const auto snap = args.flags.find("snapshot"); snap != args.flags.end()) {
+    world = core::ServingWorld::load(snap->second, cfg);
+  } else {
+    world = core::ServingWorld::build(cfg, serving_config(args));
+  }
+  std::size_t count = 100;
+  if (const auto q = args.flags.find("queries"); q != args.flags.end()) {
+    count = std::stoul(q->second);
+  }
+  std::uint64_t qseed = 2026;
+  if (const auto s = args.flags.find("qseed"); s != args.flags.end()) {
+    qseed = std::stoull(s->second);
+  }
+  const auto queries = world->generate_queries(count, qseed);
+  const core::QueryServer server{world.get(), &exec::global_pool()};
+  const auto answers = server.answer_batch(queries);
+  const bool digest_only = args.flags.contains("digest");
+  if (!digest_only) {
+    for (const auto& a : answers) std::printf("%s\n", a.c_str());
+  }
+  std::printf("served=%zu warmed=%zu digest=%016llx\n", answers.size(),
+              world->warmed().size(),
+              static_cast<unsigned long long>(core::answers_digest(answers)));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   exec::apply_thread_flag(argc, argv);
   const Args args = parse(argc, argv);
   if (args.command.empty()) {
-    std::fputs("usage: bgpcmp <topology|route|rib|catchment|pops|trace|lookup> "
-               "[--preset ms|goog] [--seed N] ...\n",
+    std::fputs("usage: bgpcmp <topology|route|rib|catchment|pops|trace|lookup|"
+               "snapshot|serve> [--preset ms|goog] [--seed N] ...\n",
                stderr);
     return 1;
   }
+  // snapshot/serve manage their own world (ServingWorld; possibly loaded from
+  // disk) — don't build the explorer scenario for them.
+  if (args.command == "snapshot") return cmd_snapshot(args);
+  if (args.command == "serve") return cmd_serve(args);
   auto scenario = core::Scenario::make(preset_config(args));
   if (args.command == "topology") return cmd_topology(*scenario);
   if (args.command == "route") return cmd_route(*scenario, args);

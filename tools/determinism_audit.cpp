@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
     options.run_studies = s.fingerprint_studies && !skip_studies;
     options.topology_only = s.topology_only;
     options.churn = s.churn;
+    options.serving = s.serving;
     const auto config = s.config();
     if (compare_threads > 0) exec::set_thread_count(1);
     const auto tables1 = core::render_result_tables(config, options);
@@ -116,8 +117,11 @@ int main(int argc, char** argv) {
     std::snprintf(h1, sizeof h1, "%016llx", static_cast<unsigned long long>(hash1));
     std::snprintf(h2, sizeof h2, "%016llx", static_cast<unsigned long long>(hash2));
     const char* studies =
-        s.churn ? "churn"
-                : (s.topology_only ? "topo" : (options.run_studies ? "yes" : "no"));
+        s.serving
+            ? "serving"
+            : (s.churn ? "churn"
+                       : (s.topology_only ? "topo"
+                                          : (options.run_studies ? "yes" : "no")));
     report.add_row({std::string(s.name), studies, h1, h2,
                     ok ? "deterministic" : "DIVERGED"});
   }

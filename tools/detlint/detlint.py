@@ -117,7 +117,7 @@ CALL_RE = re.compile(
     r"([A-Za-z_]\w*)\s*\("
 )
 MACRO_NAME_RE = re.compile(r"[A-Z][A-Z0-9_]{2,}")
-REGION_RE = re.compile(r"\bparallel_(?:for|map)\s*\(")
+REGION_RE = re.compile(r"\bparallel_(?:for|map|chunks)\s*\(")
 LAMBDA_RE = re.compile(
     r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?"
     r"(?:noexcept\s*)?(?:->\s*[\w:<>&*,\s]+?)?\s*\{"
