@@ -17,6 +17,7 @@
 #include "bgpcmp/bgp/churn.h"
 #include "bgpcmp/bgp/propagation.h"
 #include "bgpcmp/core/scenario.h"
+#include "rss_probe.h"
 
 namespace {
 
@@ -51,6 +52,7 @@ void BM_ChurnFullRebuild(benchmark::State& state) {
     const auto table = bgp::compute_routes(sc.internet.graph, o);
     benchmark::DoNotOptimize(table.size());
   }
+  benchutil::report_peak_rss(state);
 }
 BENCHMARK(BM_ChurnFullRebuild)->Unit(benchmark::kMicrosecond);
 

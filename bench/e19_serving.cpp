@@ -24,6 +24,7 @@
 
 #include "bgpcmp/core/serving.h"
 #include "bgpcmp/exec/thread_pool.h"
+#include "rss_probe.h"
 
 namespace {
 
@@ -68,6 +69,7 @@ void BM_ColdStartRebuild(benchmark::State& state) {
     const auto world = core::ServingWorld::build(cfg, bench_serving());
     benchmark::DoNotOptimize(world->warmed().size());
   }
+  benchutil::report_peak_rss(state);
 }
 BENCHMARK(BM_ColdStartRebuild)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 
@@ -81,6 +83,7 @@ void BM_ColdStartSnapshot(benchmark::State& state) {
     const auto world = core::ServingWorld::load(path, cfg);
     benchmark::DoNotOptimize(world->warmed().size());
   }
+  benchutil::report_peak_rss(state);
 }
 BENCHMARK(BM_ColdStartSnapshot)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Collect the E20 scale trajectory (BENCH_scale.json): wall-clock and peak
+# RSS for every phase at 10x/30x/100x world scale.
+#
+# One process per (family, scale): getrusage's ru_maxrss is a process-
+# lifetime high-water mark (bench/rss_probe.h), so phases sharing a process
+# would inherit each other's peaks. Each run writes its google-benchmark
+# JSON under build/bench_scale/ and echoes the console line; BENCH_scale.json
+# is curated from those reports.
+#
+# Usage: scripts/bench_scale.sh [scales...]   (default: 10 30 100)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=build/bench/e20_scale
+out=build/bench_scale
+mkdir -p "$out"
+scales=("${@:-10 30 100}")
+[ $# -eq 0 ] && scales=(10 30 100)
+
+run() {
+  local family=$1 scale=$2
+  local tag="${family}_${scale}x"
+  "$bin" --benchmark_filter="^${family}/${scale}\$" \
+         --benchmark_out="$out/$tag.json" --benchmark_out_format=json \
+    | grep "^${family}/" || echo "${family}/${scale}: no result"
+}
+
+for scale in "${scales[@]}"; do
+  echo "== ${scale}x"
+  run BM_BuildWorld "$scale"
+  run BM_SnapshotLoad "$scale"
+  run BM_StudyWindowStream "$scale"
+  run BM_StudyWindowEager "$scale"
+  run BM_ShardedRun "$scale"
+done
+echo "reports in $out/"

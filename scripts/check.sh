@@ -48,6 +48,12 @@ build/tools/determinism_audit
 # order into results.
 build/tools/determinism_audit --compare-threads 8
 
+# Process-boundary independence: an in-process run vs two forked worker
+# processes over the full registry must produce byte-identical fingerprints,
+# or results depend on which process computes them (docs/PARALLELISM.md,
+# "Sharding").
+build/tools/determinism_audit --shards 2
+
 # Scale smoke: the 4x-AS-count world (two builds + fingerprints) must stay in
 # interactive time. The indexed generator does this in well under a second;
 # reintroducing a linear scan into the build loops (the old quadratic regime
@@ -81,10 +87,27 @@ if [ "$loaded" != "$fresh" ]; then
   exit 1
 fi
 
+# Scale smoke: a 30x-AS-count world must build and complete one sharded
+# study window (two worker processes, docs/SCALE.md) inside a pinned memory
+# bound. ulimit -v caps address space — the enforceable proxy for RSS on
+# Linux — so a regression back toward eager per-origin materialization
+# (whose 30x footprint is several times this cap) aborts the run instead of
+# silently swelling. Reference-container peak RSS for this command is
+# ~0.4 GB per worker (BENCH_scale.json); the 2 GB cap leaves headroom for
+# allocator/VM overhead while still catching an order-of-magnitude blowup.
+(
+  ulimit -v 2097152
+  build/tools/bgpcmp shard --scale 30 --shards 2 --days 0.011 --chunk-origins 256
+)
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "== $(basename "$b")"
   case "$(basename "$b")" in
+    # Scale trajectory: 10x families only as a smoke here; the full
+    # 10x/30x/100x sweep (one process per family, for per-phase peak RSS)
+    # is scripts/bench_scale.sh.
+    e20_*) "$b" --benchmark_filter='/10$' ;;
     micro_*|e1[89]_*) "$b" ;;  # google-benchmark CLI: no positional days argument
     *) "$b" ${BENCH_ARG:+"$BENCH_ARG"} ;;
   esac

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bgpcmp/netbase/check.h"
 #include "bgpcmp/topology/as_graph.h"
 
 namespace bgpcmp::bgp {
@@ -63,12 +64,22 @@ class RouteTable {
 
   [[nodiscard]] AsIndex origin() const { return origin_; }
   [[nodiscard]] const AsGraph& graph() const { return *graph_; }
-  [[nodiscard]] const BestRoute& at(AsIndex as) const { return routes_.at(as); }
+  // at/set/reachable are the innermost reads of every study and of the churn
+  // engine's patch loop: a diagnosable bounds check plus unchecked indexing
+  // replaces vector::at's throwing check (same guarantee, better message, and
+  // the [[unlikely]] branch keeps the hot path straight-line).
+  [[nodiscard]] const BestRoute& at(AsIndex as) const {
+    BGPCMP_CHECK_LT(as, routes_.size(), "AS index outside route table");
+    return routes_[as];
+  }
   /// Overwrite one AS's selected route. Reserved for the churn engine's
   /// incremental re-convergence (churn.h), which patches only the frontier a
   /// delta touched; study code treats tables as immutable.
-  void set(AsIndex as, const BestRoute& route) { routes_.at(as) = route; }
-  [[nodiscard]] bool reachable(AsIndex as) const { return routes_.at(as).reachable(); }
+  void set(AsIndex as, const BestRoute& route) {
+    BGPCMP_CHECK_LT(as, routes_.size(), "AS index outside route table");
+    routes_[as] = route;
+  }
+  [[nodiscard]] bool reachable(AsIndex as) const { return at(as).reachable(); }
   [[nodiscard]] std::size_t size() const { return routes_.size(); }
 
   /// AS-level forwarding path [from, ..., origin]. Empty if unreachable.

@@ -74,6 +74,10 @@ struct PopStudyResult {
   [[nodiscard]] double improvable_traffic_fraction(double threshold_ms) const;
 };
 
+/// The evaluated windows of a study config (strided 15-minute grid) — shared
+/// by the eager study, the streaming scale study, and shard workers.
+[[nodiscard]] std::vector<TimeWindow> study_windows(const PopStudyConfig& config);
+
 /// Run the study on a scenario. Deterministic in (scenario, config).
 [[nodiscard]] PopStudyResult run_pop_study(const Scenario& scenario,
                                            const PopStudyConfig& config = {});

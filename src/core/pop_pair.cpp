@@ -1,0 +1,105 @@
+#include "bgpcmp/core/pop_pair.h"
+
+#include <algorithm>
+#include <string>
+
+#include "bgpcmp/cdn/edge_fabric.h"
+#include "bgpcmp/stats/quantile.h"
+#include "bgpcmp/traffic/demand.h"
+#include "bgpcmp/traffic/sessions.h"
+
+namespace bgpcmp::core {
+
+namespace {
+
+float median_of(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return static_cast<float>(stats::quantile_sorted(samples, 0.5));
+}
+
+}  // namespace
+
+PairPlan plan_pop_pair(const topo::AsGraph& graph, const topo::CityDb& db,
+                       const cdn::ContentProvider& provider,
+                       const traffic::ClientPrefix& client, traffic::PrefixId prefix,
+                       const bgp::RouteTable& table, int top_k) {
+  const cdn::PopId pop = provider.serving_pop(graph, db, client.origin_as, client.city);
+  auto options =
+      cdn::edge_fabric::rank_by_policy(graph, provider.egress_options(graph, table, pop));
+  PairPlan plan;
+  if (options.size() < 2) return plan;
+  if (options.size() > static_cast<std::size_t>(top_k)) {
+    options.resize(static_cast<std::size_t>(top_k));
+  }
+  plan.pop = pop;
+  plan.prefix = prefix;
+  for (const auto& opt : options) {
+    auto path = cdn::edge_fabric::egress_path(graph, db, provider.as_index(),
+                                              provider.pop(pop), opt, client.city);
+    if (!path.valid()) continue;
+    EgressRouteInfo info;
+    info.neighbor = opt.route.neighbor;
+    info.role = opt.route.neighbor_role;
+    info.kind = opt.kind;
+    info.link = opt.link;
+    info.as_path_len = opt.route.length;
+    plan.routes.push_back(info);
+    plan.paths.push_back(std::move(path));
+  }
+  if (plan.routes.size() < 2) plan.routes.clear();
+  return plan;
+}
+
+PopPrefixSeries measure_pop_pair(const PairPlan& plan,
+                                 const traffic::ClientPrefix& client,
+                                 const std::vector<TimeWindow>& windows,
+                                 double popularity, double lon_deg,
+                                 const traffic::DemandConfig& demand,
+                                 const lat::LatencyModel& latency,
+                                 const lat::RttSampler& sampler, const Rng& root,
+                                 const PopStudyConfig& config) {
+  Rng rng = root.fork("pair-" + std::to_string(plan.prefix) + "-" +
+                      std::to_string(plan.pop));
+  PopPrefixSeries series;
+  series.pop = plan.pop;
+  series.prefix = plan.prefix;
+  series.routes = plan.routes;
+  const std::size_t n_routes = plan.routes.size();
+  const std::size_t n_windows = windows.size();
+  series.volume.resize(n_windows);
+  series.medians.assign(n_routes, std::vector<float>(n_windows));
+  series.ci_lower.resize(n_windows);
+  series.ci_upper.resize(n_windows);
+
+  std::vector<std::vector<double>> route_samples(n_routes);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    const SimTime t = windows[w].midpoint();
+    series.volume[w] =
+        static_cast<float>(traffic::diurnal_volume(demand, popularity, lon_deg, t).value());
+    const int n_sessions = traffic::sample_session_count(config.sessions, popularity, rng);
+    for (std::size_t r = 0; r < n_routes; ++r) {
+      const auto base =
+          latency.rtt(plan.paths[r], t, client.access, client.origin_as, client.city)
+              .total();
+      auto& samples = route_samples[r];
+      samples.clear();
+      for (int s = 0; s < n_sessions; ++s) {
+        const int rts = traffic::sample_round_trips(config.sessions, rng);
+        samples.push_back(sampler.sample_min_rtt(base, rts, rng).value());
+      }
+      series.medians[r][w] = median_of(samples);
+    }
+    // CI of (BGP - best alternate) from the sprayed samples.
+    std::size_t best_alt = 1;
+    for (std::size_t r = 2; r < n_routes; ++r) {
+      if (series.medians[r][w] < series.medians[best_alt][w]) best_alt = r;
+    }
+    const auto ci = stats::bootstrap_median_diff_ci(
+        route_samples[0], route_samples[best_alt], rng, config.bootstrap);
+    series.ci_lower[w] = static_cast<float>(ci.lower);
+    series.ci_upper[w] = static_cast<float>(ci.upper);
+  }
+  return series;
+}
+
+}  // namespace bgpcmp::core

@@ -1,0 +1,185 @@
+#include "bgpcmp/core/scale_study.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "bgpcmp/bgp/route_cache.h"
+#include "bgpcmp/core/fingerprint.h"
+#include "bgpcmp/core/pop_pair.h"
+#include "bgpcmp/exec/thread_pool.h"
+#include "bgpcmp/latency/rtt_sampler.h"
+#include "bgpcmp/netbase/check.h"
+
+namespace bgpcmp::core {
+
+ScaleWorld::ScaleWorld(ScenarioConfig cfg, topo::Internet world)
+    : internet(std::move(world)),
+      provider(cdn::ContentProvider::attach(internet, cfg.provider)),
+      congestion(&internet.graph, internet.cities, cfg.congestion,
+                 cfg.internet.seed ^ 0x9e3779b97f4a7c15ULL),
+      latency(&internet.graph, internet.cities, &congestion, cfg.latency),
+      config(std::move(cfg)) {}
+
+std::unique_ptr<ScaleWorld> ScaleWorld::make(const ScenarioConfig& config) {
+  return std::unique_ptr<ScaleWorld>(
+      new ScaleWorld(config, topo::build_internet(config.internet)));
+}
+
+std::unique_ptr<ScaleWorld> ScaleWorld::adopt(ScenarioConfig config,
+                                              topo::Internet world) {
+  return std::unique_ptr<ScaleWorld>(new ScaleWorld(std::move(config), std::move(world)));
+}
+
+namespace {
+
+void append_raw(std::string& out, const void* data, std::size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+/// Canonical bytes of one measured series: every field, raw, so the digest
+/// pins the series bit-for-bit across chunk sizes, shard counts, and
+/// processes.
+void append_series(std::string& out, const PopPrefixSeries& s) {
+  append_raw(out, &s.pop, sizeof s.pop);
+  append_raw(out, &s.prefix, sizeof s.prefix);
+  for (const EgressRouteInfo& r : s.routes) {
+    append_raw(out, &r.neighbor, sizeof r.neighbor);
+    append_raw(out, &r.role, sizeof r.role);
+    append_raw(out, &r.kind, sizeof r.kind);
+    append_raw(out, &r.link, sizeof r.link);
+    append_raw(out, &r.as_path_len, sizeof r.as_path_len);
+  }
+  if (!s.volume.empty()) {
+    append_raw(out, s.volume.data(), s.volume.size() * sizeof(float));
+  }
+  for (const auto& route_medians : s.medians) {
+    append_raw(out, route_medians.data(), route_medians.size() * sizeof(float));
+  }
+  if (!s.ci_lower.empty()) {
+    append_raw(out, s.ci_lower.data(), s.ci_lower.size() * sizeof(float));
+    append_raw(out, s.ci_upper.data(), s.ci_upper.size() * sizeof(float));
+  }
+}
+
+}  // namespace
+
+std::string ScaleChunkResult::line() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "chunk %" PRIu32 " pairs %" PRIu32
+                                 " digest %016" PRIx64 " points %zu",
+                chunk, pairs, series_digest, fig1.size());
+  return buf;
+}
+
+ScaleChunkResult run_scale_chunk(const ScaleWorld& world,
+                                 const ScaleStudyConfig& config,
+                                 const std::vector<TimeWindow>& windows,
+                                 const traffic::ClientStream& stream,
+                                 traffic::DemandStream& demand, std::size_t chunk) {
+  const auto& graph = world.internet.graph;
+  const topo::CityDb& db = world.internet.city_db();
+
+  const traffic::ClientChunk window = stream.chunk(chunk);
+  const std::vector<double> popularity = demand.next(window);
+
+  // Warm a route cache over only this chunk's origins — the whole point:
+  // per-chunk table memory is bounded by chunk_origins, not the world.
+  bgp::RouteCache tables{&graph};
+  tables.warm(stream.chunk_origin_ases(chunk), exec::global_pool());
+
+  // Plan and measure with the code the eager study runs (pop_pair.h); per-AS
+  // route tables and per-pair RNG streams make every byte independent of
+  // which chunk — or process — computes the pair.
+  auto planned = exec::parallel_map(window.prefixes.size(), [&](std::size_t i) {
+    const auto& client = window.prefixes[i];
+    const bgp::RouteTable* table = tables.find(client.origin_as);
+    return plan_pop_pair(graph, db, world.provider, client, window.id(i), *table,
+                         config.study.top_k_routes);
+  });
+  std::vector<PairPlan> plans;
+  for (auto& plan : planned) {
+    if (plan.measurable()) plans.push_back(std::move(plan));
+  }
+
+  const lat::RttSampler sampler;
+  const Rng root{config.study.seed};
+  const auto series = exec::parallel_map(plans.size(), [&](std::size_t p) {
+    const PairPlan& plan = plans[p];
+    const std::size_t i = plan.prefix - window.first_prefix;
+    const auto& client = window.prefixes[i];
+    return measure_pop_pair(plan, client, windows, popularity[i],
+                            db.at(client.city).location.lon_deg, world.config.demand,
+                            world.latency, sampler, root, config.study);
+  });
+
+  ScaleChunkResult out;
+  out.chunk = static_cast<std::uint32_t>(chunk);
+  out.pairs = static_cast<std::uint32_t>(series.size());
+  std::string bytes;
+  for (const PopPrefixSeries& s : series) {
+    append_series(bytes, s);
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      out.fig1.push_back({static_cast<double>(s.diff(w)),
+                          static_cast<double>(s.volume[w])});
+    }
+  }
+  out.series_digest = fnv1a64(bytes);
+  return out;
+}
+
+ScaleStudyResult run_scale_study(const ScaleWorld& world,
+                                 const ScaleStudyConfig& config) {
+  ScaleStudyResult result;
+  result.windows = study_windows(config.study);
+  const traffic::ClientStream stream{&world.internet, world.config.clients,
+                                     config.chunk_origins};
+  traffic::DemandStream demand{world.config.demand};
+  result.chunks.reserve(stream.chunk_count());
+  for (std::size_t c = 0; c < stream.chunk_count(); ++c) {
+    result.chunks.push_back(
+        run_scale_chunk(world, config, result.windows, stream, demand, c));
+  }
+  return result;
+}
+
+stats::WeightedCdf ScaleStudyResult::fig1_cdf() const {
+  stats::WeightedCdf cdf;
+  for (const auto& chunk : chunks) {
+    for (const auto& obs : chunk.fig1) cdf.add(obs.value, obs.weight);
+  }
+  return cdf;
+}
+
+double ScaleStudyResult::improvable_traffic_fraction(double threshold_ms) const {
+  // One flat pass in global pair order: the identical addition sequence to
+  // PopStudyResult::improvable_traffic_fraction, so the fractions are
+  // bit-equal, not merely close.
+  double improvable = 0.0;
+  double total = 0.0;
+  for (const auto& chunk : chunks) {
+    for (const auto& obs : chunk.fig1) {
+      total += obs.weight;
+      if (obs.value >= threshold_ms) improvable += obs.weight;
+    }
+  }
+  return total > 0.0 ? improvable / total : 0.0;
+}
+
+std::uint64_t ScaleStudyResult::fingerprint() const {
+  std::string joined;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    BGPCMP_CHECK_EQ(chunks[c].chunk, c, "scale study chunks out of order");
+    joined += chunks[c].line();
+    joined += '\n';
+  }
+  return fnv1a64(joined);
+}
+
+std::size_t ScaleStudyResult::pair_count() const {
+  std::size_t pairs = 0;
+  for (const auto& chunk : chunks) pairs += chunk.pairs;
+  return pairs;
+}
+
+}  // namespace bgpcmp::core

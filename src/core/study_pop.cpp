@@ -1,33 +1,13 @@
 #include "bgpcmp/core/study_pop.h"
 
 #include <algorithm>
-#include <map>
-#include <string>
 
 #include "bgpcmp/bgp/route_cache.h"
-#include "bgpcmp/cdn/edge_fabric.h"
+#include "bgpcmp/core/pop_pair.h"
 #include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/latency/rtt_sampler.h"
-#include "bgpcmp/stats/quantile.h"
 
 namespace bgpcmp::core {
-
-namespace {
-
-/// The ranked egress routes and their realized paths for one <PoP, prefix>.
-struct PairPlan {
-  cdn::PopId pop = cdn::kNoPop;
-  traffic::PrefixId prefix = 0;
-  std::vector<EgressRouteInfo> routes;
-  std::vector<lat::GeoPath> paths;
-};
-
-float median_of(std::vector<double>& samples) {
-  std::sort(samples.begin(), samples.end());
-  return static_cast<float>(stats::quantile_sorted(samples, 0.5));
-}
-
-}  // namespace
 
 float PopPrefixSeries::diff(std::size_t w) const {
   float best_alt = medians[1][w];
@@ -37,17 +17,21 @@ float PopPrefixSeries::diff(std::size_t w) const {
   return medians[0][w] - best_alt;
 }
 
+std::vector<TimeWindow> study_windows(const PopStudyConfig& config) {
+  const auto grid = fifteen_minute_grid(config.days);
+  std::vector<TimeWindow> windows;
+  for (std::size_t i = 0; i < grid.size();
+       i += static_cast<std::size_t>(std::max(1, config.window_stride))) {
+    windows.push_back(grid[i]);
+  }
+  return windows;
+}
+
 PopStudyResult run_pop_study(const Scenario& scenario, const PopStudyConfig& config) {
   const auto& graph = scenario.internet.graph;
   const topo::CityDb& db = scenario.internet.city_db();
   PopStudyResult result;
-
-  // Evaluated windows (strided 15-minute grid).
-  const auto grid = fifteen_minute_grid(config.days);
-  for (std::size_t i = 0; i < grid.size();
-       i += static_cast<std::size_t>(std::max(1, config.window_stride))) {
-    result.windows.push_back(grid[i]);
-  }
+  result.windows = study_windows(config);
 
   // Route tables per client origin AS (shared across that AS's prefixes):
   // warm every distinct origin over the pool, then plan against the
@@ -63,40 +47,17 @@ PopStudyResult run_pop_study(const Scenario& scenario, const PopStudyConfig& con
   // Plan every <PoP, prefix> pair with at least two egress routes. Each pair
   // reads only the immutable scenario and the warmed cache, so planning fans
   // out too; under-routed pairs come back empty and are dropped in order.
+  // plan_pop_pair is shared with the streaming scale study (pop_pair.h).
   auto planned = exec::parallel_map(scenario.clients.size(), [&](std::size_t id) {
-    const auto& client = scenario.clients.at(id);
-    const cdn::PopId pop =
-        scenario.provider.serving_pop(graph, db, client.origin_as, client.city);
+    const auto& client = scenario.clients.at(static_cast<traffic::PrefixId>(id));
     const bgp::RouteTable* table = tables.find(client.origin_as);
-    auto options = cdn::edge_fabric::rank_by_policy(
-        graph, scenario.provider.egress_options(graph, *table, pop));
-    PairPlan plan;
-    if (options.size() < 2) return plan;
-    if (options.size() > static_cast<std::size_t>(config.top_k_routes)) {
-      options.resize(static_cast<std::size_t>(config.top_k_routes));
-    }
-    plan.pop = pop;
-    plan.prefix = static_cast<traffic::PrefixId>(id);
-    for (const auto& opt : options) {
-      auto path = cdn::edge_fabric::egress_path(graph, db, scenario.provider.as_index(),
-                                                scenario.provider.pop(pop), opt,
-                                                client.city);
-      if (!path.valid()) continue;
-      EgressRouteInfo info;
-      info.neighbor = opt.route.neighbor;
-      info.role = opt.route.neighbor_role;
-      info.kind = opt.kind;
-      info.link = opt.link;
-      info.as_path_len = opt.route.length;
-      plan.routes.push_back(info);
-      plan.paths.push_back(std::move(path));
-    }
-    if (plan.routes.size() < 2) plan.routes.clear();
-    return plan;
+    return plan_pop_pair(graph, db, scenario.provider, client,
+                         static_cast<traffic::PrefixId>(id), *table,
+                         config.top_k_routes);
   });
   std::vector<PairPlan> plans;
   for (auto& plan : planned) {
-    if (plan.routes.size() >= 2) plans.push_back(std::move(plan));
+    if (plan.measurable()) plans.push_back(std::move(plan));
   }
 
   // Measure: spray sessions over each route in every window. Plans are
@@ -110,51 +71,11 @@ PopStudyResult run_pop_study(const Scenario& scenario, const PopStudyConfig& con
   result.series = exec::parallel_map(plans.size(), [&](std::size_t plan_index) {
     const PairPlan& plan = plans[plan_index];
     const auto& client = scenario.clients.at(plan.prefix);
-    Rng rng = root.fork("pair-" + std::to_string(plan.prefix) + "-" +
-                        std::to_string(plan.pop));
-    PopPrefixSeries series;
-    series.pop = plan.pop;
-    series.prefix = plan.prefix;
-    series.routes = plan.routes;
-    const std::size_t n_routes = plan.routes.size();
-    const std::size_t n_windows = result.windows.size();
-    series.volume.resize(n_windows);
-    series.medians.assign(n_routes, std::vector<float>(n_windows));
-    series.ci_lower.resize(n_windows);
-    series.ci_upper.resize(n_windows);
-
-    const double popularity = scenario.demand.popularity(plan.prefix);
-    std::vector<std::vector<double>> route_samples(n_routes);
-    for (std::size_t w = 0; w < n_windows; ++w) {
-      const SimTime t = result.windows[w].midpoint();
-      series.volume[w] =
-          static_cast<float>(scenario.demand.volume(plan.prefix, t).value());
-      const int n_sessions =
-          traffic::sample_session_count(config.sessions, popularity, rng);
-      for (std::size_t r = 0; r < n_routes; ++r) {
-        const auto base = scenario.latency
-                              .rtt(plan.paths[r], t, client.access,
-                                   client.origin_as, client.city)
-                              .total();
-        auto& samples = route_samples[r];
-        samples.clear();
-        for (int s = 0; s < n_sessions; ++s) {
-          const int rts = traffic::sample_round_trips(config.sessions, rng);
-          samples.push_back(sampler.sample_min_rtt(base, rts, rng).value());
-        }
-        series.medians[r][w] = median_of(samples);
-      }
-      // CI of (BGP - best alternate) from the sprayed samples.
-      std::size_t best_alt = 1;
-      for (std::size_t r = 2; r < n_routes; ++r) {
-        if (series.medians[r][w] < series.medians[best_alt][w]) best_alt = r;
-      }
-      const auto ci = stats::bootstrap_median_diff_ci(
-          route_samples[0], route_samples[best_alt], rng, config.bootstrap);
-      series.ci_lower[w] = static_cast<float>(ci.lower);
-      series.ci_upper[w] = static_cast<float>(ci.upper);
-    }
-    return series;
+    return measure_pop_pair(plan, client, result.windows,
+                            scenario.demand.popularity(plan.prefix),
+                            db.at(client.city).location.lon_deg,
+                            scenario.config.demand, scenario.latency, sampler, root,
+                            config);
   });
   return result;
 }

@@ -9,6 +9,8 @@ namespace bgpcmp::traffic {
 namespace {
 
 /// Deterministic /24 allocation: the i-th client prefix is 20.0.0.0 + i*256.
+/// client_stream.cpp repeats this formula; the golden stream-equivalence
+/// tests pin the two against each other.
 Prefix nth_slash24(std::uint32_t i) {
   constexpr std::uint32_t kBase = (20u << 24);
   return Prefix::make(Ipv4Address{kBase + i * 256u}, 24);

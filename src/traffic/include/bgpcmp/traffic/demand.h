@@ -21,6 +21,14 @@ struct DemandConfig {
   double diurnal_amplitude = 0.5;  ///< peak-vs-trough swing of demand
 };
 
+/// Bytes served during the window around `t` by a prefix with the given
+/// static popularity, located at longitude `lon_deg`. The single definition
+/// of the diurnal volume curve: DemandModel::volume and the streaming scale
+/// path (client_stream.h, core/scale_study.h) both call it, so streamed
+/// volumes are byte-identical to the eager model's.
+[[nodiscard]] Bytes diurnal_volume(const DemandConfig& config, double popularity,
+                                   double lon_deg, SimTime t);
+
 /// Deterministic per-(prefix, window) demand model.
 class DemandModel {
  public:

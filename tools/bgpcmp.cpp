@@ -9,6 +9,9 @@
 //   bgpcmp lookup <ip>                         who serves this address
 //   bgpcmp snapshot --out PATH                 write a serving snapshot
 //   bgpcmp serve [--snapshot PATH]             resident query server
+//   bgpcmp shard --shards N [--check]          streaming study across N
+//                                              worker processes, merged
+//                                              deterministically
 //
 // Every subcommand accepts --threads N (or the BGPCMP_THREADS environment
 // variable) to size the exec thread pool used for route warm-up.
@@ -29,9 +32,11 @@
 #include "bgpcmp/cdn/anycast_cdn.h"
 #include "bgpcmp/core/scenario.h"
 #include "bgpcmp/core/serving.h"
+#include "bgpcmp/core/shard.h"
 #include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/latency/path_model.h"
 #include "bgpcmp/stats/table.h"
+#include "shard_util.h"
 
 using namespace bgpcmp;
 
@@ -308,6 +313,118 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+core::ScaleStudyConfig scale_study_config(const Args& args) {
+  core::ScaleStudyConfig cfg;
+  if (const auto d = args.flags.find("days"); d != args.flags.end()) {
+    cfg.study.days = std::stod(d->second);
+  }
+  if (const auto s = args.flags.find("stride"); s != args.flags.end()) {
+    cfg.study.window_stride = std::stoi(s->second);
+  }
+  if (const auto c = args.flags.find("chunk-origins"); c != args.flags.end()) {
+    cfg.chunk_origins = std::stoul(c->second);
+  }
+  return cfg;
+}
+
+/// `bgpcmp shard`: the streaming Study-1 window split across worker
+/// processes. Each worker owns a contiguous block of client chunks (so its
+/// demand cursor skips once, then streams), writes its encoded chunk results
+/// to a file, and the parent merges them back in chunk order — a result
+/// byte-identical to the single-process run, which --check verifies.
+int cmd_shard(const Args& args, int argc, char** argv) {
+  int shards = 2;
+  if (const auto s = args.flags.find("shards"); s != args.flags.end()) {
+    shards = std::stoi(s->second);
+  }
+  if (shards < 1) {
+    std::fputs("--shards needs a positive integer\n", stderr);
+    return 1;
+  }
+  const auto scfg = scale_study_config(args);
+
+  if (const auto w = args.flags.find("worker"); w != args.flags.end()) {
+    const auto out = args.flags.find("out");
+    const int worker = std::stoi(w->second);
+    if (out == args.flags.end() || worker < 0 || worker >= shards) {
+      std::fputs("worker mode needs --out and a valid --worker index\n", stderr);
+      return 1;
+    }
+    const auto world = core::ScaleWorld::make(preset_config(args));
+    const traffic::ClientStream stream{&world->internet, world->config.clients,
+                                       scfg.chunk_origins};
+    const auto windows = core::study_windows(scfg.study);
+    const auto range = core::shard_range(stream.chunk_count(), shards, worker);
+    traffic::DemandStream cursor{world->config.demand};
+    if (!range.empty()) {
+      cursor.skip(stream.chunk_prefix_range(range.begin).first);
+    }
+    std::ofstream file{out->second, std::ios::binary};
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", out->second.c_str());
+      return 1;
+    }
+    for (std::size_t c = range.begin; c < range.end; ++c) {
+      file << core::encode_scale_chunk(
+          core::run_scale_chunk(*world, scfg, windows, stream, cursor, c));
+    }
+    file.flush();
+    return file ? 0 : 1;
+  }
+
+  std::vector<pid_t> pids;
+  std::vector<std::string> out_paths;
+  for (int w = 0; w < shards; ++w) {
+    std::vector<std::string> worker_argv{tools::self_exe()};
+    for (int i = 1; i < argc; ++i) worker_argv.emplace_back(argv[i]);
+    out_paths.push_back(tools::worker_out_path("study", w));
+    worker_argv.insert(worker_argv.end(),
+                       {"--worker", std::to_string(w), "--out", out_paths.back()});
+    pids.push_back(tools::spawn_worker(worker_argv));
+  }
+  if (!tools::wait_all(pids)) return 1;
+
+  std::vector<core::ScaleChunkResult> chunks;
+  for (const auto& path : out_paths) {
+    std::string text;
+    if (!tools::read_file(path, &text)) {
+      std::fprintf(stderr, "missing worker output %s\n", path.c_str());
+      return 1;
+    }
+    auto decoded = core::decode_scale_chunks(text);
+    for (auto& chunk : decoded) chunks.push_back(std::move(chunk));
+    std::remove(path.c_str());
+  }
+  std::size_t chunk_count = 0;
+  for (const auto& chunk : chunks) {
+    chunk_count = std::max(chunk_count, static_cast<std::size_t>(chunk.chunk) + 1);
+  }
+  const auto result = core::merge_scale_chunks(std::move(chunks), chunk_count,
+                                               core::study_windows(scfg.study));
+  double threshold = 2.0;
+  if (const auto t = args.flags.find("threshold"); t != args.flags.end()) {
+    threshold = std::stod(t->second);
+  }
+  std::printf("chunks=%zu pairs=%zu windows=%zu improvable(>=%.1fms)=%.4f "
+              "fingerprint=%016llx shards=%d\n",
+              result.chunks.size(), result.pair_count(), result.windows.size(),
+              threshold, result.improvable_traffic_fraction(threshold),
+              static_cast<unsigned long long>(result.fingerprint()), shards);
+
+  if (args.flags.contains("check")) {
+    const auto world = core::ScaleWorld::make(preset_config(args));
+    const auto local = core::run_scale_study(*world, scfg);
+    if (local.fingerprint() != result.fingerprint()) {
+      std::fprintf(stderr, "DIVERGED: sharded %016llx != in-process %016llx\n",
+                   static_cast<unsigned long long>(result.fingerprint()),
+                   static_cast<unsigned long long>(local.fingerprint()));
+      return 1;
+    }
+    std::printf("check ok: sharded run equals in-process run\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -315,7 +432,7 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   if (args.command.empty()) {
     std::fputs("usage: bgpcmp <topology|route|rib|catchment|pops|trace|lookup|"
-               "snapshot|serve> [--preset ms|goog] [--seed N] ...\n",
+               "snapshot|serve|shard> [--preset ms|goog] [--seed N] ...\n",
                stderr);
     return 1;
   }
@@ -323,6 +440,7 @@ int main(int argc, char** argv) {
   // disk) — don't build the explorer scenario for them.
   if (args.command == "snapshot") return cmd_snapshot(args);
   if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "shard") return cmd_shard(args, argc, argv);
   auto scenario = core::Scenario::make(preset_config(args));
   if (args.command == "topology") return cmd_topology(*scenario);
   if (args.command == "route") return cmd_route(*scenario, args);

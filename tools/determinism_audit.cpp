@@ -17,15 +17,23 @@
 //                                     run 2 with an N-thread pool: any
 //                                     divergence means parallel code leaked
 //                                     scheduling into results
+//   determinism_audit --shards N      render run 1 in-process and run 2 in N
+//                                     forked worker processes (contiguous
+//                                     registry blocks, merged in registry
+//                                     order): any divergence means results
+//                                     depend on which process computes them
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "bgpcmp/core/fingerprint.h"
 #include "bgpcmp/core/scenario_registry.h"
+#include "bgpcmp/core/shard.h"
 #include "bgpcmp/exec/thread_pool.h"
 #include "bgpcmp/stats/table.h"
+#include "shard_util.h"
 
 using namespace bgpcmp;
 
@@ -45,12 +53,121 @@ void dump(const std::string& dir, std::string_view scenario, int run,
   std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
+core::FingerprintOptions options_for(const core::RegisteredScenario& s,
+                                     bool skip_studies) {
+  core::FingerprintOptions options;
+  options.run_studies = s.fingerprint_studies && !skip_studies;
+  options.topology_only = s.topology_only;
+  options.churn = s.churn;
+  options.serving = s.serving;
+  return options;
+}
+
+/// --shards worker: fingerprint this block of the registry into --shard-out.
+int run_shard_worker(int shards, int worker, const std::string& out_path,
+                     bool skip_studies) {
+  const auto registry = core::scenario_registry();
+  const auto range = core::shard_range(registry.size(), shards, worker);
+  std::ofstream out{out_path, std::ios::binary};
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const auto& s = registry[i];
+    const auto hash =
+        core::scenario_fingerprint(s.config(), options_for(s, skip_studies));
+    char line[96];
+    std::snprintf(line, sizeof line, "%s %016llx", std::string(s.name).c_str(),
+                  static_cast<unsigned long long>(hash));
+    out << line << '\n';
+  }
+  out.flush();
+  return out ? 0 : 2;
+}
+
+/// --shards parent: run 1 in this process, run 2 across forked workers.
+int run_sharded_audit(int shards, bool skip_studies) {
+  const auto registry = core::scenario_registry();
+  std::vector<pid_t> pids;
+  std::vector<std::string> out_paths;
+  for (int w = 0; w < shards; ++w) {
+    out_paths.push_back(tools::worker_out_path("audit", w));
+    std::vector<std::string> argv{tools::self_exe(),   "--shard-worker",
+                                  std::to_string(w),   "--shards",
+                                  std::to_string(shards), "--shard-out",
+                                  out_paths.back()};
+    if (skip_studies) argv.emplace_back("--skip-studies");
+    pids.push_back(tools::spawn_worker(argv));
+  }
+
+  // Run 1, computed while the workers run: the in-process reference.
+  std::vector<std::string> local;
+  for (const auto& s : registry) {
+    const auto hash =
+        core::scenario_fingerprint(s.config(), options_for(s, skip_studies));
+    char line[96];
+    std::snprintf(line, sizeof line, "%s %016llx", std::string(s.name).c_str(),
+                  static_cast<unsigned long long>(hash));
+    local.emplace_back(line);
+  }
+
+  if (!tools::wait_all(pids)) return 1;
+  std::vector<std::string> sharded;
+  for (const auto& path : out_paths) {
+    std::string text;
+    if (!tools::read_file(path, &text)) {
+      std::fprintf(stderr, "missing worker output %s\n", path.c_str());
+      return 1;
+    }
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) break;
+      sharded.push_back(text.substr(pos, eol - pos));
+      pos = eol + 1;
+    }
+    std::remove(path.c_str());
+  }
+  if (sharded.size() != registry.size()) {
+    std::fprintf(stderr, "sharded run produced %zu of %zu scenarios\n",
+                 sharded.size(), registry.size());
+    return 1;
+  }
+
+  std::printf("comparing in-process run vs %d worker processes\n", shards);
+  stats::Table report{{"scenario", "in-process", "sharded", "verdict"}};
+  int failures = 0;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const bool ok = local[i] == sharded[i];
+    if (!ok) ++failures;
+    report.add_row({std::string(registry[i].name),
+                    local[i].substr(local[i].find(' ') + 1),
+                    sharded[i].substr(sharded[i].find(' ') + 1),
+                    ok ? "deterministic" : "DIVERGED"});
+  }
+  std::fputs(report.render().c_str(), stdout);
+  std::printf("merged %016llx (in-process) vs %016llx (%d shards)\n",
+              static_cast<unsigned long long>(core::merge_fingerprint(local)),
+              static_cast<unsigned long long>(core::merge_fingerprint(sharded)),
+              shards);
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d scenario(s) diverged across the process boundary\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   exec::apply_thread_flag(argc, argv);
   bool skip_studies = false;
   int compare_threads = 0;  // 0: same pool for both runs
+  int shards = 0;           // > 0: compare in-process vs forked workers
+  int shard_worker = -1;    // >= 0: this process is a shard worker
+  std::string shard_out;
   std::string only;
   std::string dump_dir;
   for (int i = 1; i < argc; ++i) {
@@ -74,14 +191,32 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--compare-threads needs an integer >= 2\n");
         return 2;
       }
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 2 && shard_worker < 0) {
+        std::fprintf(stderr, "--shards needs an integer >= 2\n");
+        return 2;
+      }
+    } else if (arg == "--shard-worker" && i + 1 < argc) {
+      shard_worker = std::atoi(argv[++i]);
+    } else if (arg == "--shard-out" && i + 1 < argc) {
+      shard_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: determinism_audit [--list] [--scenario NAME] "
                    "[--skip-studies] [--dump DIR] [--threads N] "
-                   "[--compare-threads N]\n");
+                   "[--compare-threads N] [--shards N]\n");
       return 2;
     }
   }
+  if (shard_worker >= 0) {
+    if (shards < 1 || shard_worker >= shards || shard_out.empty()) {
+      std::fprintf(stderr, "--shard-worker needs --shards and --shard-out\n");
+      return 2;
+    }
+    return run_shard_worker(shards, shard_worker, shard_out, skip_studies);
+  }
+  if (shards > 0) return run_sharded_audit(shards, skip_studies);
   if (!only.empty() && core::find_scenario(only) == nullptr) {
     std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", only.c_str());
     return 2;
@@ -94,11 +229,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (const auto& s : core::scenario_registry()) {
     if (!only.empty() && s.name != only) continue;
-    core::FingerprintOptions options;
-    options.run_studies = s.fingerprint_studies && !skip_studies;
-    options.topology_only = s.topology_only;
-    options.churn = s.churn;
-    options.serving = s.serving;
+    const auto options = options_for(s, skip_studies);
     const auto config = s.config();
     if (compare_threads > 0) exec::set_thread_count(1);
     const auto tables1 = core::render_result_tables(config, options);

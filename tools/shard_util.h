@@ -1,0 +1,79 @@
+// fork/exec plumbing for the multi-process shard harnesses.
+//
+// The deterministic half of sharding (partitioning, merging, the chunk
+// codec) lives in bgpcmp/core/shard.h and is unit-tested; this header is
+// only the OS glue the tools share: re-exec the current binary with worker
+// flags, wait for every worker, read back their output files. Workers write
+// to plain files (not pipes) so a worker crash leaves evidence and the
+// parent's merge step can check completeness via the chunk codec.
+#pragma once
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bgpcmp::tools {
+
+/// Path of the currently running binary, for re-execing workers. /proc is
+/// always present on the Linux targets this repo builds for.
+inline std::string self_exe() { return "/proc/self/exe"; }
+
+/// Spawn one worker process running `argv` (argv[0] is the executable).
+/// Returns the pid, or -1 if fork failed.
+inline pid_t spawn_worker(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& arg : argv) cargv.push_back(const_cast<char*>(arg.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Wait for every spawned worker; true iff all exited with status 0.
+inline bool wait_all(const std::vector<pid_t>& pids) {
+  bool ok = true;
+  for (const pid_t pid : pids) {
+    if (pid < 0) {
+      ok = false;
+      continue;
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid ||
+        !(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+      std::fprintf(stderr, "shard worker %d failed (status %d)\n",
+                   static_cast<int>(pid), status);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Slurp a worker's output file; empty optional-style: ok=false on error.
+inline bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = std::move(buf).str();
+  return true;
+}
+
+/// A scratch path for one worker's output, under TMPDIR (or /tmp).
+inline std::string worker_out_path(const std::string& tag, int index) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  return dir + "/bgpcmp_shard_" + tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(index) + ".txt";
+}
+
+}  // namespace bgpcmp::tools
