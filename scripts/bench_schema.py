@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate the shape of the repo's BENCH_*.json result files.
+
+Every benchmark file must carry the provenance trio (description, hardware,
+caveat) as non-empty strings, every numeric leaf must be finite, non-negative,
+and live under a key path that names its unit (_ms, _us, _seconds, _mb,
+_bytes, per_second, ...), and any dict keyed by scale factors ("10x", "30x",
+"100x", "1x_368_ases", ...) must be monotone non-decreasing in scale — a
+bigger world can't get cheaper, and a scale table that isn't sorted-by-cost
+is almost always a transcription error.
+
+Usage: bench_schema.py [repo_root]   (defaults to the parent of scripts/)
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+import glob
+import json
+import math
+import os
+import re
+import sys
+
+UNIT_RE = re.compile(
+    r"(?:^|_)(ms|us|ns|seconds|mb|gb|kb|bytes|per_second|speedup)(?:_|$)"
+)
+SCALE_KEY_RE = re.compile(r"^(\d+(?:\.\d+)?)x(?:_|$)")
+
+errors = []
+
+
+def err(path, where, msg):
+    errors.append(f"{os.path.basename(path)}: {where}: {msg}")
+
+
+def has_unit(key_path):
+    return any(UNIT_RE.search(part) for part in key_path)
+
+
+def walk_numeric_leaves(node, key_path, path):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            walk_numeric_leaves(v, key_path + (k,), path)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            walk_numeric_leaves(v, key_path + (f"[{i}]",), path)
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)):
+        where = ".".join(key_path)
+        if not math.isfinite(node):
+            err(path, where, f"non-finite number {node!r}")
+        elif node < 0:
+            err(path, where, f"negative measurement {node!r}")
+        if not has_unit(key_path):
+            err(path, where, "numeric leaf has no unit anywhere in its key "
+                             "path (expected _ms/_us/_seconds/_mb/_bytes/...)")
+
+
+def numeric_items(node):
+    """Flatten a scale-axis entry to comparable (subpath, number) pairs."""
+    out = {}
+    if isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[()] = node
+    elif isinstance(node, dict):
+        for k, v in node.items():
+            for sub, num in numeric_items(v).items():
+                out[(k,) + sub] = num
+    return out
+
+
+def check_scale_axes(node, key_path, path):
+    if isinstance(node, dict):
+        keys = list(node.keys())
+        matches = [SCALE_KEY_RE.match(k) for k in keys]
+        if len(keys) >= 2 and all(matches):
+            axis = sorted(zip((float(m.group(1)) for m in matches), keys))
+            scales = [s for s, _ in axis]
+            if len(set(scales)) != len(scales):
+                err(path, ".".join(key_path), f"duplicate scale factors {keys}")
+            for (s_lo, k_lo), (s_hi, k_hi) in zip(axis, axis[1:]):
+                lo, hi = numeric_items(node[k_lo]), numeric_items(node[k_hi])
+                for sub in sorted(lo.keys() & hi.keys()):
+                    if lo[sub] > hi[sub]:
+                        leaf = ".".join(key_path + (k_hi,) + sub)
+                        err(path, leaf,
+                            f"scale axis not monotone: {k_lo}={lo[sub]!r} > "
+                            f"{k_hi}={hi[sub]!r} (a bigger world got cheaper?)")
+        for k, v in node.items():
+            check_scale_axes(v, key_path + (k,), path)
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        err(path, "-", f"unreadable or invalid JSON: {e}")
+        return
+    if not isinstance(data, dict):
+        err(path, "-", "top level must be a JSON object")
+        return
+    for key in ("description", "hardware", "caveat"):
+        val = data.get(key)
+        if not isinstance(val, str) or not val.strip():
+            err(path, key, "required non-empty string is missing")
+    walk_numeric_leaves(data, (), path)
+    check_scale_axes(data, (), path)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not files:
+        print(f"bench_schema: no BENCH_*.json found under {root}")
+        return 1
+    for path in files:
+        check_file(path)
+    if errors:
+        for e in errors:
+            print(f"bench_schema: error: {e}")
+        print(f"bench_schema: FAIL ({len(errors)} error(s) in {len(files)} file(s))")
+        return 1
+    print(f"bench_schema: ok ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

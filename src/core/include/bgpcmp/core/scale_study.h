@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bgpcmp/core/scenario.h"
+#include "bgpcmp/netbase/thread_annotations.h"
 #include "bgpcmp/core/study_pop.h"
 #include "bgpcmp/stats/cdf.h"
 #include "bgpcmp/traffic/client_stream.h"
@@ -103,7 +104,9 @@ struct ScaleStudyResult {
 /// measure its pairs, fold the series into fig1 points and a digest. The
 /// demand cursor must sit at the chunk's first prefix (skip() to it); it is
 /// left at the chunk's end. Pure in (world, config, windows, chunk) — chunk
-/// order, process boundaries, and thread width never change the bytes.
+/// order, process boundaries, and thread width never change the bytes —
+/// machine-checked as BGPCMP_PURE_CHUNK (detlint D9/D10).
+BGPCMP_PURE_CHUNK
 [[nodiscard]] ScaleChunkResult run_scale_chunk(const ScaleWorld& world,
                                                const ScaleStudyConfig& config,
                                                const std::vector<TimeWindow>& windows,

@@ -52,10 +52,12 @@ struct ShardRange {
 /// header line (ScaleChunkResult::line()) followed by one "p <value>
 /// <weight>" line per fig1 observation, doubles in hexfloat so the bytes
 /// round-trip exactly.
+BGPCMP_PURE_CHUNK
 [[nodiscard]] std::string encode_scale_chunk(const ScaleChunkResult& chunk);
 
 /// Parse a stream of encoded chunks (concatenated encode_scale_chunk
 /// output). Malformed input trips a BGPCMP_CHECK.
+BGPCMP_PURE_CHUNK
 [[nodiscard]] std::vector<ScaleChunkResult> decode_scale_chunks(std::string_view text);
 
 /// Assemble a study result from decoded per-chunk results arriving in any

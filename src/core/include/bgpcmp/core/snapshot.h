@@ -42,6 +42,7 @@ struct ServingState {
 /// Serialize `scenario` and the warmed tables for `warmed` (every origin must
 /// have a table in `tables` — BGPCMP_CHECKed) into a four-section snapshot.
 BGPCMP_PHASE(warm)
+BGPCMP_SNAPSHOT_CODEC(serving, writer)
 void save_serving_snapshot(const std::string& path, const Scenario& scenario,
                            std::span<const topo::AsIndex> warmed,
                            const bgp::RouteCache& tables);
@@ -52,6 +53,7 @@ void save_serving_snapshot(const std::string& path, const Scenario& scenario,
 /// BGPCMP_CHECK — callers that want a fallback rebuild catch CheckError via
 /// ScopedCheckThrows.
 BGPCMP_PHASE(warm)
+BGPCMP_SNAPSHOT_CODEC(serving, reader)
 [[nodiscard]] ServingState load_serving_snapshot(
     const std::string& path, const ScenarioConfig& config,
     topo::SnapshotVerify verify = topo::SnapshotVerify::kFull);

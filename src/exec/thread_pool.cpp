@@ -129,7 +129,9 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   // Inline paths: single-lane pool, trivial loop, or a nested call from a
   // worker (re-entering the queue from a worker can deadlock a fixed pool).
-  if (!impl_ || n == 1 || tl_on_worker) {
+  // tl_on_worker is a per-thread dispatch flag: it picks inline vs. queued
+  // execution, never a value, so chunk purity (detlint D10) is unaffected.
+  if (!impl_ || n == 1 || tl_on_worker) {  // lint:allow(D10)
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }

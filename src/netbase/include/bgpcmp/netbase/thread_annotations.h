@@ -96,6 +96,27 @@
 /// the offending call chain.
 #define BGPCMP_REQUIRES_WARMED(...)
 
+/// Declares a function pure in its explicit inputs at chunk granularity: no
+/// mutable function-local statics, no writes through unannotated namespace-
+/// scope globals, and every BGPCMP_REQUIRES_WARMED callee dominated by a
+/// per-chunk warm (or constructor discharge) inside the function itself.
+/// This is the machine-readable form of the "pure in (world, config, chunk)"
+/// comments on run_scale_chunk and the shard codec: detlint D10 chases every
+/// reachable call and fails on shared state the chunk did not build for
+/// itself, and D9 additionally rejects raw draws on an unforked root Rng in
+/// the body. Expands to nothing.
+#define BGPCMP_PURE_CHUNK
+
+/// Marks a function as one side of a snapshot wire codec: `section` names the
+/// writer/reader pair (world, serving, header) and `role` is writer or
+/// reader. detlint D8 parses the struct definition of every type the pair
+/// touches, matches the writer's field-access sequence against the reader's
+/// (order-sensitive), requires every non-waived field of a serialized struct
+/// to cross the wire, and pins the whole layout in
+/// tools/detlint/snapshot_schema.lock — any drift without a matching
+/// kSnapshotVersion bump fails the scan. Expands to nothing.
+#define BGPCMP_SNAPSHOT_CODEC(section, role)
+
 /// Ranks a Mutex in the global acquisition order. detlint D6 builds the
 /// acquisition graph from MutexLock/.lock() sites (including locks reached
 /// through calls made while a lock is held) and fails on any cycle; where

@@ -71,7 +71,9 @@ struct AsEdge {
   AsIndex a = kNoAs;
   AsIndex b = kNoAs;
   Relationship rel = Relationship::PeerPeer;
-  std::vector<LinkId> links;
+  /// Incident interconnect links; rebuilt from the link section on load, not
+  /// part of the edge's own wire layout.
+  std::vector<LinkId> links;  // lint:allow(D8)
 };
 
 /// An Autonomous System.
@@ -82,7 +84,9 @@ struct AsNode {
   std::vector<CityId> presence;  ///< cities where the AS has routers
   CityId hub = kNoCity;          ///< backbone hub (detours route via here)
   double backbone_inflation = 1.3;  ///< intra-AS cable-vs-geodesic inflation
-  std::vector<EdgeId> edges;     ///< incident edges
+  /// Incident edges: derived adjacency, recomputed from the edge section on
+  /// load rather than serialized.
+  std::vector<EdgeId> edges;  // lint:allow(D8)
 };
 
 /// Role of a neighbor from one endpoint's point of view.

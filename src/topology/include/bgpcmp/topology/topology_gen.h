@@ -57,7 +57,8 @@ inline constexpr std::uint32_t kNoIxpSlot = 0xffffffff;
 
 /// A generated Internet: graph plus index lists by class and the IXPs.
 struct Internet {
-  const CityDb* cities = nullptr;
+  /// Rebinds to the process-wide CityDb::world() on load; never serialized.
+  const CityDb* cities = nullptr;  // lint:allow(D8)
   AsGraph graph;
   std::vector<Ixp> ixps;
   std::vector<AsIndex> tier1s;
@@ -67,7 +68,7 @@ struct Internet {
   /// City -> slot into `ixps` (kNoIxpSlot if none). Built by
   /// rebuild_ixp_index(); build_internet calls it before returning. Stale the
   /// moment `ixps` is mutated — rebuild after any such edit.
-  std::vector<std::uint32_t> ixp_by_city;
+  std::vector<std::uint32_t> ixp_by_city;  // lint:allow(D8)
 
   [[nodiscard]] const CityDb& city_db() const { return *cities; }
   /// The IXP hosted in `city`, if any. O(1) once the index is built; falls

@@ -128,12 +128,14 @@ class SnapshotReader {
 
 /// Serialize every structural field of a built world (nodes, edges, links,
 /// IXPs with memberships, per-class index lists) as one world section.
+BGPCMP_SNAPSHOT_CODEC(world, writer)
 void serialize_internet(const Internet& net, SnapshotWriter& w);
 
 /// Decode one world section into bulk-adopted graph arrays (range-checked
 /// per element), then rebuild the IXP index. Cities bind to CityDb::world().
 /// Callers wanting codec-bug protection verify `internet_fingerprint()`
 /// against the header (SnapshotVerify::kFull).
+BGPCMP_SNAPSHOT_CODEC(world, reader)
 [[nodiscard]] Internet deserialize_internet(SnapshotReader& r);
 
 /// A loaded snapshot: validated header plus payload bytes, mmap-backed where
@@ -169,11 +171,13 @@ class SnapshotFile {
 /// Write header + payload atomically enough for our use (tmp-free single
 /// ofstream; snapshots are caches, a torn write is caught by the hash on
 /// load). Fills in payload_size/payload_hash from the payload.
+BGPCMP_SNAPSHOT_CODEC(header, writer)
 void write_snapshot_file(const std::string& path, SnapshotHeader header,
                          std::string_view payload);
 
 /// Open, mmap-or-read, and validate magic, version, declared payload size,
 /// and payload hash. Any mismatch trips a BGPCMP_CHECK.
+BGPCMP_SNAPSHOT_CODEC(header, reader)
 [[nodiscard]] SnapshotFile read_snapshot_file(const std::string& path);
 
 /// Cache key half for snapshots: FNV-1a over (internet_config_fingerprint,

@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "bgpcmp/netbase/thread_annotations.h"
 #include "bgpcmp/traffic/clients.h"
 #include "bgpcmp/traffic/demand.h"
 
@@ -68,7 +69,8 @@ class ClientStream {
 
   /// Generate chunk `c`. Pure: depends only on (internet, config, c), never
   /// on which chunks were generated before — the purity multi-process shards
-  /// rely on.
+  /// rely on, machine-checked as BGPCMP_PURE_CHUNK (detlint D9/D10).
+  BGPCMP_PURE_CHUNK
   [[nodiscard]] ClientChunk chunk(std::size_t c) const;
 
   /// The origin ASes of chunk `c`, cheapest first-look for warming a

@@ -36,6 +36,19 @@ void write_bytes(const std::string& path, const std::string& bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Header layout (world_snapshot.h): magic 8B, version u32, sections u32,
+// config_fp u64, world_fp u64, payload_size u64 @32, payload_hash u64 @40.
+void patch_u64(std::string& bytes, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[off + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
 TEST(WorldSnapshot, WriterReaderRoundTripScalars) {
   SnapshotWriter w;
   w.u8(0xab);
@@ -147,6 +160,67 @@ TEST(WorldSnapshot, RejectsConfigMismatch) {
   auto other = small_config(11);
   other.transit_peer_prob += 0.05;
   EXPECT_THROW((void)load_world_snapshot(path, other), CheckError);
+}
+
+// The rejection tests above pin THAT a corrupt file is refused; the three
+// below pin WHICH diagnostic fires, so a regression can't silently reroute
+// one failure mode into another check's (misleading) message.
+
+TEST(WorldSnapshot, TruncatedSectionPayloadReportsTruncation) {
+  const auto cfg = small_config();
+  const auto path = tmp_path("world_shortsection.snap");
+  save_world_snapshot(path, build_internet(cfg), cfg);
+  std::string bytes = file_bytes(path);
+  // Chop the tail of the last section, then re-seal the header so the size
+  // and hash checks pass: the failure must come from the section decode
+  // running off the end, not from the whole-file integrity gates.
+  bytes.resize(bytes.size() - 16);
+  patch_u64(bytes, 32, bytes.size() - kSnapshotHeaderSize);
+  patch_u64(bytes, 40, snapshot_hash(bytes.substr(kSnapshotHeaderSize)));
+  write_bytes(path, bytes);
+  ScopedCheckThrows guard;
+  try {
+    (void)load_world_snapshot(path, cfg);
+    FAIL() << "truncated section payload was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_TRUE(contains(e.what(), "snapshot payload truncated")) << e.what();
+  }
+}
+
+TEST(WorldSnapshot, CorruptedPayloadReportsHashMismatch) {
+  const auto cfg = small_config();
+  const auto path = tmp_path("world_badhash.snap");
+  save_world_snapshot(path, build_internet(cfg), cfg);
+  std::string bytes = file_bytes(path);
+  bytes[kSnapshotHeaderSize + bytes.size() / 2] ^= 0x10;
+  write_bytes(path, bytes);
+  ScopedCheckThrows guard;
+  try {
+    (void)read_snapshot_file(path);
+    FAIL() << "corrupted payload was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_TRUE(
+        contains(e.what(), "snapshot payload hash mismatch (corrupted file)"))
+        << e.what();
+  }
+}
+
+TEST(WorldSnapshot, FutureVersionReportsVersionMismatch) {
+  const auto cfg = small_config();
+  const auto path = tmp_path("world_futureversion.snap");
+  save_world_snapshot(path, build_internet(cfg), cfg);
+  std::string bytes = file_bytes(path);
+  bytes[8] = static_cast<char>(kSnapshotVersion + 7);  // little-endian lsb
+  write_bytes(path, bytes);
+  ScopedCheckThrows guard;
+  try {
+    (void)read_snapshot_file(path);
+    FAIL() << "future-version snapshot was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_TRUE(contains(e.what(),
+                         "snapshot version mismatch; rebuild the snapshot"))
+        << e.what();
+  }
 }
 
 TEST(WorldCacheSnapshot, MissLoadsARegisteredSnapshot) {

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Regression test for the --changed include-graph cache.
+
+The cache keys each file on its own mtime, but an entry also embeds the
+RESOLVED paths of its includes. Deleting or renaming a header leaves every
+includer's mtime untouched, so a naive cache keeps routing dependency edges
+through the ghost file and --changed silently under-scans. This test pins the
+fix: an entry is invalid once any of its resolved targets is gone.
+
+Run directly (no arguments); exits 0 on pass, 1 on failure.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import detlint  # noqa: E402
+
+
+def fail(msg):
+    print(f"cache_selftest: FAIL: {msg}")
+    return 1
+
+
+def write(root, rel, text):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+
+def main():
+    tmp = tempfile.mkdtemp(prefix="detlint_cache_")
+    try:
+        # main.cpp includes "api.h", initially resolved via hdr/.
+        write(tmp, "src/main.cpp", '#include "api.h"\nint use();\n')
+        write(tmp, "hdr/api.h", "int api();\n")
+        cache_path = os.path.join(tmp, "cache.json")
+        include_dirs = [os.path.join(tmp, "hdr"), os.path.join(tmp, "hdr2")]
+
+        all_rels = ["src/main.cpp", "hdr/api.h"]
+        graph = detlint.load_include_graph(tmp, all_rels, include_dirs, cache_path)
+        if graph["src/main.cpp"] != ["hdr/api.h"]:
+            return fail(f"cold resolve: {graph['src/main.cpp']}")
+
+        # Rename the header into the second include dir. main.cpp's mtime is
+        # unchanged, so a purely mtime-keyed cache would keep hdr/api.h.
+        os.makedirs(os.path.join(tmp, "hdr2"), exist_ok=True)
+        os.rename(os.path.join(tmp, "hdr", "api.h"), os.path.join(tmp, "hdr2", "api.h"))
+        all_rels = ["src/main.cpp", "hdr2/api.h"]
+        graph = detlint.load_include_graph(tmp, all_rels, include_dirs, cache_path)
+        if graph["src/main.cpp"] != ["hdr2/api.h"]:
+            return fail(f"stale cache survived a rename: {graph['src/main.cpp']}")
+
+        # Delete the header outright: the includer's entry must re-resolve to
+        # nothing, not keep the ghost edge.
+        os.remove(os.path.join(tmp, "hdr2", "api.h"))
+        all_rels = ["src/main.cpp"]
+        graph = detlint.load_include_graph(tmp, all_rels, include_dirs, cache_path)
+        if graph["src/main.cpp"] != []:
+            return fail(f"stale cache survived a delete: {graph['src/main.cpp']}")
+
+        # Warm-path sanity: restore the header, touch the includer so it
+        # reparses once, then check that back-to-back calls with nothing
+        # changed reuse the cached entry and stay correct.
+        write(tmp, "hdr/api.h", "int api();\n")
+        write(tmp, "src/main.cpp", '#include "api.h"\nint use();\n')
+        all_rels = ["src/main.cpp", "hdr/api.h"]
+        graph = detlint.load_include_graph(tmp, all_rels, include_dirs, cache_path)
+        first = graph["src/main.cpp"]
+        graph = detlint.load_include_graph(tmp, all_rels, include_dirs, cache_path)
+        if graph["src/main.cpp"] != first or first != ["hdr/api.h"]:
+            return fail(f"warm path: {first} then {graph['src/main.cpp']}")
+
+        print("cache_selftest: ok (rename, delete, and warm paths)")
+        return 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,10 +52,41 @@ Rules
       depends on thread interleaving. The sanctioned pattern is
       index-addressed slots written in the region and folded sequentially
       after the join (docs/PARALLELISM.md).
+  D8  serialization-schema drift. Functions marked
+      BGPCMP_SNAPSHOT_CODEC(section, writer|reader) form wire-codec pairs;
+      detlint parses the struct definition of every type the pair touches,
+      matches the writer's field-access sequence against the reader's
+      (order-sensitive), and requires every non-waived field of a serialized
+      struct to cross the wire in both directions. The full layout (field
+      names and declared types, in declaration order) is digested into
+      tools/detlint/snapshot_schema.lock next to the kSnapshotVersion it was
+      taken at; any layout drift while the version stands still is an error,
+      and --update-schema-lock refuses to regenerate until the version is
+      bumped. Derived/reconstructed fields opt out with lint:allow(D8) on
+      their declaration line.
+  D9  RNG fork lineage. Inside a parallel region, a draw on an Rng declared
+      outside the region (directly, or by passing it to a callee that draws
+      through a non-const Rng& parameter) makes draw order depend on thread
+      interleaving. Within a BGPCMP_PURE_CHUNK body, drawing on an unforked
+      root (Rng constructed straight from a seed) couples chunks through
+      cursor state. Label hygiene: two fork sites with the same label on the
+      same receiver collide; a dynamic label whose literal prefix does not
+      end in a separator ("s" + i: "s1"+"2" == "s12"+"") is collision-prone;
+      and a fork in a loop body whose label depends on nothing bound by the
+      loop replays the same substream every iteration.
+  D10 chunk purity. A BGPCMP_PURE_CHUNK function must be pure in its
+      explicit inputs: detlint chases every reachable call and fails on
+      mutable function-local statics, references to non-const namespace-
+      scope globals (Mutex declarations and BGPCMP_GUARDED_BY state are
+      exempt - their safety story is the lock discipline D6 checks), and
+      BGPCMP_REQUIRES_WARMED callees not dominated by a per-chunk warm
+      inside the chunk body itself (the D5 domination machinery, with the
+      whole body as the region).
 
 A line opts out with a trailing comment: // lint:allow(D1) - same syntax as
 scripts/lint.sh, comma-separated for several rules. D5/D7 findings anchor to
-the parallel-region line; D6 findings anchor to the second acquisition.
+the parallel-region line; D6 findings anchor to the second acquisition; D8
+field findings anchor to the field's declaration line.
 
 Engines: with the libclang Python bindings installed the variable-type
 registries for D1/D3 are augmented from a real AST; otherwise a tokenizer
@@ -91,6 +122,9 @@ RULES = OrderedDict(
         ("D5", "serve-phase call without a dominating warm (phase contract)"),
         ("D6", "lock-order cycle or BGPCMP_ACQUIRES_ORDER inversion"),
         ("D7", "order-sensitive reduction inside a parallel region"),
+        ("D8", "serialized struct layout drifted from the snapshot schema lock"),
+        ("D9", "Rng fork lineage: unforked draw in a parallel/chunk region or a degenerate fork label"),
+        ("D10", "BGPCMP_PURE_CHUNK function reaches shared mutable state"),
     ]
 )
 
@@ -108,6 +142,8 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
 
 PHASE_RE = re.compile(r"\bBGPCMP_PHASE\s*\(\s*(\w+)\s*\)")
 REQWARM_RE = re.compile(r"\bBGPCMP_REQUIRES_WARMED\s*\(\s*([\w:,\s]*?)\s*\)")
+PURE_CHUNK_RE = re.compile(r"\bBGPCMP_PURE_CHUNK\b")
+CODEC_RE = re.compile(r"\bBGPCMP_SNAPSHOT_CODEC\s*\(\s*(\w+)\s*,\s*(\w+)\s*\)")
 ORDER_RE = re.compile(r"\bBGPCMP_ACQUIRES_ORDER\s*\(\s*(\d+)\s*\)")
 MUTEX_DECL_RE = re.compile(r"\bMutex\b\s+([A-Za-z_]\w*)")
 MACRO_INV_RE = re.compile(r"\b[A-Z][A-Z0-9_]{2,}\s*\([^()]*\)")
@@ -128,6 +164,87 @@ SMART_PTR_VAR_RE = re.compile(
     r"\b(?:unique_ptr|shared_ptr|optional)\s*<\s*(?:const\s+)?"
     r"(?:[A-Za-z_]\w*\s*::\s*)*([A-Za-z_]\w*)\s*>\s*&?\s*([A-Za-z_]\w*)"
 )
+
+# -- D8/D9/D10 regexes -------------------------------------------------------
+
+# Rng's draw methods are exactly the non-const surface of the class; fork()
+# and base_seed() are const, which is what makes "const Rng&" statically
+# incapable of drawing and the interprocedural D9 chase sound.
+DRAW_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"(uniform_int|uniform|chance|normal|lognormal|exponential|pareto|"
+    r"index|weighted_index|shuffle|engine)\s*\("
+)
+FORK_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*fork\s*\(")
+RNG_ROOT_RE = re.compile(r"\bRng\s+([A-Za-z_]\w*)\s*[{(]")
+RNG_REF_PARAM_RE = re.compile(r"(const\s+)?(?:[A-Za-z_]\w*\s*::\s*)*Rng\s*&\s*([A-Za-z_]\w*)")
+LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
+# Dotted field-access chains (a.b, a->b.c ...) for the D8 codec model.
+PATH_RE = re.compile(r"\b([A-Za-z_]\w*)((?:\s*(?:\.|->)\s*[A-Za-z_]\w*)+)")
+INDEXED_PATH_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\[[^\[\]]*\]((?:\s*(?:\.|->)\s*[A-Za-z_]\w*)+)"
+)
+SNAP_PRIM_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*(u8|u16|u32|u64|f64|str)\s*\(")
+READER_MUTATOR_CALLS = frozenset({"push_back", "emplace_back"})
+VERSION_CONST_RE = re.compile(r"\bkSnapshotVersion\s*=\s*(\d+)")
+STRUCT_HEAD_RE = re.compile(
+    r"\b(?:struct|class)\s+(?:[A-Z][A-Z0-9_]{2,}\s+)*([A-Za-z_]\w*)"
+    r"(\s+final)?\s*(:[^:{;=()]*)?\{"
+)
+STATIC_LOCAL_RE = re.compile(r"\bstatic\b|\bthread_local\b")
+
+
+def fnv1a64(s):
+    h = 0xCBF29CE484222325
+    for b in s.encode("utf-8"):
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return f"{h:016x}"
+
+
+def split_top_commas(s):
+    """Split s at commas outside (), {}, [] and <> nesting."""
+    parts, depth, angle, last = [], 0, 0, 0
+    for i, ch in enumerate(s):
+        if ch in "({[":
+            depth += 1
+        elif ch in ")}]":
+            depth -= 1
+        elif ch == "<":
+            prev = _prev_nonspace(s, i)
+            if prev.isalnum() or prev in "_>":
+                angle += 1
+        elif ch == ">" and angle > 0 and (i == 0 or s[i - 1] != "-"):
+            angle -= 1
+        elif ch == "," and depth == 0 and angle == 0:
+            parts.append(s[last:i])
+            last = i + 1
+    parts.append(s[last:])
+    return parts
+
+
+def _match_brace(s, start):
+    depth = 0
+    for idx in range(start, len(s)):
+        if s[idx] == "{":
+            depth += 1
+        elif s[idx] == "}":
+            depth -= 1
+            if depth == 0:
+                return idx
+    return None
+
+
+def bare_type(t):
+    """Last namespace component of a declared type, template args stripped:
+    'const std::vector<topo::AsNode>&' -> 'vector', 'cdn::Pop' -> 'Pop'."""
+    t = re.sub(r"\b(?:const|constexpr|inline|volatile|struct|class|typename)\b", " ", t)
+    t = t.replace("&", " ").replace("*", " ").strip()
+    lt = t.find("<")
+    if lt >= 0:
+        t = t[:lt]
+    t = t.strip()
+    return t.split("::")[-1].strip() if t else ""
 
 CPP_KEYWORDS = frozenset(
     """if else for while do switch case default return break continue goto
@@ -253,9 +370,14 @@ def clean_source(text):
 class Func:
     """A function definition or declaration found by the structural parser."""
 
-    __slots__ = ("sf", "cls", "bare", "line", "phase", "requires", "body_span")
+    __slots__ = (
+        "sf", "cls", "bare", "line", "phase", "requires", "body_span",
+        "pure_chunk", "codec", "param_types", "rng_ref_params",
+    )
 
-    def __init__(self, sf, cls, bare, line, phase, requires, body_span):
+    def __init__(self, sf, cls, bare, line, phase, requires, body_span,
+                 pure_chunk=False, codec=None, param_types=None,
+                 rng_ref_params=()):
         self.sf = sf
         self.cls = cls
         self.bare = bare
@@ -263,10 +385,58 @@ class Func:
         self.phase = phase
         self.requires = requires
         self.body_span = body_span  # (start, end) offsets in pp_clean, or None
+        self.pure_chunk = pure_chunk  # BGPCMP_PURE_CHUNK (D9/D10)
+        self.codec = codec  # (section, role) from BGPCMP_SNAPSHOT_CODEC (D8)
+        self.param_types = param_types or {}  # name -> declared type text
+        self.rng_ref_params = rng_ref_params  # non-const Rng& parameter names
 
     @property
     def display(self):
         return f"{self.cls}::{self.bare}" if self.cls else self.bare
+
+
+class GlobalVar:
+    """A namespace-scope variable declaration (D10 purity facts)."""
+
+    __slots__ = ("sf", "name", "is_const", "guarded", "line")
+
+    def __init__(self, sf, name, is_const, guarded, line):
+        self.sf = sf
+        self.name = name
+        self.is_const = is_const
+        self.guarded = guarded  # BGPCMP_GUARDED_BY: lock discipline covers it
+        self.line = line
+
+
+class StructDef:
+    """A parsed struct/class definition: ordered data members (D8)."""
+
+    __slots__ = ("sf", "name", "line", "fields")
+
+    def __init__(self, sf, name, line, fields):
+        self.sf = sf
+        self.name = name
+        self.line = line
+        self.fields = fields  # [(name, normalized type, line, waived)]
+
+    def field_names(self):
+        return [f[0] for f in self.fields]
+
+    def field_type(self, name):
+        for fname, ftype, _, _ in self.fields:
+            if fname == name:
+                return ftype
+        return None
+
+    def waived(self, name):
+        return any(f[0] == name and f[3] for f in self.fields)
+
+    def canonical(self):
+        parts = [
+            f"{fname}:{ftype}" + ("!waived" if waived else "")
+            for fname, ftype, _, waived in self.fields
+        ]
+        return f"{self.name}=" + ",".join(parts)
 
 
 class MutexDecl:
@@ -368,10 +538,21 @@ def _strip_template_header(s):
     return s
 
 
+OPERATOR_NAME_RE = re.compile(
+    r"\boperator\s*(?:<=>|<<=?|>>=?|->\*?|\[\]|[+\-*/%^&|~!<>=]=?|&&|\|\||"
+    r"\+\+|--|,)"
+)
+
+
 def _decl_name(seg):
     """(qualified_name, bare) of the function a declaration head names."""
     s = _strip_template_header(seg)
     s2 = ATTR_RE.sub(" ", MACRO_INV_RE.sub(" ", s))
+    # Symbol-named operators (operator=, operator==, ...) read as synthetic
+    # identifiers; without this, the '=' rejection below mistakes a
+    # move-assignment definition for an initializer, and the walk then
+    # mis-segments every later function in the file.
+    s2 = OPERATOR_NAME_RE.sub("operator_fn", s2)
     ppos = _find_top_paren(s2)
     if ppos is None:
         return None, None, None
@@ -541,11 +722,11 @@ class SourceFile:
     # -- structural parse (D5-D7) ------------------------------------------
 
     def structure(self):
-        """(funcs, mutex_decls, single_thread_classes) for this file."""
+        """(funcs, mutex_decls, single_thread_classes, globals) for this file."""
         if self._structure is not None:
             return self._structure
         text = self.pp_clean
-        funcs, mutexes, st_classes = [], [], set()
+        funcs, mutexes, st_classes, gvars = [], [], set(), []
         stack = []  # (kind, payload)
         last = 0
         func_depth = 0
@@ -587,9 +768,9 @@ class SourceFile:
                     last = i + 1
             elif c == ";":
                 if func_depth == 0 and init_depth == 0:
-                    self._decl_segment(text[last:i], last, stack, funcs, mutexes)
+                    self._decl_segment(text[last:i], last, stack, funcs, mutexes, gvars)
                     last = i + 1
-        self._structure = (funcs, mutexes, st_classes)
+        self._structure = (funcs, mutexes, st_classes, gvars)
         return self._structure
 
     def _enclosing_class(self, stack):
@@ -609,17 +790,56 @@ class SourceFile:
                 part = part.strip().split("::")[-1]
                 if part:
                     requires.append(part)
-        return phase, tuple(requires)
+        pure = bool(PURE_CHUNK_RE.search(s))
+        cm = CODEC_RE.search(s)
+        codec = (cm.group(1), cm.group(2)) if cm else None
+        return phase, tuple(requires), pure, codec
+
+    @staticmethod
+    def _parse_params(head):
+        """(param_types, rng_ref_params) from a declaration head's parameter
+        list. param_types maps parameter name -> declared type text."""
+        s = _strip_template_header(head)
+        # Annotation macros (BGPCMP_SNAPSHOT_CODEC(...) etc.) carry their own
+        # parens; strip them or the macro's argument list reads as the
+        # parameter list.
+        s2 = ATTR_RE.sub(" ", MACRO_INV_RE.sub(" ", s))
+        ppos = _find_top_paren(s2)
+        if ppos is None:
+            return {}, ()
+        close = _match_paren(s2, ppos)
+        if close is None:
+            return {}, ()
+        params_text = s2[ppos + 1 : close]
+        types, rng_refs = {}, []
+        for part in split_top_commas(params_text):
+            part = part.split("=", 1)[0].strip()
+            if not part or part == "void":
+                continue
+            pm = re.match(r"(.+?)[\s&*]+([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*$", part)
+            if not pm:
+                continue
+            ptype, pname = pm.group(1).strip(), pm.group(2)
+            if pname in CPP_KEYWORDS or not ptype:
+                continue
+            types[pname] = part[: len(part) - len(pname)].strip() or ptype
+            rm = RNG_REF_PARAM_RE.search(part)
+            if rm and rm.group(2) == pname and not rm.group(1) and "const" not in ptype.split():
+                rng_refs.append(pname)
+        return types, tuple(rng_refs)
 
     def _make_func(self, pre, qual, stack, brace_off):
         parts = qual.split("::")
         bare = parts[-1]
         cls = parts[-2] if len(parts) > 1 else self._enclosing_class(stack)
-        phase, requires = self._annotations(pre)
+        phase, requires, pure, codec = self._annotations(pre)
+        param_types, rng_refs = self._parse_params(pre)
         line = self.line_of_offset(brace_off)
-        return Func(self, cls, bare, line, phase, requires, (brace_off + 1, None))
+        return Func(self, cls, bare, line, phase, requires, (brace_off + 1, None),
+                    pure_chunk=pure, codec=codec, param_types=param_types,
+                    rng_ref_params=rng_refs)
 
-    def _decl_segment(self, seg, seg_off, stack, funcs, mutexes):
+    def _decl_segment(self, seg, seg_off, stack, funcs, mutexes, globals_out):
         s = seg.strip()
         if not s:
             return
@@ -636,12 +856,36 @@ class SourceFile:
             return
         qual, bare, _ = _decl_name(s)
         if qual is None:
+            if cls is None:
+                self._global_var(s, line, globals_out)
             return
         parts = qual.split("::")
         if len(parts) > 1:
             cls = parts[-2]
-        phase, requires = self._annotations(s)
-        funcs.append(Func(self, cls, parts[-1], line, phase, requires, None))
+        phase, requires, pure, codec = self._annotations(s)
+        param_types, rng_refs = self._parse_params(s)
+        funcs.append(Func(self, cls, parts[-1], line, phase, requires, None,
+                          pure_chunk=pure, codec=codec, param_types=param_types,
+                          rng_ref_params=rng_refs))
+
+    def _global_var(self, s, line, globals_out):
+        """Record a namespace-scope variable declaration (D10 facts)."""
+        if re.match(r"(?:class|struct|union|enum|namespace|template|return|goto)\b", s):
+            return
+        guarded = "BGPCMP_GUARDED_BY" in s
+        s2 = ATTR_RE.sub(" ", MACRO_INV_RE.sub(" ", s))
+        head = split_top_commas(_strip_angles(s2).split("=", 1)[0])[0].strip()
+        if not head or "(" in head or "{" in head:
+            return
+        nm = re.search(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*$", head)
+        if not nm or nm.group(1) in CPP_KEYWORDS:
+            return
+        name = nm.group(1)
+        type_part = head[: nm.start()].strip()
+        if not type_part:
+            return
+        is_const = bool(re.search(r"\bconst(?:expr|init)?\b", type_part))
+        globals_out.append(GlobalVar(self, name, is_const, guarded, line))
 
     def class_vars(self, class_names_re, known_classes):
         """Map class name -> variable names declared with that type in this
@@ -703,10 +947,14 @@ class Analyzer:
         self.defs = []
         self.mutex_decls = []
         self.st_classes = set()
+        self.global_vars = []
         self.relevant_warms = set()
         self.discharged = set()
         self._class_names_re = None
         self._known_classes = frozenset()
+        self._struct_index = None
+        self._rng_draws_memo = {}
+        self._schema_model_memo = None
 
     def load(self, relpath):
         if relpath not in self.files:
@@ -779,19 +1027,26 @@ class Analyzer:
         and precompute the constructor-discharged warm set."""
         all_funcs = []
         for rel in sorted(self.files):
-            funcs, mutexes, st = self.files[rel].structure()
+            funcs, mutexes, st, gvars = self.files[rel].structure()
             all_funcs.extend(funcs)
             self.mutex_decls.extend(mutexes)
             self.st_classes |= st
+            self.global_vars.extend(gvars)
         groups = {}
         for f in all_funcs:
             groups.setdefault((f.cls, f.bare), []).append(f)
         for group in groups.values():
             phase = next((f.phase for f in group if f.phase), None)
             requires = tuple(sorted({r for f in group for r in f.requires}))
+            pure = any(f.pure_chunk for f in group)
+            codec = next((f.codec for f in group if f.codec), None)
+            rng_refs = tuple(sorted({p for f in group for p in f.rng_ref_params}))
             for f in group:
                 f.phase = phase
                 f.requires = requires
+                f.pure_chunk = pure
+                f.codec = codec
+                f.rng_ref_params = rng_refs
         self.symbols = {}
         for f in all_funcs:
             self.symbols.setdefault(f.bare, []).append(f)
@@ -1108,7 +1363,7 @@ class Analyzer:
         parallel region must be dominated by a call to its warm function:
         textually earlier in some function along the chain, or performed by
         a constructor of the warm function's class."""
-        funcs, _, _ = sf.structure()
+        funcs, _, _, _ = sf.structure()
         for fn in funcs:
             if not fn.body_span:
                 continue
@@ -1141,7 +1396,7 @@ class Analyzer:
                     for target in self.resolve_call(call, fn):
                         self._chase(target, set(warms), [chain0], sf, line, seen)
 
-    def _chase(self, fn, warms, chain, origin_sf, origin_line, seen):
+    def _chase(self, fn, warms, chain, origin_sf, origin_line, seen, rule="D5"):
         key = (id(fn), frozenset(warms & self.relevant_warms))
         if key in seen:
             return
@@ -1152,13 +1407,14 @@ class Analyzer:
             missing = [w for w in fn.requires if w not in warms and w not in self.discharged]
             if missing:
                 full = chain + [fn.display]
+                scope = "parallel region" if rule == "D5" else "chunk body"
                 self.report(
                     origin_sf,
                     origin_line,
-                    "D5",
+                    rule,
                     f"'{fn.display}' is serve-phase and requires "
                     f"{', '.join(f'{w}()' for w in missing)} to dominate the "
-                    "parallel region; chain: " + " -> ".join(full),
+                    f"{scope}; chain: " + " -> ".join(full),
                     chain=full,
                 )
             return
@@ -1177,7 +1433,7 @@ class Analyzer:
                     # re-establishes those bases for everything after it.
                     running.update(target.requires)
                 else:
-                    self._chase(target, set(running), chain + [hop], origin_sf, origin_line, seen)
+                    self._chase(target, set(running), chain + [hop], origin_sf, origin_line, seen, rule)
 
     def check_d5_regression(self):
         """A serve-phase function must stay read-only: reaching warm/build
@@ -1471,7 +1727,7 @@ class Analyzer:
     D7_OPS_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(\+=|-=|\*=|/=)(?!=)")
 
     def check_d7(self, sf):
-        funcs, _, _ = sf.structure()
+        funcs, _, _, _ = sf.structure()
         text = sf.pp_clean
         for fn in funcs:
             if not fn.body_span:
@@ -1498,6 +1754,764 @@ class Analyzer:
                         "thread-completion order; write index-addressed slots and "
                         "fold sequentially after the join (docs/PARALLELISM.md)",
                     )
+
+    # -- D8: serialization-schema drift --------------------------------------
+
+    LOCAL_DECL_RE = re.compile(
+        r"(?:^|[;{}(])\s*(?:const\s+)?([A-Za-z_][\w:]*(?:<[^<>;]*>)?)"
+        r"\s*[&*]?\s+([A-Za-z_]\w*)\s*(?=[;={(])"
+    )
+    RANGE_FOR_RE = re.compile(
+        r"\bfor\s*\(\s*(?:const\s+)?([A-Za-z_][\w:]*(?:<[^<>;]*>)?)"
+        r"\s*[&*]?\s*([A-Za-z_]\w*)\s*:"
+    )
+    VECTOR_ELEM_RE = re.compile(r"\bvector\s*<\s*(?:const\s+)?([\w:]+)\s*>")
+    AGGREGATE_RE = re.compile(r"(?<![\w.])((?:[A-Za-z_]\w*\s*::\s*)*)([A-Za-z_]\w*)\s*\{")
+
+    def struct_index(self):
+        """Struct/class name -> StructDef over every loaded file."""
+        if self._struct_index is not None:
+            return self._struct_index
+        index = {}
+        for rel in sorted(self.files):
+            for sd in self._parse_structs(self.files[rel]):
+                index.setdefault(sd.name, sd)
+        self._struct_index = index
+        return index
+
+    def _parse_structs(self, sf):
+        text = sf.pp_clean
+        out = []
+        for m in STRUCT_HEAD_RE.finditer(text):
+            if re.search(r"\benum\s+$", text[max(0, m.start() - 16) : m.start()] + " "):
+                continue
+            open_brace = m.end() - 1
+            close = _match_brace(text, open_brace)
+            if close is None:
+                continue
+            fields = self._parse_members(sf, text, open_brace + 1, close)
+            out.append(StructDef(sf, m.group(1), sf.line_of_offset(m.start()), fields))
+        return out
+
+    def _parse_members(self, sf, text, a, b):
+        """Ordered data members of a class body span (methods skipped)."""
+        fields = []
+        i = a
+        seg_start = a
+        while i < b:
+            c = text[i]
+            if c == "{":
+                close = _match_brace(text, i)
+                if close is None or close > b:
+                    break
+                j = close + 1
+                while j < b and text[j] in " \t\n":
+                    j += 1
+                if j < b and text[j] == ";":
+                    i = close + 1  # brace-initialized member or nested type
+                    continue
+                seg_start = close + 1  # inline method body: discard segment
+                i = close + 1
+                continue
+            if c == ";":
+                self._classify_member(sf, text[seg_start:i], seg_start, fields)
+                seg_start = i + 1
+            i += 1
+        return fields
+
+    def _classify_member(self, sf, seg, seg_off, fields):
+        s = re.sub(r"^\s*(?:(?:public|private|protected)\s*:\s*)+", "", seg)
+        off = seg_off + (len(seg) - len(s))
+        line = sf.line_of_offset(off + (len(s) - len(s.lstrip())))
+        s = _strip_template_header(s.strip())
+        if not s:
+            return
+        if re.match(
+            r"(?:using|typedef|friend|static|template|enum|class|struct|union|"
+            r"operator|virtual|explicit)\b",
+            s,
+        ):
+            return
+        s2 = ATTR_RE.sub(" ", MACRO_INV_RE.sub(" ", s))
+        if "(" in _strip_angles(s2):
+            return  # method, constructor, or `= default` special member
+        head = split_top_commas(s2)[0].split("=", 1)[0]
+        brace = head.find("{")
+        if brace >= 0:
+            head = head[:brace]
+        head = head.strip()
+        nm = re.match(r"(.+?)[\s&*]*?[\s&*]([A-Za-z_]\w*)\s*(\[[^\]]*\])?$", head)
+        if not nm:
+            return
+        name = nm.group(2)
+        if name in CPP_KEYWORDS:
+            return
+        ftype = re.sub(r"\s+", " ", head[: len(head) - len(name) - len(nm.group(3) or "")].strip())
+        ftype = (ftype + (nm.group(3) or "")).strip()
+        if not ftype or bare_type(ftype) in CPP_KEYWORDS and bare_type(ftype) not in (
+            "double", "float", "bool", "int", "char", "short", "long", "unsigned", "signed"
+        ):
+            return
+        fields.append((name, ftype, line, sf.allows(line, "D8")))
+
+    def _codec_groups(self):
+        """section -> {role -> Func definition} for BGPCMP_SNAPSHOT_CODEC."""
+        groups = {}
+        for fn in self.defs:
+            if fn.codec:
+                groups.setdefault(fn.codec[0], {}).setdefault(fn.codec[1], fn)
+        return groups
+
+    def _codec_vars(self, fn):
+        """(body text, var -> declared type, var -> vector element type)."""
+        a, b = fn.body_span
+        body = fn.sf.pp_clean[a:b]
+        var_types = dict(fn.param_types)
+        for m in self.RANGE_FOR_RE.finditer(body):
+            if bare_type(m.group(1)) not in CPP_KEYWORDS:
+                var_types.setdefault(m.group(2), m.group(1))
+        for m in self.LOCAL_DECL_RE.finditer(body):
+            t, n = m.group(1), m.group(2)
+            if n in CPP_KEYWORDS or not bare_type(t) or bare_type(t) in CPP_KEYWORDS:
+                continue
+            var_types.setdefault(n, t)
+        elem_types = {}
+        for n, t in var_types.items():
+            vm = self.VECTOR_ELEM_RE.search(t)
+            if vm:
+                elem_types[n] = bare_type(vm.group(1))
+        return body, var_types, elem_types
+
+    def _resolve_path(self, start_type, comps, index):
+        """Resolve a dotted chain against the struct index. Returns the
+        deepest (type, field) event, every (type, field) hop covered, and the
+        first unresolved trailing component (a method name, usually)."""
+        cur = bare_type(start_type)
+        event, covered, tail = None, [], None
+        for k, comp in enumerate(comps):
+            sd = index.get(cur)
+            if sd is None or sd.field_type(comp) is None:
+                tail = comp
+                break
+            covered.append((cur, comp))
+            event = (cur, comp)
+            nxt = bare_type(sd.field_type(comp))
+            if k + 1 < len(comps):
+                if nxt in index:
+                    cur = nxt
+                else:
+                    tail = comps[k + 1]
+                    break
+        return event, covered, tail
+
+    def _codec_paths(self, body, var_types, elem_types, index):
+        """[(off, end, event, covered, tail)] for every resolvable chain."""
+        occs = []
+        for m in PATH_RE.finditer(body):
+            prev = _prev_nonspace(body, m.start())
+            if prev and prev in ".]>":
+                continue
+            t = var_types.get(m.group(1))
+            if t is None:
+                continue
+            comps = re.findall(r"[A-Za-z_]\w*", m.group(2))
+            event, covered, tail = self._resolve_path(t, comps, index)
+            if event or covered:
+                occs.append((m.start(), m.end(), event, covered, tail))
+        for m in INDEXED_PATH_RE.finditer(body):
+            t = elem_types.get(m.group(1))
+            if t is None:
+                continue
+            comps = re.findall(r"[A-Za-z_]\w*", m.group(2))
+            event, covered, tail = self._resolve_path(t, comps, index)
+            if event or covered:
+                occs.append((m.start(), m.end(), event, covered, tail))
+        occs.sort(key=lambda o: o[0])
+        return occs
+
+    def _writer_prim_spans(self, body, var_types):
+        """Argument spans of SnapshotWriter primitive calls (u8..str)."""
+        spans = []
+        for m in SNAP_PRIM_RE.finditer(body):
+            if bare_type(var_types.get(m.group(1), "")) != "SnapshotWriter":
+                continue
+            close = _match_paren(body, m.end() - 1)
+            if close is not None:
+                spans.append((m.end(), close))
+        return spans
+
+    def _codec_side(self, fn, role, index, writer_types=None):
+        """(ordered [(off, (type, field))] wire events, covered set) for one
+        codec body. Writers emit events from field paths inside serializer
+        primitive arguments; readers from field-path assignments, container
+        mutator calls, and positional aggregate-initialization of a type the
+        paired writer serializes."""
+        body, var_types, elem_types = self._codec_vars(fn)
+        occs = self._codec_paths(body, var_types, elem_types, index)
+        coverage = set()
+        for _, _, _, covered, _ in occs:
+            coverage.update(covered)
+        events = []
+        if role == "writer":
+            spans = self._writer_prim_spans(body, var_types)
+            for off, _, event, _, _ in occs:
+                if event and any(s <= off < e for s, e in spans):
+                    events.append((off, event))
+        else:
+            for off, end, event, _, tail in occs:
+                if not event:
+                    continue
+                if tail in READER_MUTATOR_CALLS or re.match(r"\s*=(?!=)", body[end : end + 8]):
+                    events.append((off, event))
+            for m in self.AGGREGATE_RE.finditer(body):
+                t = m.group(2)
+                if writer_types is None or t not in writer_types or t not in index:
+                    continue
+                open_brace = m.end() - 1
+                close = _match_brace(body, open_brace)
+                if close is None:
+                    continue
+                args = split_top_commas(body[open_brace + 1 : close])
+                sd = index[t]
+                for k, arg in enumerate(args):
+                    if k >= len(sd.fields):
+                        break
+                    fname = sd.fields[k][0]
+                    coverage.add((t, fname))
+                    if arg.strip() and arg.strip() != "{}":
+                        events.append((open_brace + 1 + k, (t, fname)))
+            events.sort(key=lambda e: e[0])
+        return events, coverage
+
+    @staticmethod
+    def _type_seq(events, t, sd):
+        """The wire sequence for one type: waived fields dropped, consecutive
+        repeats collapsed (a size write plus element writes is one touch)."""
+        seq = []
+        for _, (tt, f) in events:
+            if tt != t or sd.waived(f):
+                continue
+            if not seq or seq[-1] != f:
+                seq.append(f)
+        return seq
+
+    def schema_model(self):
+        """Per-section codec analysis, memoized for check_d8 and the lock
+        updater."""
+        if self._schema_model_memo is not None:
+            return self._schema_model_memo
+        index = self.struct_index()
+        model = []
+        for section, roles in sorted(self._codec_groups().items()):
+            writer, reader = roles.get("writer"), roles.get("reader")
+            entry = {"section": section, "writer": writer, "reader": reader}
+            if writer and reader:
+                w_events, w_cov = self._codec_side(writer, "writer", index)
+                writer_types = {t for _, (t, _) in w_events}
+                r_events, r_cov = self._codec_side(reader, "reader", index, writer_types)
+                entry.update(
+                    w_events=w_events,
+                    r_events=r_events,
+                    w_cov=w_cov,
+                    r_cov=r_cov,
+                    serialized=sorted(writer_types & {t for _, (t, _) in r_events}),
+                )
+            model.append(entry)
+        self._schema_model_memo = model
+        return model
+
+    def snapshot_version(self):
+        """The kSnapshotVersion constant, scanned from the loaded tree."""
+        for rel in sorted(self.files):
+            m = VERSION_CONST_RE.search(self.files[rel].clean)
+            if m:
+                return int(m.group(1))
+        return None
+
+    def schema_digests(self):
+        """{type: (digest, canonical)} for every serialized type."""
+        index = self.struct_index()
+        out = {}
+        for entry in self.schema_model():
+            for t in entry.get("serialized", ()):
+                canon = index[t].canonical()
+                out[t] = (fnv1a64(canon), canon)
+        return out
+
+    def check_d8(self, lock_path):
+        model = self.schema_model()
+        if not model:
+            return
+        index = self.struct_index()
+        anchor = None
+        for entry in model:
+            writer, reader = entry["writer"], entry["reader"]
+            if "serialized" not in entry:
+                present = writer or reader
+                missing = "reader" if writer else "writer"
+                self.report(
+                    present.sf,
+                    present.line,
+                    "D8",
+                    f"snapshot codec section '{entry['section']}' has no {missing} "
+                    "definition to check the wire sequence against",
+                )
+                continue
+            anchor = anchor or writer
+            for t in entry["serialized"]:
+                sd = index[t]
+                wseq = self._type_seq(entry["w_events"], t, sd)
+                rseq = self._type_seq(entry["r_events"], t, sd)
+                if wseq != rseq:
+                    self.report(
+                        reader.sf,
+                        reader.line,
+                        "D8",
+                        f"wire sequence for '{t}' differs between {writer.display} "
+                        f"[{', '.join(wseq)}] and {reader.display} [{', '.join(rseq)}]; "
+                        "writer and reader must touch the same fields in the same order",
+                    )
+                for fname, _, fline, waived in sd.fields:
+                    if waived:
+                        continue
+                    if (t, fname) not in entry["w_cov"]:
+                        self.report(
+                            sd.sf,
+                            fline,
+                            "D8",
+                            f"field '{t}::{fname}' of a serialized struct is never "
+                            f"written by {writer.display}; serialize it or waive the "
+                            "derived field with lint:allow(D8)",
+                        )
+                    elif (t, fname) not in entry["r_cov"]:
+                        self.report(
+                            sd.sf,
+                            fline,
+                            "D8",
+                            f"field '{t}::{fname}' of a serialized struct is never "
+                            f"restored by {reader.display}; restore it or waive the "
+                            "derived field with lint:allow(D8)",
+                        )
+        if anchor is None:
+            return
+        digests = self.schema_digests()
+        version = self.snapshot_version()
+        lock_disp = os.path.relpath(lock_path, self.root) if lock_path else "<none>"
+        if version is None:
+            self.report(
+                anchor.sf,
+                anchor.line,
+                "D8",
+                "kSnapshotVersion constant not found in the scanned tree; D8 "
+                "cannot pin the wire schema to a version",
+            )
+            return
+        lock_version, lock_types = read_schema_lock(lock_path)
+        if lock_types is None:
+            self.report(
+                anchor.sf,
+                anchor.line,
+                "D8",
+                f"schema lock {lock_disp} is missing or unreadable; generate it "
+                "with --update-schema-lock",
+            )
+            return
+        if lock_version != version:
+            self.report(
+                anchor.sf,
+                anchor.line,
+                "D8",
+                f"schema lock {lock_disp} was taken at kSnapshotVersion "
+                f"{lock_version} but the headers declare {version}; regenerate "
+                "the lock with --update-schema-lock",
+            )
+            return
+        for t in sorted(set(digests) | set(lock_types)):
+            if t not in lock_types:
+                sd = index[t]
+                self.report(
+                    sd.sf,
+                    sd.line,
+                    "D8",
+                    f"serialized type '{t}' is not in the schema lock - the wire "
+                    "format grew while kSnapshotVersion stood still; bump the "
+                    "version and regenerate the lock",
+                )
+            elif t not in digests:
+                self.report(
+                    anchor.sf,
+                    anchor.line,
+                    "D8",
+                    f"type '{t}' is in the schema lock but no longer serialized - "
+                    "the wire format changed while kSnapshotVersion stood still; "
+                    "bump the version and regenerate the lock",
+                )
+            elif digests[t][0] != lock_types[t][0]:
+                sd = index[t]
+                self.report(
+                    sd.sf,
+                    sd.line,
+                    "D8",
+                    f"layout of serialized type '{t}' drifted from the schema lock "
+                    f"while kSnapshotVersion stood still (now {digests[t][1]}); "
+                    "bump kSnapshotVersion and regenerate the lock",
+                )
+
+    def update_schema_lock(self, lock_path):
+        """Recompute the schema lock; refuses to paper over drift unless
+        kSnapshotVersion was bumped (or the lock is being bootstrapped)."""
+        digests = self.schema_digests()
+        if not digests:
+            print("detlint: no BGPCMP_SNAPSHOT_CODEC pairs found; nothing to lock", file=sys.stderr)
+            return 2
+        version = self.snapshot_version()
+        if version is None:
+            print("detlint: kSnapshotVersion constant not found; cannot write the lock", file=sys.stderr)
+            return 2
+        lock_version, lock_types = read_schema_lock(lock_path)
+        if lock_types is not None and lock_version == version:
+            drifted = sorted(
+                set(digests) ^ set(lock_types)
+                | {t for t in digests if t in lock_types and digests[t][0] != lock_types[t][0]}
+            )
+            if drifted:
+                print(
+                    "detlint: refusing to regenerate the schema lock: the layout of "
+                    f"{', '.join(drifted)} drifted but kSnapshotVersion is still "
+                    f"{version}. Bump kSnapshotVersion first - old snapshots must "
+                    "be rejected, not misread.",
+                    file=sys.stderr,
+                )
+                return 1
+        with open(lock_path, "w", encoding="utf-8") as f:
+            f.write(format_schema_lock(version, digests))
+        print(
+            f"detlint: wrote {lock_path} ({len(digests)} serialized types at "
+            f"kSnapshotVersion {version})"
+        )
+        return 0
+
+    # -- D9: RNG fork lineage ------------------------------------------------
+
+    def _call_args(self, fn, call):
+        """Bare identifier arguments at a call site."""
+        text = fn.sf.pp_clean
+        open_paren = text.index("(", call.off)
+        close = _match_paren(text, open_paren)
+        if close is None:
+            return frozenset()
+        return frozenset(
+            a.strip()
+            for a in split_top_commas(text[open_paren + 1 : close])
+            if re.fullmatch(r"[A-Za-z_]\w*", a.strip())
+        )
+
+    def _fn_rng_draws(self, fn):
+        """True if fn draws, directly or transitively, through one of its
+        non-const Rng& parameters. const Rng& cannot draw (every draw method
+        is non-const), which keeps this chase sound."""
+        key = id(fn)
+        if key in self._rng_draws_memo:
+            return self._rng_draws_memo[key]
+        self._rng_draws_memo[key] = False  # cycle guard
+        result = False
+        if fn.rng_ref_params and fn.body_span:
+            a, b = fn.body_span
+            body = fn.sf.pp_clean[a:b]
+            params = set(fn.rng_ref_params)
+            result = any(m.group(1) in params for m in DRAW_RE.finditer(body))
+            if not result:
+                for call in self.func_calls(fn):
+                    if not params & self._call_args(fn, call):
+                        continue
+                    if any(
+                        target is not fn and self._fn_rng_draws(target)
+                        for target in self.resolve_call(call, fn)
+                    ):
+                        result = True
+                        break
+        self._rng_draws_memo[key] = result
+        return result
+
+    def _loops(self, text, a, b):
+        """for/while loop (header span, body span) pairs inside [a, b)."""
+        loops = []
+        for m in LOOP_HEAD_RE.finditer(text, a, b):
+            open_paren = text.index("(", m.end() - 1)
+            hclose = _match_paren(text, open_paren)
+            if hclose is None or hclose > b:
+                continue
+            j = hclose + 1
+            while j < b and text[j] in " \t\n":
+                j += 1
+            if j < b and text[j] == "{":
+                bclose = _match_brace(text, j)
+                if bclose is None or bclose > b:
+                    continue
+                loops.append((open_paren + 1, hclose, j + 1, bclose))
+            else:
+                end = text.find(";", j)
+                loops.append((open_paren + 1, hclose, j, b if end < 0 or end > b else end))
+        return loops
+
+    @staticmethod
+    def _innermost_loop(loops, off):
+        best = None
+        for hs, he, bs, be in loops:
+            if bs <= off < be and (best is None or bs > best[2]):
+                best = (hs, he, bs, be)
+        return best
+
+    def _d9_labels(self, sf, fn):
+        """Fork-label hygiene: duplicates, separator-less dynamic prefixes,
+        loop-invariant loop-body labels."""
+        text = sf.pp_clean
+        a, b = fn.body_span
+        sites = []
+        for m in FORK_RE.finditer(text, a, b):
+            open_paren = text.index("(", m.end() - 1)
+            close = _match_paren(text, open_paren)
+            if close is None or close > b:
+                continue
+            # String interiors are blanked in the clean text; the raw text is
+            # offset-aligned, so the literal label reads from the same span.
+            arg_raw = re.sub(r"\s+", " ", sf.text[open_paren + 1 : close].strip())
+            lead = re.match(r'^"([^"]*)"', arg_raw)
+            constant = bool(re.fullmatch(r'"[^"]*"', arg_raw))
+            sites.append((m.start(), open_paren, close, m.group(1), arg_raw,
+                          lead.group(1) if lead else None, constant))
+        seen = {}
+        for off, _, _, recv, arg_raw, _, _ in sites:
+            key = (recv, arg_raw)
+            if key in seen:
+                self.report(
+                    sf,
+                    sf.line_of_offset(off),
+                    "D9",
+                    f"fork label {arg_raw} duplicates the fork at line "
+                    f"{sf.line_of_offset(seen[key])} on the same receiver "
+                    f"'{recv}'; identical labels yield identical substreams",
+                )
+            else:
+                seen[key] = off
+        for off, _, _, _, arg_raw, lead, constant in sites:
+            if constant or not lead:
+                continue
+            if lead[-1:].isalnum():
+                self.report(
+                    sf,
+                    sf.line_of_offset(off),
+                    "D9",
+                    f'dynamic fork label prefix "{lead}" does not end in a '
+                    "separator; adjacent values collide (\"s1\"+\"2\" == "
+                    "\"s12\"+\"\") - end the prefix with '-', '_' or ':'",
+                )
+        loops = self._loops(text, a, b)
+        for off, op, cl, _, arg_raw, _, _ in sites:
+            loop = self._innermost_loop(loops, off)
+            if loop is None:
+                continue
+            hs, he, bs, _ = loop
+            bound = set(re.findall(r"[A-Za-z_]\w*", text[hs:he]))
+            bound |= set(re.findall(r"[A-Za-z_]\w*", text[bs:off]))
+            arg_ids = set(re.findall(r"[A-Za-z_]\w*", text[op + 1 : cl]))
+            if not arg_ids & bound:
+                self.report(
+                    sf,
+                    sf.line_of_offset(off),
+                    "D9",
+                    f"fork label {arg_raw} inside a loop depends on nothing bound "
+                    "by the loop; every iteration forks the same substream",
+                )
+
+    def check_d9(self, sf):
+        funcs, _, _, _ = sf.structure()
+        _, rngs = self.context_registry(sf)
+        text = sf.pp_clean
+        for fn in funcs:
+            if not fn.body_span:
+                continue
+            a, b = fn.body_span
+            body = text[a:b]
+            self._d9_labels(sf, fn)
+            if fn.pure_chunk:
+                roots = {m.group(1) for m in RNG_ROOT_RE.finditer(body)}
+                for m in DRAW_RE.finditer(body):
+                    if m.group(1) in roots:
+                        self.report(
+                            sf,
+                            sf.line_of_offset(a + m.start()),
+                            "D9",
+                            f"draw '{m.group(1)}.{m.group(2)}()' on an unforked root "
+                            "Rng inside a BGPCMP_PURE_CHUNK body; fork a labelled "
+                            "substream so chunks cannot couple through the root cursor",
+                        )
+                for call in self.func_calls(fn):
+                    hit = roots & self._call_args(fn, call)
+                    if not hit:
+                        continue
+                    for target in self.resolve_call(call, fn):
+                        if target.rng_ref_params and self._fn_rng_draws(target):
+                            self.report(
+                                sf,
+                                sf.line_of_offset(call.off),
+                                "D9",
+                                f"'{fn.display}' passes unforked root Rng "
+                                f"'{sorted(hit)[0]}' to '{target.display}', which "
+                                "draws through a non-const Rng&, inside a "
+                                "BGPCMP_PURE_CHUNK body; fork per chunk instead",
+                            )
+                            break
+            # The D3 registry sees `Rng x` declarations but not `Rng&`
+            # parameters; a draw through a non-const Rng& param is just as
+            # order-dependent inside a region, so fold those names in.
+            fn_rngs = rngs | set(fn.rng_ref_params)
+            for start, end, _ in self.func_regions(fn):
+                region = text[start:end]
+
+                def declared_outside(name):
+                    return not re.search(
+                        r"\bRng\s*&?\s+" + re.escape(name) + r"\b", region
+                    )
+
+                for m in DRAW_RE.finditer(region):
+                    name = m.group(1)
+                    if name in fn_rngs and declared_outside(name):
+                        self.report(
+                            sf,
+                            sf.line_of_offset(start + m.start()),
+                            "D9",
+                            f"draw '{name}.{m.group(2)}()' inside a parallel region "
+                            "on an Rng declared outside it; draw order then depends "
+                            "on thread interleaving - fork a per-item substream",
+                        )
+                for call in self.func_calls(fn):
+                    if not start < call.off < end:
+                        continue
+                    shared = {
+                        n for n in self._call_args(fn, call)
+                        if n in fn_rngs and declared_outside(n)
+                    }
+                    if not shared:
+                        continue
+                    for target in self.resolve_call(call, fn):
+                        if target.rng_ref_params and self._fn_rng_draws(target):
+                            self.report(
+                                sf,
+                                sf.line_of_offset(call.off),
+                                "D9",
+                                f"'{target.display}' draws through a non-const Rng& "
+                                f"on '{sorted(shared)[0]}', declared outside the "
+                                "parallel region; draw order then depends on thread "
+                                "interleaving - fork a per-item substream",
+                            )
+                            break
+
+    # -- D10: chunk purity ---------------------------------------------------
+
+    def check_d10(self):
+        """Chase every call reachable from a BGPCMP_PURE_CHUNK function for
+        shared mutable state, and re-run the D5 domination walk with the
+        whole chunk body as the region."""
+        mutable_globals = {
+            g.name: g for g in self.global_vars if not g.is_const and not g.guarded
+        }
+        for fn in self.defs:
+            if not fn.pure_chunk:
+                continue
+            chain0 = f"{fn.display} ({fn.sf.rel}:{fn.line})"
+            seen = {id(fn)}
+            stack = [(fn, [chain0])]
+            while stack:
+                cur, chain = stack.pop()
+                self._d10_body(fn, cur, chain, mutable_globals)
+                for call in self.func_calls(cur):
+                    hop = f"{cur.display} ({cur.sf.rel}:{cur.sf.line_of_offset(call.off)})"
+                    for target in self.resolve_call(call, cur):
+                        if target.body_span and id(target) not in seen:
+                            seen.add(id(target))
+                            stack.append((target, chain + [hop]))
+            warms = set(fn.requires)
+            chase_seen = set()
+            for call in self.func_calls(fn):
+                for target in self.resolve_call(call, fn):
+                    if target.phase == "warm":
+                        warms.add(target.bare)
+                        warms.update(target.requires)
+                    else:
+                        self._chase(target, set(warms), [chain0], fn.sf, fn.line,
+                                    chase_seen, rule="D10")
+
+    def _d10_body(self, root, fn, chain, mutable_globals):
+        a, _ = fn.body_span
+        body = fn.sf.pp_clean[fn.body_span[0] : fn.body_span[1]]
+        for m in STATIC_LOCAL_RE.finditer(body):
+            stop = len(body)
+            for ch in (";", "{", "=", "("):
+                p = body.find(ch, m.end())
+                if 0 <= p < stop:
+                    stop = p
+            if re.search(r"\bconst(?:expr|init)?\b", body[m.end() : stop]):
+                continue
+            self.report(
+                fn.sf,
+                fn.sf.line_of_offset(a + m.start()),
+                "D10",
+                f"mutable function-local static in '{fn.display}', reachable from "
+                f"BGPCMP_PURE_CHUNK '{root.display}'; chunk output would depend on "
+                "what earlier chunks cached; chain: " + " -> ".join(chain),
+                chain=chain + [fn.display],
+            )
+        for name, g in mutable_globals.items():
+            gm = re.search(r"\b" + re.escape(name) + r"\b", body)
+            if gm is None:
+                continue
+            self.report(
+                fn.sf,
+                fn.sf.line_of_offset(a + gm.start()),
+                "D10",
+                f"'{fn.display}' references mutable namespace-scope '{name}' "
+                f"({g.sf.rel}:{g.line}), reachable from BGPCMP_PURE_CHUNK "
+                f"'{root.display}'; guard it (BGPCMP_GUARDED_BY) or build the "
+                "state per chunk; chain: " + " -> ".join(chain),
+                chain=chain + [fn.display],
+            )
+
+
+def read_schema_lock(path):
+    """(version, {type: (digest, field text)}) from a lock file; (None, None)
+    when absent or unparseable."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except (OSError, TypeError):
+        return None, None
+    version, types = None, {}
+    for ln in lines:
+        ln = ln.strip()
+        if not ln or ln.startswith("#"):
+            continue
+        parts = ln.split()
+        if parts[0] == "snapshot-version" and len(parts) == 2 and parts[1].isdigit():
+            version = int(parts[1])
+        elif parts[0] == "type" and len(parts) >= 3:
+            types[parts[1]] = (parts[2], " ".join(parts[3:]))
+    if version is None:
+        return None, None
+    return version, types
+
+
+def format_schema_lock(version, digests):
+    lines = [
+        "# detlint D8 serialization schema lock.",
+        "# Regenerate with: python3 tools/detlint/detlint.py --update-schema-lock",
+        "# Regeneration is refused while a layout drifts without a kSnapshotVersion bump.",
+        f"snapshot-version {version}",
+    ]
+    for t in sorted(digests):
+        digest, canonical = digests[t]
+        lines.append(f"type {t} {digest} {canonical.split('=', 1)[1]}")
+    return "\n".join(lines) + "\n"
 
 
 def repo_root_default():
@@ -1592,13 +2606,18 @@ def load_include_graph(root, all_rels, include_dirs, cache_path):
     az = Analyzer(root, include_dirs, use_libclang=False)
     graph = {}
     dirty = False
+    rel_set = set(all_rels)
     for rel in all_rels:
         try:
             mtime = os.stat(os.path.join(root, rel)).st_mtime_ns
         except OSError:
             continue
         ent = cache.get(rel)
-        if ent and ent[0] == mtime:
+        # A cached entry is valid only if the file itself is unchanged AND
+        # every include target it resolved still exists: deleting or renaming
+        # a header must force a re-resolve of its includers, or --changed
+        # keeps routing dependency edges through a ghost file.
+        if ent and ent[0] == mtime and all(t in rel_set for t in ent[1]):
             graph[rel] = ent[1]
             continue
         sf = az.load(rel)
@@ -1672,7 +2691,12 @@ def changed_with_dependents(root, paths, include_dirs, base, cache_path):
 # -- scan drivers ------------------------------------------------------------
 
 
-def run_scan(root, paths, include_dirs, use_libclang, explicit_files=None):
+def default_schema_lock_path(root):
+    return os.path.join(root, "tools", "detlint", "snapshot_schema.lock")
+
+
+def run_scan(root, paths, include_dirs, use_libclang, explicit_files=None,
+             lock_path=None, checks=True):
     az = Analyzer(root, include_dirs, use_libclang)
     files = explicit_files if explicit_files is not None else gather_files(root, paths)
     if explicit_files is not None:
@@ -1692,6 +2716,8 @@ def run_scan(root, paths, include_dirs, use_libclang, explicit_files=None):
     for rel in list(files):
         az.include_closure(az.files[rel])
     az.build_symbols()
+    if not checks:
+        return az
     for rel in files:
         sf = az.files[rel]
         norm = rel.replace("\\", "/")
@@ -1706,8 +2732,14 @@ def run_scan(root, paths, include_dirs, use_libclang, explicit_files=None):
         if model:
             az.check_d5(sf)
             az.check_d7(sf)
+            az.check_d9(sf)
     az.check_d5_regression()
     az.check_d6()
+    # D8/D10 are call-graph/whole-tree rules like D6: their facts (codec
+    # pairs, pure-chunk markers, the schema lock) live outside any single
+    # changed file, so they always run over the full symbol table.
+    az.check_d10()
+    az.check_d8(lock_path or default_schema_lock_path(root))
     return az
 
 
@@ -1737,8 +2769,11 @@ def run_self_test(fixture_dir):
             az.check_d4(sf)
         az.check_d5(sf)
         az.check_d7(sf)
+        az.check_d9(sf)
     az.check_d5_regression()
     az.check_d6()
+    az.check_d10()
+    az.check_d8(os.path.join(root, "d8_schema.lock"))
     actual = sorted(f.key() for f in az.findings)
     expected = sorted((os.path.normpath(p), l, r) for p, l, r in expected)
     actual = [(os.path.normpath(p), l, r) for p, l, r in actual]
@@ -1818,6 +2853,17 @@ def main(argv):
         help="include-graph cache path for --changed (default: build/.detlint_include_cache.json)",
     )
     ap.add_argument("--no-cache", action="store_true", help="ignore and don't write the include-graph cache")
+    ap.add_argument(
+        "--schema-lock",
+        default=None,
+        help="D8 schema lock path (default: tools/detlint/snapshot_schema.lock)",
+    )
+    ap.add_argument(
+        "--update-schema-lock",
+        action="store_true",
+        help="recompute the D8 schema lock and exit (refused if the layout "
+        "drifted without a kSnapshotVersion bump)",
+    )
     args = ap.parse_args(argv)
 
     if args.list_rules:
@@ -1850,6 +2896,11 @@ def main(argv):
             print("detlint: --engine libclang requested but the clang Python bindings are missing", file=sys.stderr)
             return 2
 
+    lock_path = args.schema_lock or default_schema_lock_path(root)
+    if args.update_schema_lock:
+        az = run_scan(root, paths, include_dirs, use_libclang, checks=False)
+        return az.update_schema_lock(lock_path)
+
     explicit = None
     if args.changed is not None:
         cache_path = None if args.no_cache else (args.cache_file or default_cache_path(root))
@@ -1865,7 +2916,8 @@ def main(argv):
                 print("detlint: no changed files; clean")
             return 0
 
-    az = run_scan(root, paths, include_dirs, use_libclang, explicit_files=explicit)
+    az = run_scan(root, paths, include_dirs, use_libclang, explicit_files=explicit,
+                  lock_path=lock_path)
     engine = "libclang" if az.libclang_active else "tokenizer"
     if not az.libclang_active and not args.json and not args.github:
         engine += " (libclang unavailable; declaration tracking is textual)"

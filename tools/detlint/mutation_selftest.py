@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Mutation self-test for detlint rule D8 (serialization-schema drift).
+
+Copies the source tree into a scratch root, confirms the copy scans clean,
+then deletes ONE field write from serialize_internet — the classic drift:
+someone drops a field from the writer without bumping kSnapshotVersion or
+updating the reader. If D8 does not fire on that mutant, the rule is dead
+and the schema lock is theater.
+
+Run from anywhere; locates the repo relative to this file. Exits 0 on pass.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+DETLINT = os.path.join(HERE, "detlint.py")
+MUTATED_LINE = "w.f64(n.backbone_inflation);"
+
+
+def fail(msg):
+    print(f"mutation_selftest: FAIL: {msg}")
+    return 1
+
+
+def run_detlint(root):
+    proc = subprocess.run(
+        [sys.executable, DETLINT, "--root", root, "src"],
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    tmp = tempfile.mkdtemp(prefix="detlint_mut_")
+    try:
+        shutil.copytree(os.path.join(REPO, "src"), os.path.join(tmp, "src"))
+        os.makedirs(os.path.join(tmp, "tools", "detlint"))
+        shutil.copy(
+            os.path.join(HERE, "snapshot_schema.lock"),
+            os.path.join(tmp, "tools", "detlint", "snapshot_schema.lock"),
+        )
+
+        rc, out = run_detlint(tmp)
+        if rc != 0:
+            return fail(f"pristine copy is not clean (exit {rc}):\n{out}")
+
+        victim = os.path.join(tmp, "src", "topology", "world_snapshot.cpp")
+        with open(victim, encoding="utf-8") as f:
+            lines = f.readlines()
+        kept = [ln for ln in lines if ln.strip() != MUTATED_LINE]
+        if len(kept) != len(lines) - 1:
+            return fail(f"expected exactly one '{MUTATED_LINE}' in {victim}, "
+                        f"removed {len(lines) - len(kept)}")
+        with open(victim, "w", encoding="utf-8") as f:
+            f.writelines(kept)
+
+        rc, out = run_detlint(tmp)
+        if rc != 1:
+            return fail(f"mutant scan exited {rc}, expected 1 (findings):\n{out}")
+        if "D8" not in out:
+            return fail(f"mutant scan produced no D8 finding:\n{out}")
+
+        print("mutation_selftest: ok (dropped writer field write; D8 fired)")
+        return 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
